@@ -1,0 +1,51 @@
+// Extension bench: per-tag energy (the concern of Coded Polling, paper ref
+// [19]). A battery-assisted tag spends most of its budget *listening* to
+// reader transmissions, so shrinking the polling vector from 96 bits to ~3
+// cuts tag energy by the same order as it cuts time.
+#include <iostream>
+
+#include "analysis/energy_model.hpp"
+#include "bench_util.hpp"
+#include "protocols/registry.hpp"
+
+int main() {
+  using namespace rfid;
+  const std::size_t n = std::min<std::size_t>(bench::max_n(100000), 10000);
+  bench::CsvSink csv("ablation_energy");
+  std::cout << "=== Extension: energy per inventory sweep (n = " << n
+            << ", 1-bit info) ===\n\n";
+
+  TablePrinter table({"protocol", "reader energy (mJ)",
+                      "tag listen (uJ/tag)", "tag transmit (uJ/tag)",
+                      "tag total (uJ/tag)"});
+  csv.row({"protocol", "reader_mj", "tag_listen_uj", "tag_tx_uj",
+           "tag_total_uj"});
+  for (const auto kind :
+       {protocols::ProtocolKind::kCpp, protocols::ProtocolKind::kCodedPolling,
+        protocols::ProtocolKind::kHpp, protocols::ProtocolKind::kEhpp,
+        protocols::ProtocolKind::kMic, protocols::ProtocolKind::kTpp}) {
+    const auto protocol = protocols::make_protocol(kind);
+    Xoshiro256ss rng(9);
+    const auto pop = tags::TagPopulation::uniform_random(n, rng);
+    sim::SessionConfig config;
+    config.seed = 77;
+    config.keep_records = false;
+    const auto result = protocol->run(pop, config);
+    const auto energy = analysis::estimate_energy(result.metrics, n);
+    table.add_row({std::string(protocol->name()),
+                   TablePrinter::num(energy.reader_mj, 1),
+                   TablePrinter::num(energy.tag_listen_uj, 2),
+                   TablePrinter::num(energy.tag_tx_uj, 4),
+                   TablePrinter::num(energy.tag_total_uj(), 2)});
+    csv.row({std::string(protocol->name()),
+             TablePrinter::num(energy.reader_mj, 2),
+             TablePrinter::num(energy.tag_listen_uj, 3),
+             TablePrinter::num(energy.tag_tx_uj, 5),
+             TablePrinter::num(energy.tag_total_uj(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: tag listen energy tracks total reader bits —"
+               "\nCP halves CPP, the hash family cuts another order of"
+               " magnitude,\nand TPP is the floor.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: MIC's hash-count dilemma (paper Section VI). More hash
+// functions cut the wasted-slot fraction (63.2% at k=1 down to ~13.9% at
+// k=7) but inflate the per-slot indicator field and the tag's storage; the
+// sweet spot depends on the payload length.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/math_util.hpp"
+#include "protocols/mic.hpp"
+
+int main() {
+  using namespace rfid;
+  const std::size_t trials = bench::runs(5);
+  const std::size_t n = std::min<std::size_t>(bench::max_n(100000), 20000);
+  bench::CsvSink csv("ablation_mic_hash_count");
+  bench::preamble("Ablation: MIC hash count k (waste vs indicator size)",
+                  trials);
+
+  TablePrinter table({"k", "bits/slot", "waste fraction", "time l=1 (s)",
+                      "time l=32 (s)"});
+  csv.row({"k", "bits_per_slot", "waste", "time_1bit", "time_32bit"});
+  for (unsigned k = 1; k <= 8; ++k) {
+    const protocols::Mic mic(protocols::Mic::Config{.num_hashes = k});
+    const auto p1 = bench::measure(mic, n, 1, trials, 600 + k);
+    const auto p32 = bench::measure(mic, n, 32, trials, 700 + k);
+    table.add_row({std::to_string(k), std::to_string(ceil_log2(k + 1)),
+                   bench::with_ci(p1.waste, 3),
+                   bench::with_ci(p1.time_s, 3),
+                   bench::with_ci(p32.time_s, 3)});
+    csv.row({std::to_string(k), std::to_string(ceil_log2(k + 1)),
+             TablePrinter::num(p1.waste.mean(), 4),
+             TablePrinter::num(p1.time_s.mean(), 4),
+             TablePrinter::num(p32.time_s.mean(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check (n = " << n
+            << "): waste falls monotonically with k (0.632 at k=1, ~0.139"
+               "\nat k=7, the figures MIC's authors report) while the"
+               " indicator grows;\ntime improvements flatten beyond k ~ 4."
+               " TPP avoids the dilemma entirely\n(no indicator vector, no"
+               " waste).\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation: ID-distribution sensitivity (paper Section II-B). The enhanced
+// conventional baseline (Prefix-CPP) only helps when tags share category
+// prefixes; the hash-based protocols are oblivious to the distribution.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "protocols/conventional.hpp"
+#include "protocols/tree_polling.hpp"
+
+int main() {
+  using namespace rfid;
+  const std::size_t trials = bench::runs(5);
+  const std::size_t n = std::min<std::size_t>(bench::max_n(100000), 10000);
+  bench::CsvSink csv("ablation_prefix_clustering");
+  bench::preamble("Ablation: ID clustering vs protocol choice", trials);
+
+  const protocols::Cpp cpp;
+  const protocols::PrefixCpp prefix_cpp;
+  const protocols::Tpp tpp;
+
+  const auto uniform = parallel::uniform_population(n);
+  const auto clustered = [n](Xoshiro256ss& rng) {
+    return tags::TagPopulation::prefix_clustered(n, 4, 32, rng);
+  };
+
+  TablePrinter table({"protocol", "uniform IDs time (s)",
+                      "clustered IDs time (s)", "clustered speedup"});
+  csv.row({"protocol", "uniform_s", "clustered_s", "speedup"});
+  for (const protocols::PollingProtocol* protocol :
+       std::initializer_list<const protocols::PollingProtocol*>{
+           &cpp, &prefix_cpp, &tpp}) {
+    parallel::TrialPlan plan;
+    plan.trials = trials;
+    plan.master_seed = 31337;
+    const auto u = parallel::run_trials(*protocol, uniform, plan);
+    const auto c = parallel::run_trials(*protocol, clustered, plan);
+    const double speedup = u.time_s().mean() / c.time_s().mean();
+    table.add_row({std::string(protocol->name()),
+                   bench::with_ci(u.time_s(), 3),
+                   bench::with_ci(c.time_s(), 3),
+                   TablePrinter::num(speedup, 2) + "x"});
+    csv.row({std::string(protocol->name()),
+             TablePrinter::num(u.time_s().mean(), 4),
+             TablePrinter::num(c.time_s().mean(), 4),
+             TablePrinter::num(speedup, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check (n = " << n
+            << ", 4 categories, 32-bit prefixes): Prefix-CPP gains ~1.5x"
+               "\nonly on clustered inventories; CPP and TPP are"
+               " distribution-blind, and\nTPP beats Prefix-CPP's best case"
+               " by an order of magnitude anyway.\n";
+  return 0;
+}

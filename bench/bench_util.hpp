@@ -1,0 +1,88 @@
+// Shared plumbing for the reproduction bench binaries.
+//
+// Every bench regenerates one table or figure of the paper. Conventions:
+//   * RFID_RUNS   — Monte-Carlo repetitions per data point (paper used 100;
+//                   defaults here are small enough for a laptop run).
+//   * RFID_MAX_N  — cap on the largest population, for quick CI passes.
+//   * RFID_CSV_DIR — when set, each bench additionally writes its series to
+//                   <dir>/<bench>.csv for external plotting.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "parallel/trial_runner.hpp"
+#include "protocols/protocol.hpp"
+
+namespace rfid::bench {
+
+inline std::size_t runs(std::size_t fallback) {
+  return env_u64("RFID_RUNS", fallback);
+}
+
+inline std::size_t max_n(std::size_t fallback) {
+  return env_u64("RFID_MAX_N", fallback);
+}
+
+/// Optional CSV sink keyed by bench name.
+class CsvSink final {
+ public:
+  explicit CsvSink(const std::string& bench_name) {
+    const char* dir = std::getenv("RFID_CSV_DIR");
+    if (dir != nullptr && *dir != '\0')
+      writer_.emplace(std::string(dir) + "/" + bench_name + ".csv");
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    if (writer_) writer_->write_row(cells);
+  }
+
+ private:
+  std::optional<CsvWriter> writer_;
+};
+
+/// Averaged outcome of `trials` runs of one protocol at one population size.
+struct SeriesPoint final {
+  RunningStats w;
+  RunningStats time_s;
+  RunningStats waste;
+};
+
+inline SeriesPoint measure(const protocols::PollingProtocol& protocol,
+                           std::size_t n, std::size_t info_bits,
+                           std::size_t trials, std::uint64_t master_seed) {
+  parallel::TrialPlan plan;
+  plan.trials = trials;
+  plan.master_seed = master_seed;
+  plan.session.info_bits = info_bits;
+  const auto series =
+      parallel::run_trials(protocol, parallel::uniform_population(n), plan);
+  SeriesPoint point;
+  point.w = series.vector_bits();
+  point.time_s = series.time_s();
+  point.waste = series.waste();
+  return point;
+}
+
+/// "12.34 ±0.05" formatting for a measured statistic.
+inline std::string with_ci(const RunningStats& stats, int digits = 2) {
+  std::string out = TablePrinter::num(stats.mean(), digits);
+  if (stats.count() > 1)
+    out += " \xC2\xB1" + TablePrinter::num(stats.ci95_half_width(), digits);
+  return out;
+}
+
+inline void preamble(const std::string& what, std::size_t trial_count) {
+  std::cout << "=== " << what << " ===\n"
+            << "(averages over " << trial_count
+            << " runs; set RFID_RUNS to change; paper used 100)\n\n";
+}
+
+}  // namespace rfid::bench

@@ -1,0 +1,44 @@
+// Figure 8: the singleton-index probability mu = lambda e^{-lambda} as a
+// function of the load factor lambda = n / 2^h, peaking at 1/e for
+// lambda = 1, with the balanced pair (ln2, 2 ln2) that defines TPP's
+// optimal index-length band (Eq. (13)-(14)).
+#include <iostream>
+
+#include "analysis/tpp_model.hpp"
+#include "bench_util.hpp"
+#include "common/math_util.hpp"
+
+int main() {
+  using namespace rfid;
+  bench::CsvSink csv("fig08_mu_vs_lambda");
+  std::cout << "=== Fig. 8: singleton probability mu vs load factor lambda"
+               " ===\n\n";
+
+  TablePrinter table({"lambda = n/2^h", "mu = lambda*e^-lambda", "note"});
+  csv.row({"lambda", "mu"});
+  const auto note = [](double lambda) -> std::string {
+    if (std::abs(lambda - kLn2) < 1e-9) return "lambda1 = ln2 (band start)";
+    if (std::abs(lambda - 1.0) < 1e-9) return "peak: mu = 1/e";
+    if (std::abs(lambda - 2 * kLn2) < 1e-9) return "2*lambda1 (band end)";
+    return "";
+  };
+  std::vector<double> lambdas;
+  for (double l = 0.2; l <= 4.0 + 1e-9; l += 0.2) lambdas.push_back(l);
+  lambdas.push_back(kLn2);
+  lambdas.push_back(1.0);
+  lambdas.push_back(2 * kLn2);
+  std::sort(lambdas.begin(), lambdas.end());
+  for (const double lambda : lambdas) {
+    table.add_row({TablePrinter::num(lambda, 3),
+                   TablePrinter::num(analysis::tpp_mu(lambda), 4),
+                   note(lambda)});
+    csv.row({TablePrinter::num(lambda, 4),
+             TablePrinter::num(analysis::tpp_mu(lambda), 6)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: single interior maximum at lambda = 1"
+               " (mu = 0.3679);\nmu(ln2) = mu(2 ln2) = "
+            << TablePrinter::num(analysis::tpp_mu(kLn2), 4)
+            << " — the balance that yields Eq. (14).\n";
+  return 0;
+}

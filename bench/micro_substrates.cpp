@@ -1,0 +1,117 @@
+// Microbenchmarks of the hot substrate paths (google-benchmark). These are
+// engineering benchmarks, not paper reproductions: they bound how fast the
+// simulator itself can turn over rounds.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/crc.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "protocols/polling_tree.hpp"
+#include "protocols/tree_polling.hpp"
+#include "tags/population.hpp"
+
+namespace {
+
+using namespace rfid;
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256ss rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_TagHash(benchmark::State& state) {
+  Xoshiro256ss rng(2);
+  const auto pop = tags::TagPopulation::uniform_random(1024, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tag_hash(42, pop[i & 1023].id()));
+    ++i;
+  }
+}
+BENCHMARK(BM_TagHash);
+
+void BM_Crc16OfId(benchmark::State& state) {
+  Xoshiro256ss rng(3);
+  const auto pop = tags::TagPopulation::uniform_random(1024, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc16_of_id(pop[i & 1023].id()));
+    ++i;
+  }
+}
+BENCHMARK(BM_Crc16OfId);
+
+void BM_BitVecAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    BitVec v;
+    for (int i = 0; i < 1024; ++i) v.append_bits(0x5A, 8);
+    benchmark::DoNotOptimize(v.size());
+  }
+}
+BENCHMARK(BM_BitVecAppend);
+
+void BM_PollingTreeBuild(benchmark::State& state) {
+  const auto h = static_cast<unsigned>(state.range(0));
+  Xoshiro256ss rng(4);
+  std::vector<std::uint32_t> indices;
+  const std::size_t space = std::size_t{1} << h;
+  std::vector<bool> used(space, false);
+  while (indices.size() < space / 3) {
+    const auto idx = static_cast<std::uint32_t>(rng.below(space));
+    if (!used[idx]) {
+      used[idx] = true;
+      indices.push_back(idx);
+    }
+  }
+  for (auto _ : state) {
+    protocols::PollingTree tree(indices, h);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(indices.size()));
+}
+BENCHMARK(BM_PollingTreeBuild)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SegmentsFromIndices(benchmark::State& state) {
+  const auto h = static_cast<unsigned>(state.range(0));
+  Xoshiro256ss rng(5);
+  std::vector<std::uint32_t> indices;
+  const std::size_t space = std::size_t{1} << h;
+  std::vector<bool> used(space, false);
+  while (indices.size() < space / 3) {
+    const auto idx = static_cast<std::uint32_t>(rng.below(space));
+    if (!used[idx]) {
+      used[idx] = true;
+      indices.push_back(idx);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        protocols::PollingTree::segments_from_indices(indices, h));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(indices.size()));
+}
+BENCHMARK(BM_SegmentsFromIndices)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_TppFullSession(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256ss rng(6);
+  const auto pop = tags::TagPopulation::uniform_random(n, rng);
+  sim::SessionConfig config;
+  config.keep_records = false;
+  const protocols::Tpp tpp;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(tpp.run(pop, config).metrics.polls);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TppFullSession)->Arg(1000)->Arg(10000);
+
+}  // namespace

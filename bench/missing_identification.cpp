@@ -1,0 +1,76 @@
+// Extension bench: the paper's headline application — missing-tag
+// monitoring — compared across approaches on the same scenario:
+//   * TRP          — probabilistic yes/no detection (ref [11])
+//   * BitmapID     — complete identification via ALOHA presence bitmaps
+//                    (in the spirit of ref [12])
+//   * TPP / HPP / CPP — polling-based identification (this paper)
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/polling.hpp"
+#include "protocols/presence.hpp"
+
+int main() {
+  using namespace rfid;
+  const std::size_t n = std::min<std::size_t>(bench::max_n(100000), 20000);
+  constexpr std::size_t kMissingEvery = 100;
+  bench::CsvSink csv("missing_identification");
+  std::cout << "=== Extension: missing-tag monitoring approaches (n = " << n
+            << ", 1% missing) ===\n\n";
+
+  Xoshiro256ss rng(2016);
+  const auto expected = tags::TagPopulation::uniform_random(n, rng);
+  std::unordered_set<TagId, TagIdHash> present;
+  std::size_t truly_missing = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % kMissingEvery == 0)
+      ++truly_missing;
+    else
+      present.insert(expected[i].id());
+  }
+
+  sim::SessionConfig config;
+  config.seed = 31;
+  config.present = &present;
+
+  TablePrinter table({"approach", "answer", "time (s)"});
+  csv.row({"approach", "answer", "time_s"});
+  const auto add = [&](const std::string& name, const std::string& answer,
+                       double time_s) {
+    table.add_row({name, answer, TablePrinter::num(time_s, 3)});
+    csv.row({name, answer, TablePrinter::num(time_s, 4)});
+  };
+
+  const auto trp = protocols::TrustedReaderDetection().detect(expected, config);
+  add("TRP (detect only, 99%)",
+      trp.missing_detected ? "missing detected" : "nothing detected",
+      trp.result.exec_time_s());
+
+  const auto bitmap =
+      protocols::BitmapMissingIdentification().identify(expected, config);
+  add("Bitmap identification",
+      std::to_string(bitmap.missing.size()) + " tags identified",
+      bitmap.result.exec_time_s());
+
+  const auto assisted =
+      protocols::PollingAssistedIdentification().identify(expected, config);
+  add("Polling-assisted (96-bit IDs)",
+      std::to_string(assisted.missing.size()) + " tags identified",
+      assisted.result.exec_time_s());
+
+  for (const auto kind :
+       {core::ProtocolKind::kTpp, core::ProtocolKind::kHpp,
+        core::ProtocolKind::kCpp}) {
+    const auto report = core::find_missing_tags(kind, expected, present,
+                                                config);
+    add(std::string(protocols::to_string(kind)) + " polling",
+        std::to_string(report.missing.size()) + " tags identified" +
+            (report.exact ? "" : " (MISMATCH)"),
+        report.result.exec_time_s());
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: detection is cheapest (one yes/no); among"
+               " identifiers, TPP\nbeats the ALOHA bitmap (no empty or"
+               " collision slots) and CPP by far.\n";
+  return 0;
+}

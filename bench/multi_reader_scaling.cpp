@@ -1,0 +1,48 @@
+// Extension bench: multi-reader scaling (paper Section II-A's remark that
+// the protocols extend to multiple readers once a collision-free schedule
+// exists). Makespan vs number of portals under both schedules.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/multi_reader.hpp"
+
+int main() {
+  using namespace rfid;
+  const std::size_t n = std::min<std::size_t>(bench::max_n(100000), 40000);
+  bench::CsvSink csv("multi_reader_scaling");
+  std::cout << "=== Extension: multi-reader sweep scaling (TPP, n = " << n
+            << ", 1-bit) ===\n\n";
+
+  Xoshiro256ss rng(6);
+  const auto inventory = tags::TagPopulation::uniform_random(n, rng);
+
+  TablePrinter table({"portals", "TDMA makespan (s)",
+                      "parallel makespan (s)", "parallel speedup",
+                      "covered once"});
+  csv.row({"readers", "tdma_s", "parallel_s", "speedup"});
+  double baseline = 0.0;
+  for (const std::size_t readers : {1u, 2u, 4u, 8u}) {
+    core::MultiReaderConfig config;
+    config.readers = readers;
+    config.session.seed = 99;
+    config.schedule = core::ReaderSchedule::kTimeDivision;
+    const auto tdma = core::run_multi_reader(inventory, config);
+    config.schedule = core::ReaderSchedule::kSpatialParallel;
+    const auto par = core::run_multi_reader(inventory, config);
+    if (readers == 1) baseline = par.makespan_s;
+    table.add_row({std::to_string(readers),
+                   TablePrinter::num(tdma.makespan_s),
+                   TablePrinter::num(par.makespan_s),
+                   TablePrinter::num(baseline / par.makespan_s, 2) + "x",
+                   (tdma.verified && par.verified) ? "yes" : "NO"});
+    csv.row({std::to_string(readers), TablePrinter::num(tdma.makespan_s, 3),
+             TablePrinter::num(par.makespan_s, 3),
+             TablePrinter::num(baseline / par.makespan_s, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: TDMA makespan is flat (one shared channel);"
+               "\nisolated zones scale near-linearly because the hash"
+               " partition balances\nshares and TPP's vector length is"
+               " population-independent.\n";
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Table I: execution time (seconds) to collect 1-bit information — the
+// presence bit used for missing-tag/anti-theft monitoring.
+#include "table_exec_common.hpp"
+
+int main() {
+  const rfid::bench::PaperColumn paper = {
+      {"CPP", 37.70}, {"HPP", 8.12},        {"EHPP", 6.63},
+      {"MIC", 5.15},  {"TPP", 4.39},        {"LowerBound", 3.248},
+  };
+  return rfid::bench::run_exec_table(
+      "Table I: execution time to collect 1-bit information", 1, paper);
+}

@@ -1,0 +1,9 @@
+// Table II: execution time (seconds) to collect 16-bit information. The
+// paper reports ratios at n = 10^4: TPP is 85.7% of MIC, 78.3% of EHPP,
+// 68.6% of HPP and 19.6% of CPP.
+#include "table_exec_common.hpp"
+
+int main() {
+  return rfid::bench::run_exec_table(
+      "Table II: execution time to collect 16-bit information", 16, {});
+}

@@ -1,0 +1,9 @@
+// Table III: execution time (seconds) to collect 32-bit information. The
+// paper reports multiples of the lower bound at n = 10^4: TPP 1.10x,
+// MIC 1.28x, EHPP 1.31x, HPP 1.45x, CPP 4.14x.
+#include "table_exec_common.hpp"
+
+int main() {
+  return rfid::bench::run_exec_table(
+      "Table III: execution time to collect 32-bit information", 32, {});
+}

@@ -1,0 +1,79 @@
+// Shared harness for Tables I-III: execution time to collect l-bit
+// information with CPP / HPP / EHPP / MIC / TPP, plus the C1G2 lower bound,
+// over n in {100, 1000, 10000, 100000}.
+#pragma once
+
+#include <iostream>
+#include <map>
+
+#include "analysis/timing_model.hpp"
+#include "bench_util.hpp"
+#include "protocols/registry.hpp"
+
+namespace rfid::bench {
+
+/// Paper-reported values (seconds) at n = 10^4 where the text states them;
+/// empty when the paper only gives ratios.
+using PaperColumn = std::map<std::string, double>;
+
+inline int run_exec_table(const std::string& caption, std::size_t info_bits,
+                          const PaperColumn& paper_at_1e4) {
+  const std::size_t trials = runs(5);
+  const std::size_t cap = max_n(100000);
+  CsvSink csv("table_exec_" + std::to_string(info_bits) + "bit");
+  preamble(caption, trials);
+
+  std::vector<std::size_t> ns;
+  for (const std::size_t n : {100u, 1000u, 10000u, 100000u})
+    if (n <= cap) ns.push_back(n);
+
+  const auto kinds = {protocols::ProtocolKind::kCpp,
+                      protocols::ProtocolKind::kHpp,
+                      protocols::ProtocolKind::kEhpp,
+                      protocols::ProtocolKind::kMic,
+                      protocols::ProtocolKind::kTpp};
+
+  std::vector<std::string> headers{"protocol"};
+  for (const std::size_t n : ns) headers.push_back("n=" + std::to_string(n));
+  if (!paper_at_1e4.empty()) headers.push_back("paper @ n=1e4");
+  TablePrinter table(headers);
+  csv.row(headers);
+
+  for (const auto kind : kinds) {
+    const auto protocol = protocols::make_protocol(kind);
+    std::vector<std::string> row{std::string(protocol->name())};
+    for (const std::size_t n : ns) {
+      const auto point =
+          measure(*protocol, n, info_bits, trials, 7000 + info_bits);
+      row.push_back(with_ci(point.time_s));
+    }
+    if (!paper_at_1e4.empty()) {
+      const auto it = paper_at_1e4.find(std::string(protocol->name()));
+      row.push_back(it == paper_at_1e4.end()
+                        ? std::string("-")
+                        : TablePrinter::num(it->second, 2));
+    }
+    table.add_row(row);
+    csv.row(row);
+  }
+
+  std::vector<std::string> bound_row{"LowerBound"};
+  for (const std::size_t n : ns)
+    bound_row.push_back(
+        TablePrinter::num(analysis::lower_bound_time_s(n, info_bits), 3));
+  if (!paper_at_1e4.empty()) {
+    const auto it = paper_at_1e4.find("LowerBound");
+    bound_row.push_back(it == paper_at_1e4.end()
+                            ? std::string("-")
+                            : TablePrinter::num(it->second, 3));
+  }
+  table.add_row(bound_row);
+  csv.row(bound_row);
+
+  table.print(std::cout);
+  std::cout << "\nShape check: TPP < MIC < EHPP < HPP < CPP at every n >="
+               " 1000;\nEHPP == HPP at n = 100 (single circle).\n";
+  return 0;
+}
+
+}  // namespace rfid::bench

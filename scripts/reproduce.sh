@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Turnkey reproduction: build, run the full test suite, and regenerate every
+# table/figure of the paper, leaving test_output.txt and bench_output.txt at
+# the repo root. RFID_RUNS (default 5) controls Monte-Carlo averaging; the
+# paper used 100.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo; echo "##### $(basename "$b")"; "$b"
+done 2>&1 | tee bench_output.txt
+echo
+echo "Done. See EXPERIMENTS.md for paper-vs-measured commentary."

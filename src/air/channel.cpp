@@ -1,0 +1,23 @@
+#include "air/channel.hpp"
+
+namespace rfid::air {
+
+SlotResult Channel::arbitrate(
+    std::span<const tags::Tag* const> responders) noexcept {
+  SlotResult result;
+  result.responder_count = responders.size();
+  if (responders.empty()) {
+    result.outcome = SlotOutcome::kEmpty;
+    ++stats_.empty_slots;
+  } else if (responders.size() == 1) {
+    result.outcome = SlotOutcome::kSingleton;
+    result.responder = responders.front();
+    ++stats_.singleton_slots;
+  } else {
+    result.outcome = SlotOutcome::kCollision;
+    ++stats_.collision_slots;
+  }
+  return result;
+}
+
+}  // namespace rfid::air

@@ -1,0 +1,55 @@
+// The shared wireless medium.
+//
+// RFID tags cannot hear each other, so when several decide to answer the
+// same reader transmission, their backscatter superimposes and the reader
+// decodes nothing. The Channel is where that physics is *observed*: a
+// protocol hands it the set of tags whose (tag-side) predicates fired, and
+// the channel classifies the slot as empty / singleton / collision and keeps
+// slot statistics. Protocol correctness — "polling elicits exactly one
+// reply" — is therefore measured, never assumed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tags/tag.hpp"
+
+namespace rfid::air {
+
+enum class SlotOutcome : std::uint8_t { kEmpty, kSingleton, kCollision };
+
+/// Result of one reader-initiated slot.
+struct SlotResult final {
+  SlotOutcome outcome = SlotOutcome::kEmpty;
+  const tags::Tag* responder = nullptr;  ///< set only for kSingleton
+  std::size_t responder_count = 0;
+  /// False when a singleton reply was garbled by channel noise before the
+  /// reader could decode it (set by the session's noise model).
+  bool decoded = true;
+};
+
+/// Cumulative channel-level statistics for a session.
+struct ChannelStats final {
+  std::uint64_t empty_slots = 0;
+  std::uint64_t singleton_slots = 0;
+  std::uint64_t collision_slots = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return empty_slots + singleton_slots + collision_slots;
+  }
+};
+
+class Channel final {
+ public:
+  /// Arbitrates one slot given the tags that chose to respond.
+  [[nodiscard]] SlotResult arbitrate(
+      std::span<const tags::Tag* const> responders) noexcept;
+
+  [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+
+ private:
+  ChannelStats stats_{};
+};
+
+}  // namespace rfid::air

@@ -1,0 +1,63 @@
+#include "analysis/ehpp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/hpp_model.hpp"
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace rfid::analysis {
+
+double ehpp_circle_cost(std::size_t n_sub, double l_c,
+                        double round_init_bits) {
+  RFID_EXPECTS(n_sub >= 1);
+  const HppPrediction hpp = hpp_predict(n_sub);
+  const double n = static_cast<double>(n_sub);
+  return hpp.avg_vector_bits +
+         (l_c + round_init_bits * hpp.expected_rounds) / n;
+}
+
+double ehpp_subset_lower_bound(double l_c) noexcept { return l_c * kLn2; }
+
+double ehpp_subset_upper_bound(double l_c) noexcept { return kE * l_c * kLn2; }
+
+std::size_t ehpp_optimal_subset_size(double l_c, double round_init_bits) {
+  // The cost is unimodal in practice but mildly bumpy where the index length
+  // h steps; an exhaustive scan over a generous window around the Theorem-1
+  // interval is cheap (hpp_predict is O(log n)).
+  const auto hi = static_cast<std::size_t>(
+      std::ceil(ehpp_subset_upper_bound(l_c))) * 2 + 64;
+  std::size_t best_n = 1;
+  double best_cost = ehpp_circle_cost(1, l_c, round_init_bits);
+  for (std::size_t n = 2; n <= hi; ++n) {
+    const double cost = ehpp_circle_cost(n, l_c, round_init_bits);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_n = n;
+    }
+  }
+  return best_n;
+}
+
+double ehpp_predict_w(std::size_t n, double l_c, double round_init_bits) {
+  if (n == 0) return 0.0;
+  const std::size_t star = ehpp_optimal_subset_size(l_c, round_init_bits);
+  if (n <= star) {
+    // Small populations skip the circle machinery entirely (plain HPP).
+    const HppPrediction hpp = hpp_predict(n);
+    return hpp.avg_vector_bits + round_init_bits * hpp.expected_rounds /
+                                     static_cast<double>(n);
+  }
+  const std::size_t full = n / star;
+  const std::size_t rem = n % star;
+  double total_bits =
+      static_cast<double>(full) * ehpp_circle_cost(star, l_c, round_init_bits) *
+      static_cast<double>(star);
+  if (rem > 0)
+    total_bits += ehpp_circle_cost(rem, l_c, round_init_bits) *
+                  static_cast<double>(rem);
+  return total_bits / static_cast<double>(n);
+}
+
+}  // namespace rfid::analysis

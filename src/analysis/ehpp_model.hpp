@@ -1,0 +1,36 @@
+// Closed-form model of EHPP (paper Section III-D, Theorem 1).
+//
+// EHPP splits the population into subsets of size n' queried in "circles".
+// Each circle pays the circle command (l_c bits) plus an HPP execution over
+// n' tags, so the per-tag cost is
+//     w(n') = hpp_w(n') + (l_c + init_bits * rounds(n')) / n'
+// Theorem 1 shows the optimizing n' lies in [l_c ln2, e l_c ln2] under the
+// paper's h(n')/n' = mu log2(n') approximation (mu in [1/e, 1]); we search
+// the exact recursion numerically, as the paper's Fig. 4 does.
+#pragma once
+
+#include <cstddef>
+
+namespace rfid::analysis {
+
+/// Per-tag polling cost of one circle over a subset of n_sub tags.
+/// `round_init_bits` is the per-HPP-round initialization overhead the
+/// simulation counts (32 bits in the paper's Section V setting); pass 0 for
+/// the pure Theorem-1 cost model.
+[[nodiscard]] double ehpp_circle_cost(std::size_t n_sub, double l_c,
+                                      double round_init_bits = 0.0);
+
+/// Theorem 1 bounds on the optimal subset size.
+[[nodiscard]] double ehpp_subset_lower_bound(double l_c) noexcept;
+[[nodiscard]] double ehpp_subset_upper_bound(double l_c) noexcept;
+
+/// Numerically optimal subset size n* for a given circle-command length.
+[[nodiscard]] std::size_t ehpp_optimal_subset_size(double l_c,
+                                                   double round_init_bits = 0.0);
+
+/// Predicted session-average vector length for n tags: full circles of n*
+/// plus one remainder circle (run as plain HPP when the remainder fits).
+[[nodiscard]] double ehpp_predict_w(std::size_t n, double l_c,
+                                    double round_init_bits = 0.0);
+
+}  // namespace rfid::analysis

@@ -1,0 +1,25 @@
+#include "analysis/energy_model.hpp"
+
+namespace rfid::analysis {
+
+EnergyReport estimate_energy(const sim::Metrics& metrics, std::size_t n,
+                             const phy::C1G2Timing& timing,
+                             const EnergyParams& params) {
+  EnergyReport report;
+  if (n == 0) return report;
+
+  const double reader_air_us = timing.reader_tx_us(
+      metrics.vector_bits + metrics.command_bits +
+      metrics.slots_total * timing.query_rep_bits);
+  const double tag_air_us =
+      timing.tag_tx_us(metrics.tag_bits) / static_cast<double>(n);
+
+  // W * us = uJ; mW * us = nJ.
+  report.reader_mj = params.reader_tx_w * reader_air_us * 1e-3;
+  report.tag_listen_uj =
+      params.tag_listen_mw * 1e-3 * reader_air_us * params.awake_duty;
+  report.tag_tx_uj = params.tag_tx_mw * 1e-3 * tag_air_us;
+  return report;
+}
+
+}  // namespace rfid::analysis

@@ -1,0 +1,50 @@
+// Energy accounting (the concern motivating Coded Polling — Qiao et al.,
+// "Energy-efficient polling protocols in RFID systems", paper ref [19]).
+//
+// For battery-assisted tags the dominant drains are (a) listening to reader
+// transmissions — every awake tag decodes every reader bit — and (b)
+// transmitting replies. The reader itself is mains-powered but its airtime
+// is a useful energy proxy too. The model derives all three from a run's
+// Metrics:
+//   * reader transmit energy  = P_reader * reader airtime
+//   * per-tag listen energy   ~= P_listen * (reader airtime) * duty, where
+//     duty is the average awake fraction: a tag sleeps after its own poll,
+//     so on average it hears about half the session (duty = 0.5 for
+//     protocols that put tags to sleep; 1.0 for detection protocols that
+//     never do).
+//   * per-tag transmit energy = P_tag_tx * (tag bits / n) * bit time.
+// The absolute wattages are configurable; the defaults are representative
+// of a 4 W ERP reader and a semi-passive tag front end.
+#pragma once
+
+#include <cstddef>
+
+#include "phy/c1g2.hpp"
+#include "sim/metrics.hpp"
+
+namespace rfid::analysis {
+
+struct EnergyParams final {
+  double reader_tx_w = 1.0;      ///< reader RF transmit power
+  double tag_listen_mw = 0.1;    ///< tag receive/decode power
+  double tag_tx_mw = 0.05;       ///< tag backscatter modulator power
+  double awake_duty = 0.5;       ///< average fraction of session a tag hears
+};
+
+struct EnergyReport final {
+  double reader_mj = 0.0;        ///< total reader transmit energy
+  double tag_listen_uj = 0.0;    ///< average per-tag listen energy
+  double tag_tx_uj = 0.0;        ///< average per-tag transmit energy
+
+  [[nodiscard]] double tag_total_uj() const noexcept {
+    return tag_listen_uj + tag_tx_uj;
+  }
+};
+
+/// Derives the energy report for a finished run over `n` tags.
+[[nodiscard]] EnergyReport estimate_energy(const sim::Metrics& metrics,
+                                           std::size_t n,
+                                           const phy::C1G2Timing& timing = {},
+                                           const EnergyParams& params = {});
+
+}  // namespace rfid::analysis

@@ -1,0 +1,51 @@
+#include "analysis/hpp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace rfid::analysis {
+
+double hpp_singleton_probability(double n, double f) noexcept {
+  if (n <= 0.0 || f <= 0.0) return 0.0;
+  return (n / f) * std::exp(-(n - 1.0) / f);
+}
+
+double hpp_singleton_probability_exact(std::size_t n, double f) noexcept {
+  if (n == 0 || f <= 0.0) return 0.0;
+  return (static_cast<double>(n) / f) *
+         std::pow(1.0 - 1.0 / f, static_cast<double>(n - 1));
+}
+
+HppPrediction hpp_predict(std::size_t n) {
+  HppPrediction out;
+  if (n == 0) return out;
+  double remaining = static_cast<double>(n);
+  double weighted_bits = 0.0;
+  double rounds = 0.0;
+  // Real-valued recursion; terminate once less than half a tag remains.
+  // Convergence is geometric (each round reads >= 36.8% of survivors), so
+  // the loop is short; the cap is a safety net only.
+  for (int guard = 0; remaining >= 0.5 && guard < 4096; ++guard) {
+    const unsigned h = ceil_log2(
+        static_cast<std::uint64_t>(std::ceil(remaining - 1e-9)));
+    const double f = static_cast<double>(pow2(h));
+    const double read =
+        std::min(remaining, remaining * std::exp(-(remaining - 1.0) / f));
+    RFID_ENSURES(read > 0.0);
+    weighted_bits += static_cast<double>(h) * read;
+    remaining -= read;
+    rounds += 1.0;
+  }
+  out.avg_vector_bits = weighted_bits / static_cast<double>(n);
+  out.expected_rounds = rounds;
+  return out;
+}
+
+unsigned hpp_vector_upper_bound(std::size_t n) noexcept {
+  return ceil_log2(n);
+}
+
+}  // namespace rfid::analysis

@@ -1,0 +1,38 @@
+// Closed-form model of HPP (paper Section III-C, Eqs. (1)-(5)).
+//
+// In round i with n_i unread tags and index space f_i = 2^{h_i}
+// (2^{h_i - 1} < n_i <= 2^{h_i}):
+//   p_i   = (n_i / f_i) e^{-(n_i - 1)/f_i}          singleton probability (1)
+//   n_si  = f_i p_i = n_i e^{-(n_i - 1)/f_i}        tags polled this round (2)
+//   n_{i+1} = n_i - n_si                            survivors             (3)
+//   w     = sum_i h_i n_si / n                      average vector length (4)
+//   w     <= ceil(log2 n)                           rough upper bound     (5)
+#pragma once
+
+#include <cstddef>
+
+namespace rfid::analysis {
+
+/// Eq. (1): probability that an index is picked by exactly one of n tags
+/// when each picks uniformly among f indices (Poisson approximation, as the
+/// paper uses it).
+[[nodiscard]] double hpp_singleton_probability(double n, double f) noexcept;
+
+/// The exact binomial form of Eq. (1): C(n,1) (1/f) (1 - 1/f)^{n-1}. The
+/// approximation error against this is what the model tests bound.
+[[nodiscard]] double hpp_singleton_probability_exact(std::size_t n,
+                                                     double f) noexcept;
+
+/// Prediction of a full HPP execution over n tags.
+struct HppPrediction final {
+  double avg_vector_bits = 0.0;  ///< Eq. (4)
+  double expected_rounds = 0.0;  ///< number of rounds until all tags read
+};
+
+/// Evaluates the Eq. (2)-(4) recursion with real-valued tag counts.
+[[nodiscard]] HppPrediction hpp_predict(std::size_t n);
+
+/// Eq. (5): the rough upper bound ceil(log2 n) on the average vector length.
+[[nodiscard]] unsigned hpp_vector_upper_bound(std::size_t n) noexcept;
+
+}  // namespace rfid::analysis

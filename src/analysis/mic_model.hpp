@@ -1,0 +1,24 @@
+// Analytical model of MIC's layered assignment.
+//
+// With frame size f = factor * n, layer j of the assignment sees unassigned
+// tags (density u_j per remaining slot budget) land Poisson-ly on the still
+// unmarked slots; a slot is marked when exactly one lands. Iterating
+//   assigned_j = unmarked_j * rho_j * e^{-rho_j},  rho_j = u_j / unmarked_j
+// for k layers yields the expected useful-slot fraction; the complement is
+// the wasted-slot fraction. For k = 7 and factor 1 the fixed point is
+// ~13.9% — exactly the figure MIC's authors report and that the simulation
+// reproduces (tests hold model and simulation to each other).
+#pragma once
+
+namespace rfid::analysis {
+
+/// Expected fraction of frame slots left unmarked (wasted) after k layers
+/// with frame factor `frame_factor` (f = factor * n).
+[[nodiscard]] double mic_expected_waste(unsigned num_hashes,
+                                        double frame_factor = 1.0) noexcept;
+
+/// Expected fraction of tags resolved per frame (1 - unassigned fraction).
+[[nodiscard]] double mic_expected_resolved(unsigned num_hashes,
+                                           double frame_factor = 1.0) noexcept;
+
+}  // namespace rfid::analysis

@@ -1,0 +1,21 @@
+#include "analysis/timing_model.hpp"
+
+namespace rfid::analysis {
+
+double projected_time_s(std::size_t n, double w_bits, std::size_t l_bits,
+                        const phy::C1G2Timing& timing,
+                        bool query_rep_prefix) noexcept {
+  const double prefix =
+      query_rep_prefix ? static_cast<double>(timing.query_rep_bits) : 0.0;
+  const double per_tag_us = timing.reader_us_per_bit * (prefix + w_bits) +
+                            timing.t1_us + timing.tag_tx_us(l_bits) +
+                            timing.t2_us;
+  return static_cast<double>(n) * per_tag_us * 1e-6;
+}
+
+double lower_bound_time_s(std::size_t n, std::size_t l_bits,
+                          const phy::C1G2Timing& timing) noexcept {
+  return timing.lower_bound_us(n, l_bits) * 1e-6;
+}
+
+}  // namespace rfid::analysis

@@ -1,0 +1,26 @@
+// Execution-time projections (paper Section V-A and Fig. 1).
+//
+// Given an average polling-vector length w, the paper projects total
+// inventory time as n * (37.45 (4 + w) + T1 + 25 l + T2) microseconds; the
+// conventional baseline drops the 4-bit QueryRep prefix. These helpers make
+// the projection reusable by Fig. 1 and by the table cross-checks.
+#pragma once
+
+#include <cstddef>
+
+#include "phy/c1g2.hpp"
+
+namespace rfid::analysis {
+
+/// Projected session time in seconds for n tags with average vector length
+/// w_bits and l_bits-long replies.
+[[nodiscard]] double projected_time_s(std::size_t n, double w_bits,
+                                      std::size_t l_bits,
+                                      const phy::C1G2Timing& timing = {},
+                                      bool query_rep_prefix = true) noexcept;
+
+/// The paper's protocol-independent lower bound in seconds.
+[[nodiscard]] double lower_bound_time_s(std::size_t n, std::size_t l_bits,
+                                        const phy::C1G2Timing& timing = {}) noexcept;
+
+}  // namespace rfid::analysis

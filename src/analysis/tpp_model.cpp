@@ -1,0 +1,70 @@
+#include "analysis/tpp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace rfid::analysis {
+
+double tpp_mu(double lambda) noexcept {
+  if (lambda <= 0.0) return 0.0;
+  return lambda * std::exp(-lambda);
+}
+
+unsigned tpp_optimal_index_length(std::size_t n) noexcept {
+  if (n <= 1) return 0;
+  // Find h with ln2 <= n / 2^h < 2 ln2, i.e. n/(2 ln2) < 2^h <= n/ln2.
+  unsigned h = 0;
+  double cap = 1.0;
+  const double target = static_cast<double>(n) / (2.0 * kLn2);
+  while (cap <= target) {
+    cap *= 2.0;
+    ++h;
+  }
+  return h;
+}
+
+double tpp_round_w_upper(std::size_t n_i) {
+  if (n_i == 0) return 0.0;
+  if (n_i == 1) return 0.0;  // h = 0: the lone tag is polled with no vector
+  const unsigned h = tpp_optimal_index_length(n_i);
+  const double f = static_cast<double>(pow2(h));
+  const double n = static_cast<double>(n_i);
+  // Eq. (11): expected singleton count m_i ~= n e^{-n / 2^h}.
+  const double m = n * std::exp(-n / f);
+  if (m < 1.0) return static_cast<double>(h);
+  // Eq. (8): w+ = (2^{k+1} - 2)/m + (h - k), with 2^k < m <= 2^{k+1}.
+  unsigned k = 0;
+  while (std::pow(2.0, k + 1) < m) ++k;
+  const double bifurcated = (std::pow(2.0, k + 1) - 2.0) / m;
+  const double chain = static_cast<double>(h > k ? h - k : 0);
+  return bifurcated + chain;
+}
+
+double tpp_predict_w(std::size_t n) {
+  if (n == 0) return 0.0;
+  double remaining = static_cast<double>(n);
+  double total_bits = 0.0;
+  for (int guard = 0; remaining >= 0.5 && guard < 4096; ++guard) {
+    const auto n_i = static_cast<std::size_t>(std::ceil(remaining - 1e-9));
+    const unsigned h = tpp_optimal_index_length(n_i);
+    const double f = static_cast<double>(pow2(h));
+    const double m =
+        std::min(remaining, remaining * std::exp(-remaining / f));
+    const double w_round = tpp_round_w_upper(n_i);
+    if (m <= 0.0) break;
+    total_bits += w_round * m;
+    remaining -= m;
+  }
+  return total_bits / static_cast<double>(n);
+}
+
+double tpp_universal_upper_bound() noexcept {
+  // Eq. (16): at the worst optimal load (lambda = ln2, mu = ln2/2) the
+  // round bound becomes (2^{h-1} - 2)/(mu 2^h) + 2 -> 1/(2 mu) + 2.
+  const double mu_star = tpp_mu(kLn2);
+  return 1.0 / (2.0 * mu_star) + 2.0;
+}
+
+}  // namespace rfid::analysis

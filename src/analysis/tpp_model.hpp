@@ -1,0 +1,33 @@
+// Closed-form model of TPP (paper Section IV-D, Eqs. (6)-(16)).
+//
+// In round i the reader picks the index length h_i so that the load factor
+// lambda = n_i / 2^{h_i} falls in [ln2, 2 ln2) (Eq. (14)/(15)), which
+// maximizes the singleton-index probability mu = lambda e^{-lambda}
+// (Theorem 2 territory). The broadcast cost of the round is bounded by the
+// worst-case trie size (Eq. (7)), giving the per-tag bound of Eq. (8) and
+// the universal bound w <= 2/(e mu*) ... = 3.44 bits (Eq. (16)).
+#pragma once
+
+#include <cstddef>
+
+namespace rfid::analysis {
+
+/// mu(lambda) = lambda e^{-lambda}: probability an index is a singleton when
+/// n tags spread over 2^h indices with lambda = n / 2^h (Eq. (12)).
+[[nodiscard]] double tpp_mu(double lambda) noexcept;
+
+/// Eq. (15): the integer h with ln2 <= n / 2^h < 2 ln2.
+[[nodiscard]] unsigned tpp_optimal_index_length(std::size_t n) noexcept;
+
+/// Eq. (8) with Eq. (11): upper bound on the per-tag broadcast bits of one
+/// round with n_i unread tags and the optimal index length.
+[[nodiscard]] double tpp_round_w_upper(std::size_t n_i);
+
+/// Eq. (6) evaluated with the per-round bound: session-average vector length
+/// for n tags (the quantity plotted in Fig. 9; levels off near 3.38).
+[[nodiscard]] double tpp_predict_w(std::size_t n);
+
+/// Eq. (16): the n-independent upper bound ~= 3.44 bits.
+[[nodiscard]] double tpp_universal_upper_bound() noexcept;
+
+}  // namespace rfid::analysis

@@ -1,0 +1,55 @@
+#include "common/bitvec.hpp"
+
+namespace rfid {
+
+BitVec::BitVec(const std::string& bits) {
+  for (const char c : bits) {
+    RFID_EXPECTS(c == '0' || c == '1');
+    push_back(c == '1');
+  }
+}
+
+void BitVec::push_back(bool value) {
+  const std::size_t word = size_ / 64;
+  if (word == words_.size()) words_.push_back(0);
+  if (value) words_[word] |= 1ULL << (63 - size_ % 64);
+  ++size_;
+}
+
+void BitVec::append_bits(std::uint64_t value, unsigned nbits) {
+  RFID_EXPECTS(nbits <= 64);
+  for (unsigned i = 0; i < nbits; ++i)
+    push_back((value >> (nbits - 1 - i)) & 1u);
+}
+
+void BitVec::append(const BitVec& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) push_back(other.bit(i));
+}
+
+std::uint64_t BitVec::read_bits(std::size_t pos, unsigned nbits) const {
+  RFID_EXPECTS(nbits <= 64);
+  RFID_EXPECTS(pos + nbits <= size_);
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < nbits; ++i)
+    value = (value << 1) | static_cast<std::uint64_t>(bit(pos + i));
+  return value;
+}
+
+std::string BitVec::to_string() const {
+  std::string out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+std::vector<std::uint64_t> BitVec::to_words_view() const {
+  std::vector<std::uint64_t> words = words_;
+  // Mask tail garbage beyond size_ so equality is well-defined.
+  const std::size_t tail = size_ % 64;
+  if (!words.empty() && tail != 0)
+    words.back() &= ~0ULL << (64 - tail);
+  words.resize((size_ + 63) / 64);
+  return words;
+}
+
+}  // namespace rfid

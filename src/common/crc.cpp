@@ -1,0 +1,54 @@
+#include "common/crc.hpp"
+
+#include <array>
+
+namespace rfid {
+
+namespace {
+constexpr std::array<std::uint16_t, 256> make_crc16_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i << 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint16_t>((crc & 0x8000u) ? (crc << 1) ^ 0x1021u
+                                                       : (crc << 1));
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+constexpr auto kCrc16Table = make_crc16_table();
+}  // namespace
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint16_t crc = 0xFFFF;
+  for (const std::uint8_t b : bytes) {
+    crc = static_cast<std::uint16_t>((crc << 8) ^
+                                     kCrc16Table[((crc >> 8) ^ b) & 0xFF]);
+  }
+  return crc;
+}
+
+std::uint16_t crc16_of_id(const TagId& id) noexcept {
+  std::array<std::uint8_t, 12> bytes{};
+  for (std::size_t w = 0; w < 3; ++w) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      bytes[w * 4 + b] =
+          static_cast<std::uint8_t>(id.words[w] >> (8 * (3 - b)));
+    }
+  }
+  return crc16_ccitt(bytes);
+}
+
+std::uint8_t crc5_c1g2(std::uint32_t value, unsigned nbits) noexcept {
+  std::uint8_t crc = 0b01001;
+  for (unsigned i = 0; i < nbits; ++i) {
+    const bool bit = (value >> (nbits - 1 - i)) & 1u;
+    const bool msb = (crc >> 4) & 1u;
+    crc = static_cast<std::uint8_t>((crc << 1) & 0x1F);
+    if (bit != msb) crc ^= 0x09;
+  }
+  return crc;
+}
+
+}  // namespace rfid

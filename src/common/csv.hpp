@@ -1,0 +1,24 @@
+// Minimal CSV emitter so bench outputs can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rfid {
+
+/// Writes rows to a CSV file; quoting is applied when a cell contains a
+/// comma, quote, or newline.
+class CsvWriter final {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace rfid

@@ -1,0 +1,16 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace rfid {
+
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace rfid

@@ -1,0 +1,18 @@
+// Environment-variable helpers shared by bench binaries.
+//
+// Benches honour RFID_RUNS (Monte-Carlo repetitions) and RFID_MAX_N
+// (largest population) so CI machines can trade fidelity for speed without
+// editing code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rfid {
+
+/// Reads an unsigned integer from the environment; returns `fallback` when
+/// the variable is unset or unparsable.
+[[nodiscard]] std::uint64_t env_u64(const std::string& name,
+                                    std::uint64_t fallback);
+
+}  // namespace rfid

@@ -1,0 +1,49 @@
+// Lightweight contract checks used across the library.
+//
+// RFID_EXPECTS / RFID_ENSURES throw std::logic_error on violation instead of
+// aborting: the simulator is frequently embedded in test harnesses that want
+// to observe a contract failure as a catchable error.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace rfid {
+
+/// Error thrown when a precondition or invariant of the simulator is violated.
+class ContractViolation final : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Error thrown when a protocol observes physically impossible channel
+/// behaviour (e.g. two tags answering a poll that must be exclusive).
+class ProtocolError final : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const std::source_location loc) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          loc.file_name() + ":" + std::to_string(loc.line()));
+}
+}  // namespace detail
+
+}  // namespace rfid
+
+#define RFID_EXPECTS(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::rfid::detail::contract_fail("precondition", #cond,                 \
+                                    std::source_location::current());      \
+  } while (false)
+
+#define RFID_ENSURES(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::rfid::detail::contract_fail("invariant", #cond,                    \
+                                    std::source_location::current());      \
+  } while (false)

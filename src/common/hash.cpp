@@ -1,0 +1,36 @@
+#include "common/hash.hpp"
+
+#include "common/error.hpp"
+
+namespace rfid {
+
+std::uint64_t tag_hash(std::uint64_t seed, const TagId& id) noexcept {
+  // Absorb all 96 bits: two mixing rounds keyed by the seed.
+  const auto hi = (static_cast<std::uint64_t>(id.words[0]) << 32) | id.words[1];
+  const auto lo = static_cast<std::uint64_t>(id.words[2]);
+  std::uint64_t acc = mix64(seed ^ 0x2545f4914f6cdd1dULL);
+  acc = mix64(acc ^ hi);
+  acc = mix64(acc ^ (lo * 0x9e3779b97f4a7c15ULL));
+  return acc;
+}
+
+std::uint32_t tag_index_pow2(std::uint64_t seed, const TagId& id,
+                             unsigned h) noexcept {
+  if (h == 0) return 0;
+  const std::uint64_t value = tag_hash(seed, id);
+  // Use the high bits: the low bits of multiplicative mixes are weakest.
+  return static_cast<std::uint32_t>(value >> (64 - h));
+}
+
+std::uint64_t tag_index_mod(std::uint64_t seed, const TagId& id,
+                            std::uint64_t modulus) noexcept {
+  if (modulus == 0) return 0;
+  return tag_hash(seed, id) % modulus;
+}
+
+std::uint64_t tag_hash_family(std::uint64_t seed, unsigned j,
+                              const TagId& id) noexcept {
+  return tag_hash(mix64(seed + 0x632be59bd9b4e019ULL * (j + 1)), id);
+}
+
+}  // namespace rfid

@@ -1,0 +1,44 @@
+// The seeded hash H(r, id) shared by reader and tags.
+//
+// Both sides of the air interface must compute identical indices from the
+// same (seed, id) pair — the reader to precompute singleton indices, the tag
+// to know which index it picked (Section III-B of the paper). We use a
+// murmur-style 64-bit finalizer over the full 96-bit ID so that index quality
+// does not depend on the ID distribution (uniform, sequential, or clustered).
+#pragma once
+
+#include <cstdint>
+
+#include "common/tag_id.hpp"
+
+namespace rfid {
+
+/// 64-bit avalanche mix (murmur3 fmix64 variant).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// H(r, id): the seeded hash over the full 96-bit identifier.
+[[nodiscard]] std::uint64_t tag_hash(std::uint64_t seed, const TagId& id) noexcept;
+
+/// H(r, id) mod 2^h — the h-bit index a tag picks in HPP/TPP rounds.
+/// h == 0 yields index 0 (a single remaining tag needs no vector bits).
+[[nodiscard]] std::uint32_t tag_index_pow2(std::uint64_t seed, const TagId& id,
+                                           unsigned h) noexcept;
+
+/// H(r, id) mod modulus — used by EHPP's probabilistic subset selection.
+[[nodiscard]] std::uint64_t tag_index_mod(std::uint64_t seed, const TagId& id,
+                                          std::uint64_t modulus) noexcept;
+
+/// The j-th hash of a family (j in [0, k)), as required by MIC's k hash
+/// functions. Derived from tag_hash with a per-function tweak so tags only
+/// need one hardware hash plus a counter — mirroring MIC's storage argument.
+[[nodiscard]] std::uint64_t tag_hash_family(std::uint64_t seed, unsigned j,
+                                            const TagId& id) noexcept;
+
+}  // namespace rfid

@@ -1,0 +1,13 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfid {
+
+double relative_difference(double a, double b) noexcept {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-12});
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace rfid

@@ -1,0 +1,49 @@
+// Small numeric helpers shared by the protocols and the analytical models.
+#pragma once
+
+#include <cstdint>
+
+namespace rfid {
+
+/// Smallest h with 2^h >= n; by the paper's convention the HPP index length
+/// for n' unread tags is the h satisfying 2^{h-1} < n' <= 2^h, which is
+/// exactly ceil_log2(n'). ceil_log2(0) == 0 and ceil_log2(1) == 0.
+[[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t n) noexcept {
+  if (n <= 1) return 0;
+  unsigned h = 0;
+  std::uint64_t cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++h;
+  }
+  return h;
+}
+
+/// Largest h with 2^h <= n (floor of log2). floor_log2(0) == 0 by convention.
+[[nodiscard]] constexpr unsigned floor_log2(std::uint64_t n) noexcept {
+  unsigned h = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++h;
+  }
+  return h;
+}
+
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Integer power of two as u64; precondition h < 64.
+[[nodiscard]] constexpr std::uint64_t pow2(unsigned h) noexcept {
+  return 1ULL << h;
+}
+
+/// Natural-log constants used throughout the paper's analysis.
+inline constexpr double kLn2 = 0.6931471805599453;
+inline constexpr double kE = 2.718281828459045;
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); convenient for approximate
+/// comparisons of analytical vs simulated quantities in tests.
+[[nodiscard]] double relative_difference(double a, double b) noexcept;
+
+}  // namespace rfid

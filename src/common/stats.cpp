@@ -1,0 +1,74 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfid {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_half_width() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double chi_square_uniform(std::span<const std::size_t> observed) {
+  if (observed.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const std::size_t c : observed) total += c;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  if (expected <= 0.0) return 0.0;
+  double chi2 = 0.0;
+  for (const std::size_t c : observed) {
+    const double diff = static_cast<double>(c) - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+double chi_square_critical_99(std::size_t dof) {
+  // Wilson–Hilferty: chi2_p(k) ~ k * (1 - 2/(9k) + z_p * sqrt(2/(9k)))^3.
+  const double k = static_cast<double>(dof);
+  constexpr double z99 = 2.3263478740408408;
+  const double term = 1.0 - 2.0 / (9.0 * k) + z99 * std::sqrt(2.0 / (9.0 * k));
+  return k * term * term * term;
+}
+
+}  // namespace rfid

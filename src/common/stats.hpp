@@ -1,0 +1,51 @@
+// Streaming statistics for Monte-Carlo trials.
+//
+// Every table and figure in the paper is the average of repeated simulation
+// runs; RunningStats accumulates mean/variance in one pass (Welford) and the
+// benches report 95% confidence half-widths alongside the paper's numbers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rfid {
+
+/// One-pass mean/variance accumulator (Welford's algorithm).
+class RunningStats final {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel trial reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson chi-square statistic for observed counts vs a uniform expectation.
+/// Used by the hash-quality tests.
+[[nodiscard]] double chi_square_uniform(std::span<const std::size_t> observed);
+
+/// 99% critical value of the chi-square distribution with `dof` degrees of
+/// freedom (Wilson–Hilferty approximation; adequate for dof >= 10).
+[[nodiscard]] double chi_square_critical_99(std::size_t dof);
+
+}  // namespace rfid

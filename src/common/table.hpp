@@ -1,0 +1,40 @@
+// ASCII table rendering for the bench harnesses.
+//
+// Every bench binary prints rows in the same layout the paper's tables and
+// figure series use, so a human can diff our output against the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rfid {
+
+/// Column-aligned ASCII table with an optional title and rule lines.
+class TablePrinter final {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table; called by operator<< too.
+  void print(std::ostream& os) const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TablePrinter& t) {
+    t.print(os);
+    return os;
+  }
+
+  /// Formats a double with `digits` fraction digits (fixed notation).
+  [[nodiscard]] static std::string num(double value, int digits = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rfid

@@ -1,0 +1,79 @@
+#include "core/polling.hpp"
+
+#include <algorithm>
+
+#include "analysis/timing_model.hpp"
+#include "common/error.hpp"
+
+namespace rfid::core {
+
+CollectionReport collect_info(ProtocolKind kind,
+                              const tags::TagPopulation& population,
+                              sim::SessionConfig config) {
+  config.keep_records = true;
+  const auto protocol = protocols::make_protocol(kind);
+  CollectionReport report;
+  report.result = protocol->run(population, config);
+  report.verification =
+      sim::verify_complete_collection(population, report.result);
+  return report;
+}
+
+MissingTagReport find_missing_tags(
+    ProtocolKind kind, const tags::TagPopulation& expected,
+    const std::unordered_set<TagId, TagIdHash>& present,
+    sim::SessionConfig config) {
+  RFID_EXPECTS(kind != ProtocolKind::kDfsa);
+  config.keep_records = true;
+  config.info_bits = std::max<std::size_t>(config.info_bits, 1);
+  config.present = &present;
+
+  const auto protocol = protocols::make_protocol(kind);
+  MissingTagReport report;
+  report.result = protocol->run(expected, config);
+  report.missing = report.result.missing_ids;
+  std::sort(report.missing.begin(), report.missing.end());
+
+  // Ground truth: exactly the expected tags absent from `present`.
+  std::vector<TagId> truth;
+  for (const tags::Tag& tag : expected)
+    if (!present.contains(tag.id())) truth.push_back(tag.id());
+  std::sort(truth.begin(), truth.end());
+  report.exact = truth == report.missing;
+  return report;
+}
+
+std::vector<ComparisonRow> compare_protocols(
+    std::span<const ProtocolKind> kinds, std::size_t n, std::size_t info_bits,
+    std::size_t trials, std::uint64_t master_seed,
+    parallel::ThreadPool* pool) {
+  std::vector<ComparisonRow> rows;
+  rows.reserve(kinds.size() + 1);
+
+  parallel::TrialPlan plan;
+  plan.trials = trials;
+  plan.master_seed = master_seed;
+  plan.session.info_bits = info_bits;
+  const auto factory = parallel::uniform_population(n);
+
+  for (const ProtocolKind kind : kinds) {
+    const auto protocol = protocols::make_protocol(kind);
+    const parallel::TrialSeries series =
+        parallel::run_trials(*protocol, factory, plan, pool);
+    ComparisonRow row;
+    row.protocol = std::string(protocols::to_string(kind));
+    row.avg_vector_bits = series.vector_bits().mean();
+    row.avg_time_s = series.time_s().mean();
+    row.ci95_time_s = series.time_s().ci95_half_width();
+    rows.push_back(std::move(row));
+  }
+
+  ComparisonRow bound;
+  bound.protocol = "LowerBound";
+  bound.avg_vector_bits = 0.0;
+  bound.avg_time_s = analysis::lower_bound_time_s(n, info_bits);
+  rows.push_back(std::move(bound));
+  return rows;
+}
+
+}  // namespace rfid::core

@@ -1,0 +1,70 @@
+// Public facade of the fast-RFID-polling library.
+//
+// Downstream users interact with three verbs:
+//   * collect_info       — gather m bits from every tag (Section II-C's fast
+//                          polling problem), verified end to end;
+//   * find_missing_tags  — the 1-bit anti-theft use case: poll the expected
+//                          inventory, report which tags never answer;
+//   * compare_protocols  — run several protocols on identical workloads and
+//                          return their averaged metrics side by side.
+// Everything deeper (custom protocol knobs, raw sessions, analysis models)
+// remains available through the underlying modules.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "parallel/trial_runner.hpp"
+#include "protocols/registry.hpp"
+#include "sim/session.hpp"
+#include "sim/verify.hpp"
+#include "tags/population.hpp"
+
+namespace rfid::core {
+
+using protocols::ProtocolKind;
+
+/// Result of collect_info: the raw run plus its end-to-end verification.
+struct CollectionReport final {
+  sim::RunResult result;
+  sim::VerifyReport verification;
+};
+
+/// Collects `config.info_bits` bits from every tag in `population` using the
+/// given protocol (paper defaults), and verifies completeness.
+[[nodiscard]] CollectionReport collect_info(
+    ProtocolKind kind, const tags::TagPopulation& population,
+    sim::SessionConfig config = {});
+
+/// Result of find_missing_tags.
+struct MissingTagReport final {
+  std::vector<TagId> missing;  ///< expected tags that never replied
+  sim::RunResult result;
+  bool exact = false;  ///< missing set matches ground truth exactly
+};
+
+/// Interrogates the expected inventory with 1-bit presence polls; tags not
+/// in `present` are reported missing. `kind` must be a polling protocol
+/// (DFSA cannot detect absences).
+[[nodiscard]] MissingTagReport find_missing_tags(
+    ProtocolKind kind, const tags::TagPopulation& expected,
+    const std::unordered_set<TagId, TagIdHash>& present,
+    sim::SessionConfig config = {});
+
+/// One protocol's averaged metrics in a comparison.
+struct ComparisonRow final {
+  std::string protocol;
+  double avg_vector_bits = 0.0;
+  double avg_time_s = 0.0;
+  double ci95_time_s = 0.0;
+};
+
+/// Runs every requested protocol over `trials` fresh n-tag populations and
+/// returns averaged metrics, plus the paper's lower bound as the last row.
+[[nodiscard]] std::vector<ComparisonRow> compare_protocols(
+    std::span<const ProtocolKind> kinds, std::size_t n, std::size_t info_bits,
+    std::size_t trials = 10, std::uint64_t master_seed = 42,
+    parallel::ThreadPool* pool = nullptr);
+
+}  // namespace rfid::core

@@ -1,0 +1,26 @@
+// Closed-form execution-time projections per protocol.
+//
+// Combines the vector-length models (Eqs. (4), Theorem 1, Eq. (6)) with the
+// Section V-A timing formula into a single "how long will this inventory
+// take" estimate, without running the simulator. The simulation tests hold
+// the simulator to these projections within a few percent — each validates
+// the other.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "phy/c1g2.hpp"
+#include "protocols/registry.hpp"
+
+namespace rfid::core {
+
+/// Projected inventory time in seconds for collecting l_bits from n tags.
+/// Returns nullopt for protocols without a closed-form model here (MIC,
+/// SIC, DFSA, PrefixCPP — their costs depend on slot-level dynamics or the
+/// ID distribution).
+[[nodiscard]] std::optional<double> projected_protocol_time_s(
+    protocols::ProtocolKind kind, std::size_t n, std::size_t l_bits,
+    const phy::C1G2Timing& timing = {});
+
+}  // namespace rfid::core

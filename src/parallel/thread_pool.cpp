@@ -1,0 +1,56 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rfid::parallel {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& worker : workers_) worker.request_stop();
+  work_available_.notify_all();
+  // std::jthread joins in its destructor.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop(const std::stop_token& stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left to do
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      const std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+}  // namespace rfid::parallel

@@ -1,0 +1,55 @@
+// A small fixed-size thread pool for Monte-Carlo trial fan-out.
+//
+// Design notes (following the C++ Core Guidelines concurrency rules):
+//   * RAII lifetime — the destructor joins all workers (std::jthread);
+//   * no detached threads, no shared mutable state outside the queue;
+//   * tasks are std::move_only_function-style thunks; results travel via
+//     caller-owned slots, keeping the pool itself allocation-light.
+// Determinism of the simulation is unaffected by scheduling because every
+// trial owns its seed-derived RNG stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfid::parallel {
+
+class ThreadPool final {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Joins all workers; outstanding tasks complete first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task. Tasks must not throw; wrap fallible work and capture
+  /// errors into caller-owned slots.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all running tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop(const std::stop_token& stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace rfid::parallel

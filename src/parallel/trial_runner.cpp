@@ -1,0 +1,90 @@
+#include "parallel/trial_runner.hpp"
+
+#include <exception>
+
+#include "common/rng.hpp"
+
+namespace rfid::parallel {
+
+namespace {
+
+RunningStats collect(const std::vector<TrialOutcome>& outcomes,
+                     double TrialOutcome::* field) {
+  RunningStats stats;
+  for (const TrialOutcome& outcome : outcomes) stats.add(outcome.*field);
+  return stats;
+}
+
+TrialOutcome run_one(const protocols::PollingProtocol& protocol,
+                     const PopulationFactory& make_population,
+                     const TrialPlan& plan, std::size_t trial) {
+  // Two independent streams per trial: one for the population's IDs, one for
+  // the protocol's seeds. Both derive only from (master_seed, trial), which
+  // is what makes the series order- and scheduling-independent.
+  Xoshiro256ss pop_rng(derive_seed(plan.master_seed, 2 * trial));
+  const tags::TagPopulation population = make_population(pop_rng);
+
+  sim::SessionConfig session = plan.session;
+  session.seed = derive_seed(plan.master_seed, 2 * trial + 1);
+  session.keep_records = false;  // trials aggregate metrics only
+
+  const sim::RunResult result = protocol.run(population, session);
+  TrialOutcome outcome;
+  outcome.avg_vector_bits = result.avg_vector_bits();
+  outcome.exec_time_s = result.exec_time_s();
+  outcome.rounds = static_cast<double>(result.metrics.rounds);
+  outcome.waste_fraction = result.metrics.waste_fraction();
+  outcome.polls = static_cast<double>(result.metrics.polls);
+  return outcome;
+}
+
+}  // namespace
+
+RunningStats TrialSeries::vector_bits() const {
+  return collect(outcomes, &TrialOutcome::avg_vector_bits);
+}
+RunningStats TrialSeries::time_s() const {
+  return collect(outcomes, &TrialOutcome::exec_time_s);
+}
+RunningStats TrialSeries::rounds() const {
+  return collect(outcomes, &TrialOutcome::rounds);
+}
+RunningStats TrialSeries::waste() const {
+  return collect(outcomes, &TrialOutcome::waste_fraction);
+}
+
+TrialSeries run_trials(const protocols::PollingProtocol& protocol,
+                       const PopulationFactory& make_population,
+                       const TrialPlan& plan, ThreadPool* pool) {
+  TrialSeries series;
+  series.outcomes.resize(plan.trials);
+
+  if (pool == nullptr) {
+    for (std::size_t t = 0; t < plan.trials; ++t)
+      series.outcomes[t] = run_one(protocol, make_population, plan, t);
+    return series;
+  }
+
+  std::vector<std::exception_ptr> errors(plan.trials);
+  for (std::size_t t = 0; t < plan.trials; ++t) {
+    pool->submit([&, t] {
+      try {
+        series.outcomes[t] = run_one(protocol, make_population, plan, t);
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  pool->wait_idle();
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+  return series;
+}
+
+PopulationFactory uniform_population(std::size_t n) {
+  return [n](Xoshiro256ss& rng) {
+    return tags::TagPopulation::uniform_random(n, rng);
+  };
+}
+
+}  // namespace rfid::parallel

@@ -1,0 +1,6 @@
+#include "phy/c1g2.hpp"
+
+// Header-only arithmetic; this translation unit exists so the library has a
+// stable object to link and a place for future rate tables (Miller encodings,
+// Tari sweeps) without touching the public header.
+namespace rfid::phy {}

@@ -1,0 +1,111 @@
+#include "phy/encoding.hpp"
+
+#include "common/error.hpp"
+
+namespace rfid::phy {
+
+std::vector<bool> fm0_encode(const BitVec& bits, bool start_high) {
+  std::vector<bool> levels;
+  levels.reserve(bits.size() * 2);
+  bool level = start_high;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // Phase inversion entering every symbol.
+    level = !level;
+    levels.push_back(level);
+    // A data-0 inverts again mid-symbol; a data-1 holds.
+    if (!bits.bit(i)) level = !level;
+    levels.push_back(level);
+  }
+  return levels;
+}
+
+std::optional<BitVec> fm0_decode(const std::vector<bool>& levels) {
+  if (levels.size() % 2 != 0) return std::nullopt;
+  BitVec bits;
+  // Reconstruct the level entering the first symbol from the FM0 rule:
+  // the first half-symbol is the inversion of the idle level, which we do
+  // not know — but the boundary-inversion rule lets us validate from the
+  // second symbol on and infer each bit from the intra-symbol transition.
+  for (std::size_t symbol = 0; symbol * 2 < levels.size(); ++symbol) {
+    const bool first = levels[symbol * 2];
+    const bool second = levels[symbol * 2 + 1];
+    if (symbol > 0) {
+      // FM0 requires an inversion at every symbol boundary.
+      const bool prev_last = levels[symbol * 2 - 1];
+      if (first == prev_last) return std::nullopt;
+    }
+    bits.push_back(first == second);  // no mid-symbol inversion => data-1
+  }
+  return bits;
+}
+
+std::vector<bool> miller_encode(const BitVec& bits, unsigned m,
+                                bool start_high) {
+  RFID_EXPECTS(m == 2 || m == 4 || m == 8);
+  // Miller baseband at half-symbol resolution, then XOR with an m-cycle
+  // subcarrier (one subcarrier cycle = 2 chips).
+  std::vector<bool> baseband;
+  baseband.reserve(bits.size() * 2);
+  bool phase = start_high;
+  bool prev_bit = true;  // sentinel: no boundary inversion before first bit
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool bit = bits.bit(i);
+    if (!bit && !prev_bit && i > 0) phase = !phase;  // 0 after 0: boundary flip
+    baseband.push_back(phase);
+    if (bit) phase = !phase;  // data-1: mid-symbol inversion
+    baseband.push_back(phase);
+    prev_bit = bit;
+  }
+
+  std::vector<bool> levels;
+  levels.reserve(bits.size() * 2 * m);
+  for (std::size_t half = 0; half < baseband.size(); ++half) {
+    // Each half-symbol carries m/2 subcarrier cycles = m chips.
+    for (unsigned chip = 0; chip < m; ++chip)
+      levels.push_back(baseband[half] ^ (chip % 2 == 1));
+  }
+  return levels;
+}
+
+std::optional<BitVec> miller_decode(const std::vector<bool>& levels,
+                                    unsigned m) {
+  if (m != 2 && m != 4 && m != 8) return std::nullopt;
+  if (levels.size() % (2 * m) != 0) return std::nullopt;
+  // Recover the baseband phase of each half-symbol by undoing the
+  // subcarrier, validating chip consistency as we go.
+  std::vector<bool> baseband;
+  baseband.reserve(levels.size() / m);
+  for (std::size_t half = 0; half * m < levels.size(); ++half) {
+    const bool phase = levels[half * m];  // chip 0 carries the raw phase
+    for (unsigned chip = 0; chip < m; ++chip) {
+      const bool expected = phase ^ (chip % 2 == 1);
+      if (levels[half * m + chip] != expected) return std::nullopt;
+    }
+    baseband.push_back(phase);
+  }
+  // A data-1 inverts mid-symbol; a data-0 holds.
+  BitVec bits;
+  for (std::size_t symbol = 0; symbol * 2 < baseband.size(); ++symbol)
+    bits.push_back(baseband[symbol * 2] != baseband[symbol * 2 + 1]);
+  return bits;
+}
+
+double pie_avg_us_per_bit(double tari_us, double data1_taris) noexcept {
+  return tari_us * (1.0 + data1_taris) / 2.0;
+}
+
+double backscatter_us_per_bit(double blf_khz, unsigned miller_m) noexcept {
+  if (blf_khz <= 0.0) return 0.0;
+  const double cycle_us = 1000.0 / blf_khz;
+  return cycle_us * static_cast<double>(miller_m == 0 ? 1 : miller_m);
+}
+
+C1G2Timing link_timing(double tari_us, double blf_khz, unsigned miller_m,
+                       double data1_taris) noexcept {
+  C1G2Timing timing;
+  timing.reader_us_per_bit = pie_avg_us_per_bit(tari_us, data1_taris);
+  timing.tag_us_per_bit = backscatter_us_per_bit(blf_khz, miller_m);
+  return timing;
+}
+
+}  // namespace rfid::phy

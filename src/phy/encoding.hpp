@@ -1,0 +1,72 @@
+// C1G2 bit encodings — where the timing model's µs/bit figures come from.
+//
+// Forward link (reader → tag) uses pulse-interval encoding (PIE): a data-0
+// lasts one Tari, a data-1 between 1.5 and 2 Tari, so the average bit time
+// depends on Tari and the data-1 length. The paper's 26.7 kbps lower bound
+// corresponds to Tari = 25 µs with 2-Tari data-1 symbols.
+//
+// Return link (tag → reader) uses FM0 or Miller-modulated subcarrier
+// baseband: FM0 signals one symbol per backscatter-link-frequency (BLF)
+// cycle (40 kbps at BLF 40 kHz — the paper's 25 µs/bit), Miller-m divides
+// the rate by m. This module implements the actual level sequences (used
+// by the encoding tests and available to PHY-level extensions) and the
+// rate arithmetic that grounds phy::C1G2Timing.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "phy/c1g2.hpp"
+
+namespace rfid::phy {
+
+// --- FM0 (bi-phase space) ---------------------------------------------------
+
+/// Encodes bits as FM0 half-symbol levels (2 per bit). The phase always
+/// inverts at a symbol boundary; a data-0 additionally inverts mid-symbol.
+/// `start_high` sets the level entering the first symbol.
+[[nodiscard]] std::vector<bool> fm0_encode(const BitVec& bits,
+                                           bool start_high = true);
+
+/// Decodes an FM0 level sequence (as produced by fm0_encode); returns
+/// nullopt when the sequence violates FM0 (odd length or missing boundary
+/// inversion).
+[[nodiscard]] std::optional<BitVec> fm0_decode(
+    const std::vector<bool>& levels);
+
+// --- Miller-modulated subcarrier ---------------------------------------------
+
+/// Encodes bits as Miller baseband multiplied by an m-cycle-per-symbol
+/// square subcarrier (m in {2, 4, 8}); 2*m levels per bit. Baseband rule:
+/// data-1 inverts mid-symbol; consecutive data-0s invert at the boundary.
+[[nodiscard]] std::vector<bool> miller_encode(const BitVec& bits, unsigned m,
+                                              bool start_high = true);
+
+/// Decodes a Miller-m level sequence produced by miller_encode; returns
+/// nullopt when the length is not a multiple of 2*m or the subcarrier is
+/// inconsistent within a half-symbol.
+[[nodiscard]] std::optional<BitVec> miller_decode(
+    const std::vector<bool>& levels, unsigned m);
+
+// --- Rate arithmetic ----------------------------------------------------------
+
+/// Average PIE forward-link bit time for a balanced bit mix:
+/// (Tari + data1_taris * Tari) / 2.
+[[nodiscard]] double pie_avg_us_per_bit(double tari_us,
+                                        double data1_taris = 2.0) noexcept;
+
+/// Return-link bit time: FM0 signals one bit per BLF cycle; Miller-m one
+/// bit per m cycles.
+[[nodiscard]] double backscatter_us_per_bit(double blf_khz,
+                                            unsigned miller_m = 1) noexcept;
+
+/// Builds a timing model from link parameters. The paper's setting is
+/// recovered by link_timing(25.0, 40.0): ~37.5 µs/bit down (26.7 kbps) and
+/// 25 µs/bit up (40 kbps FM0).
+[[nodiscard]] C1G2Timing link_timing(double tari_us, double blf_khz,
+                                     unsigned miller_m = 1,
+                                     double data1_taris = 2.0) noexcept;
+
+}  // namespace rfid::phy

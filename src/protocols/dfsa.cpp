@@ -1,0 +1,90 @@
+#include "protocols/dfsa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "protocols/hash_polling.hpp"
+
+namespace rfid::protocols {
+
+sim::RunResult Dfsa::run(const tags::TagPopulation& population,
+                         const sim::SessionConfig& config) const {
+  RFID_EXPECTS(config_.frame_factor > 0.0);
+  // DFSA has no per-tag polls, so it cannot detect absent tags; a missing-tag
+  // scenario would simply never terminate.
+  RFID_EXPECTS(config.present == nullptr);
+  sim::Session session(population, config);
+
+  std::vector<HashDevice> active = make_devices(session);
+
+  // Backlog estimate for the unknown-population mode (Schoute: expected
+  // 2.39 tags per collision slot at the ALOHA optimum).
+  double estimated_backlog = static_cast<double>(config_.initial_frame);
+
+  std::vector<std::vector<const tags::Tag*>> responders;
+  while (!active.empty()) {
+    session.begin_round();
+    session.check_round_budget();
+
+    const double sizing_base =
+        config_.known_population ? static_cast<double>(active.size())
+                                 : estimated_backlog;
+    // Frames below two slots cannot separate colliding tags; floor at two
+    // whenever more than one tag remains so small frame factors stay live.
+    const long long floor_slots = active.size() > 1 ? 2 : 1;
+    const auto f = static_cast<std::size_t>(std::max<long long>(
+        floor_slots,
+        std::llround(config_.frame_factor * sizing_base)));
+    const std::uint64_t seed = session.rng()();
+    session.broadcast_command_bits(config_.frame_command_bits);
+
+    // Tag side: each unread tag picks its slot from the broadcast seed.
+    responders.assign(f, {});
+    std::vector<std::vector<std::size_t>> members(f);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      HashDevice& device = active[i];
+      device.index = static_cast<std::uint32_t>(
+          tag_hash(seed, device.tag->id()) % f);
+      responders[device.index].push_back(device.tag);
+      members[device.index].push_back(i);
+    }
+
+    // Walk the frame; the channel classifies each slot. Only decoded
+    // singletons resolve a tag — garbled replies stay for the next frame.
+    std::vector<char> done(active.size(), 0);
+    std::size_t collision_slots = 0;
+    for (std::size_t s = 0; s < f; ++s) {
+      const air::SlotResult slot = session.frame_slot_aloha(responders[s]);
+      collision_slots += slot.outcome == air::SlotOutcome::kCollision;
+      if (slot.outcome != air::SlotOutcome::kSingleton || !slot.decoded)
+        continue;
+      // Identify which member was read: with the capture effect a
+      // collision slot can decode as any one of its occupants.
+      for (const std::size_t i : members[s]) {
+        if (active[i].tag == slot.responder) {
+          done[i] = 1;
+          break;
+        }
+      }
+    }
+
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (done[i]) continue;
+      if (write != i) active[write] = active[i];
+      ++write;
+    }
+    active.resize(write);
+
+    // Schoute backlog estimate for the next frame; floor keeps progress
+    // when a small frame happens to end with zero observed collisions.
+    estimated_backlog =
+        std::max(2.0, 2.39 * static_cast<double>(collision_slots));
+  }
+  return session.finish(std::string(name()));
+}
+
+}  // namespace rfid::protocols

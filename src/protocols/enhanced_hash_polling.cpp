@@ -1,0 +1,75 @@
+#include "protocols/enhanced_hash_polling.hpp"
+
+#include <vector>
+
+#include "analysis/ehpp_model.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "protocols/hash_polling.hpp"
+
+namespace rfid::protocols {
+
+std::size_t Ehpp::effective_subset_size() const {
+  if (config_.subset_size != 0) return config_.subset_size;
+  return analysis::ehpp_optimal_subset_size(
+      static_cast<double>(config_.circle_command_bits),
+      static_cast<double>(config_.round_init_bits));
+}
+
+sim::RunResult Ehpp::run(const tags::TagPopulation& population,
+                         const sim::SessionConfig& config) const {
+  sim::Session session(population, config);
+  const std::size_t subset_target = effective_subset_size();
+  RFID_ENSURES(subset_target >= 1);
+
+  const HppRoundConfig round_config{config_.round_init_bits,
+                                    /*count_init_in_w=*/true};
+
+  std::vector<HashDevice> active = make_devices(session);
+
+  std::vector<HashDevice> joined;
+  while (!active.empty()) {
+    session.check_round_budget();
+    if (active.size() <= subset_target) {
+      // Small remainders skip the circle machinery: plain HPP (this is why
+      // EHPP matches HPP exactly at n = 100 in the paper's tables).
+      run_hpp_rounds(session, active, round_config);
+      break;
+    }
+
+    // Circle command <f, F, r>: counted into w per the paper's accounting.
+    // The parameters travel as a concrete 128-bit frame; tags act on the
+    // decoded values.
+    session.begin_circle();
+    session.broadcast_vector_bits(config_.circle_command_bits);
+    RFID_EXPECTS(config_.selection_modulus < (1u << 30));
+    const phy::CircleCommand frame{
+        static_cast<std::uint32_t>(config_.selection_modulus * subset_target /
+                                   active.size()),  // f = F * n* / n_rem
+        static_cast<std::uint32_t>(config_.selection_modulus),
+        session.rng()() & 0xFFFFFFFFFFFFull};
+    const auto decoded = phy::CircleCommand::decode(frame.encode());
+    RFID_ENSURES(decoded && decoded->threshold == frame.threshold &&
+                 decoded->modulus == frame.modulus &&
+                 decoded->seed == frame.seed);
+    const std::uint64_t circle_seed = decoded->seed;
+    const std::uint64_t modulus = decoded->modulus;
+    const std::uint64_t threshold = decoded->threshold;
+
+    // Tag side: each awake tag decides membership from the decoded seed.
+    joined.clear();
+    std::erase_if(active, [&](const HashDevice& device) {
+      const bool joins =
+          tag_index_mod(circle_seed, device.tag->id(), modulus) < threshold;
+      if (joins) joined.push_back(device);
+      return joins;
+    });
+
+    // Query the subset to exhaustion; unselected tags wait for later
+    // circles. An unlucky empty subset just costs the circle command.
+    run_hpp_rounds(session, joined, round_config);
+  }
+  return session.finish(std::string(name()));
+}
+
+}  // namespace rfid::protocols

@@ -1,0 +1,88 @@
+#include "protocols/hash_polling.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/math_util.hpp"
+
+namespace rfid::protocols {
+
+std::vector<HashDevice> make_devices(const sim::Session& session) {
+  std::vector<HashDevice> devices;
+  devices.reserve(session.population().size());
+  for (const tags::Tag& tag : session.population())
+    devices.push_back(HashDevice{&tag, 0, session.is_present(tag.id())});
+  return devices;
+}
+
+void run_hpp_rounds(sim::Session& session, std::vector<HashDevice>& active,
+                    const HppRoundConfig& config) {
+  std::vector<std::uint32_t> counts;
+  std::vector<std::size_t> occupant;
+  while (!active.empty()) {
+    session.begin_round();
+    session.check_round_budget();
+
+    const unsigned h = ceil_log2(active.size());
+    // The round command travels as a concrete 32-bit QueryRound frame; tags
+    // act on the *decoded* parameters, so reader and tags can only agree
+    // through the air interface.
+    const phy::QueryRoundCommand init{
+        h, static_cast<std::uint32_t>(session.rng()() & 0x3FFFFu)};
+    const auto decoded = phy::QueryRoundCommand::decode(init.encode());
+    RFID_ENSURES(decoded && decoded->index_length == h &&
+                 decoded->seed == init.seed);
+    if (config.count_init_in_w)
+      session.broadcast_vector_bits(config.round_init_bits);
+    else
+      session.broadcast_command_bits(config.round_init_bits);
+
+    // Tag side: every awake tag picks its index from the decoded seed.
+    const std::uint64_t seed = decoded->seed;
+    for (HashDevice& device : active)
+      device.index = tag_index_pow2(seed, device.tag->id(), h);
+
+    // Reader side: bucket the picked indices to find singletons.
+    const std::size_t f = static_cast<std::size_t>(pow2(h));
+    counts.assign(f, 0);
+    occupant.assign(f, 0);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      ++counts[active[i].index];
+      occupant[active[i].index] = i;
+    }
+
+    // Broadcast singleton indices in ascending order; each poll must elicit
+    // exactly one reply (the channel enforces it). A device is done when it
+    // was read or detected missing; a noise-garbled reply leaves it awake.
+    std::vector<char> done(active.size(), 0);
+    for (std::size_t idx = 0; idx < f; ++idx) {
+      if (counts[idx] != 1) continue;
+      const std::size_t i = occupant[idx];
+      const HashDevice& device = active[i];
+      const tags::Tag* responder = device.tag;
+      const tags::Tag* read =
+          session.poll({&responder, device.present ? 1u : 0u}, device.tag, h);
+      done[i] = (read != nullptr || !device.present) ? 1 : 0;
+    }
+
+    // Finished tags sleep; collision-index and garbled tags stay active.
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (done[i]) continue;
+      if (write != i) active[write] = active[i];
+      ++write;
+    }
+    active.resize(write);
+  }
+}
+
+sim::RunResult Hpp::run(const tags::TagPopulation& population,
+                        const sim::SessionConfig& config) const {
+  sim::Session session(population, config);
+  std::vector<HashDevice> active = make_devices(session);
+  run_hpp_rounds(session, active, config_);
+  return session.finish(std::string(name()));
+}
+
+}  // namespace rfid::protocols

@@ -1,0 +1,65 @@
+// Hash Polling Protocol (HPP), paper Section III.
+//
+// Each round the reader broadcasts <h, r>; every unread tag picks the h-bit
+// index H(r, id) mod 2^h. The reader — which knows all IDs — precomputes the
+// picked indices, keeps only the *singleton* ones (picked by exactly one
+// tag) and broadcasts them in ascending order; the unique tag whose index
+// matches replies and goes to sleep. Tags on collision indices stay awake
+// for the next round. The index length satisfies 2^{h-1} < n' <= 2^h for n'
+// unread tags, so each round reads 36.8%-60.7% of the survivors and every
+// broadcast slot is a useful singleton.
+//
+// The round engine is shared with EHPP, which runs it over subsets.
+#pragma once
+
+#include <vector>
+
+#include "phy/commands.hpp"
+#include "protocols/protocol.hpp"
+
+namespace rfid::protocols {
+
+/// Per-tag runtime state for the hash-polling family. The picked index is
+/// genuine tag-side state: it is computed from the broadcast seed by the
+/// same hash the reader uses, never copied from reader bookkeeping.
+struct HashDevice final {
+  const tags::Tag* tag = nullptr;
+  std::uint32_t index = 0;
+  /// False when the tag is physically absent (missing-tag scenarios): the
+  /// reader still schedules it, but it can never respond.
+  bool present = true;
+};
+
+/// Builds the device list for a session, honouring its presence filter.
+[[nodiscard]] std::vector<HashDevice> make_devices(
+    const sim::Session& session);
+
+/// Knobs shared by HPP proper and the HPP rounds inside EHPP.
+struct HppRoundConfig final {
+  /// Cost of the <h, r> round command (the 32-bit QueryRound frame).
+  std::size_t round_init_bits = phy::QueryRoundCommand::kBits;
+  bool count_init_in_w = false;      ///< EHPP folds init bits into w (Sec. V-B)
+};
+
+/// Runs HPP rounds over `active` until every device is interrogated.
+/// Devices are erased from `active` as they are read.
+void run_hpp_rounds(sim::Session& session, std::vector<HashDevice>& active,
+                    const HppRoundConfig& config);
+
+class Hpp final : public PollingProtocol {
+ public:
+  explicit Hpp(HppRoundConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "HPP";
+  }
+
+  [[nodiscard]] sim::RunResult run(
+      const tags::TagPopulation& population,
+      const sim::SessionConfig& config) const override;
+
+ private:
+  HppRoundConfig config_;
+};
+
+}  // namespace rfid::protocols

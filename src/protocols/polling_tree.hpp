@@ -1,0 +1,68 @@
+// The binary polling tree of TPP (paper Section IV-C).
+//
+// Given the singleton indices of a round, the reader builds a binary trie
+// (left edge = 0, right edge = 1, all leaves at depth h) and broadcasts its
+// pre-order traversal. Each leaf is completed by the segment of nodes since
+// the previous leaf, so common prefixes of consecutive singleton indices are
+// transmitted exactly once; the total broadcast of a round equals the node
+// count of the trie (excluding the virtual root).
+//
+// Because the trie's pre-order leaf sequence is the singleton indices in
+// ascending order, the segment lengths are also computable directly from the
+// sorted indices (h minus the common-prefix length with the predecessor).
+// Both constructions are implemented; the property tests require them to
+// agree on every input.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rfid::protocols {
+
+/// One pre-order broadcast segment; transmitting it completes one leaf.
+struct TreeSegment final {
+  std::uint32_t bits = 0;            ///< segment payload, MSB-first in `length`
+  unsigned length = 0;               ///< k: number of bits in this segment
+  std::uint32_t completed_index = 0; ///< the singleton index the segment completes
+};
+
+/// Explicit node-based binary trie over fixed-length indices.
+class PollingTree final {
+ public:
+  /// Builds the trie from `indices` (each h bits). Duplicate indices are a
+  /// precondition violation — only *singleton* indices enter the tree.
+  PollingTree(std::span<const std::uint32_t> indices, unsigned h);
+
+  /// Number of nodes excluding the virtual root == total broadcast bits.
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaf_count_; }
+
+  [[nodiscard]] unsigned height() const noexcept { return height_; }
+
+  /// Pre-order traversal segments (Section IV-C3).
+  [[nodiscard]] std::vector<TreeSegment> segments() const;
+
+  /// Independent construction of the same segments straight from the sorted
+  /// index list, without building a trie. Used to cross-validate segments()
+  /// and as the fast path inside the TPP protocol.
+  [[nodiscard]] static std::vector<TreeSegment> segments_from_indices(
+      std::span<const std::uint32_t> indices, unsigned h);
+
+  /// The paper's Eq. (7): maximal node count of a trie with m leaves of
+  /// height h (tree bifurcates as early as possible).
+  [[nodiscard]] static std::size_t max_node_count(std::size_t m, unsigned h);
+
+ private:
+  struct Node final {
+    std::int32_t child[2] = {-1, -1};
+  };
+
+  std::vector<Node> nodes_;  ///< nodes_[0] is the virtual root
+  std::size_t node_count_ = 0;
+  std::size_t leaf_count_ = 0;
+  unsigned height_ = 0;
+};
+
+}  // namespace rfid::protocols

@@ -1,0 +1,29 @@
+// The protocol interface.
+//
+// A polling protocol is a stateless algorithm: given a tag population and a
+// session configuration it drives reader broadcasts and tag replies through
+// a sim::Session and returns the accounted result. All mutable state lives
+// in the Session and in per-run device structs, so one protocol object can
+// safely serve concurrent trials (the parallel runner relies on this).
+#pragma once
+
+#include <string_view>
+
+#include "sim/session.hpp"
+
+namespace rfid::protocols {
+
+class PollingProtocol {
+ public:
+  virtual ~PollingProtocol() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Runs one complete session: every tag in `population` is interrogated
+  /// exactly once and its info_bits-long payload collected.
+  [[nodiscard]] virtual sim::RunResult run(
+      const tags::TagPopulation& population,
+      const sim::SessionConfig& config) const = 0;
+};
+
+}  // namespace rfid::protocols

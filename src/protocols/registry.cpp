@@ -1,0 +1,74 @@
+#include "protocols/registry.hpp"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+#include "common/error.hpp"
+#include "protocols/coded_polling.hpp"
+#include "protocols/conventional.hpp"
+#include "protocols/dfsa.hpp"
+#include "protocols/enhanced_hash_polling.hpp"
+#include "protocols/hash_polling.hpp"
+#include "protocols/mic.hpp"
+#include "protocols/tree_polling.hpp"
+
+namespace rfid::protocols {
+
+std::string_view to_string(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kCpp: return "CPP";
+    case ProtocolKind::kPrefixCpp: return "PrefixCPP";
+    case ProtocolKind::kCodedPolling: return "CP";
+    case ProtocolKind::kHpp: return "HPP";
+    case ProtocolKind::kEhpp: return "EHPP";
+    case ProtocolKind::kTpp: return "TPP";
+    case ProtocolKind::kMic: return "MIC";
+    case ProtocolKind::kSic: return "SIC";
+    case ProtocolKind::kDfsa: return "DFSA";
+  }
+  return "unknown";
+}
+
+std::optional<ProtocolKind> parse_protocol(std::string_view name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name)
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  for (const ProtocolKind kind : all_protocols()) {
+    std::string candidate;
+    for (const char c : to_string(kind))
+      candidate.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    if (candidate == lower) return kind;
+  }
+  return std::nullopt;
+}
+
+std::span<const ProtocolKind> all_protocols() noexcept {
+  static constexpr std::array<ProtocolKind, 9> kAll = {
+      ProtocolKind::kCpp,      ProtocolKind::kPrefixCpp,
+      ProtocolKind::kCodedPolling, ProtocolKind::kHpp,
+      ProtocolKind::kEhpp,     ProtocolKind::kTpp,
+      ProtocolKind::kMic,      ProtocolKind::kSic,
+      ProtocolKind::kDfsa,
+  };
+  return kAll;
+}
+
+std::unique_ptr<PollingProtocol> make_protocol(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kCpp: return std::make_unique<Cpp>();
+    case ProtocolKind::kPrefixCpp: return std::make_unique<PrefixCpp>();
+    case ProtocolKind::kCodedPolling: return std::make_unique<CodedPolling>();
+    case ProtocolKind::kHpp: return std::make_unique<Hpp>();
+    case ProtocolKind::kEhpp: return std::make_unique<Ehpp>();
+    case ProtocolKind::kTpp: return std::make_unique<Tpp>();
+    case ProtocolKind::kMic: return std::make_unique<Mic>();
+    case ProtocolKind::kSic: return std::make_unique<Mic>(make_sic());
+    case ProtocolKind::kDfsa: return std::make_unique<Dfsa>();
+  }
+  throw ContractViolation("unknown protocol kind");
+}
+
+}  // namespace rfid::protocols

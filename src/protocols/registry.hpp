@@ -1,0 +1,42 @@
+// Protocol registry: name <-> kind mapping and default-configured factory.
+//
+// The facade (rfid::core) and the CLI examples use this to instantiate any
+// protocol from a string or enum; benches that need custom knobs construct
+// the concrete classes directly.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "protocols/protocol.hpp"
+
+namespace rfid::protocols {
+
+enum class ProtocolKind {
+  kCpp,
+  kPrefixCpp,
+  kCodedPolling,
+  kHpp,
+  kEhpp,
+  kTpp,
+  kMic,
+  kSic,
+  kDfsa,
+};
+
+/// Display/parse name of a protocol kind ("CPP", "TPP", ...).
+[[nodiscard]] std::string_view to_string(ProtocolKind kind) noexcept;
+
+/// Case-insensitive parse of a protocol name.
+[[nodiscard]] std::optional<ProtocolKind> parse_protocol(
+    std::string_view name) noexcept;
+
+/// All kinds, in the order the paper's tables list them.
+[[nodiscard]] std::span<const ProtocolKind> all_protocols() noexcept;
+
+/// Instantiates a protocol with its paper-default configuration.
+[[nodiscard]] std::unique_ptr<PollingProtocol> make_protocol(ProtocolKind kind);
+
+}  // namespace rfid::protocols

@@ -1,0 +1,111 @@
+#include "protocols/tree_polling.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/tpp_model.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/math_util.hpp"
+#include "protocols/hash_polling.hpp"
+#include "protocols/polling_tree.hpp"
+
+namespace rfid::protocols {
+
+sim::RunResult Tpp::run(const tags::TagPopulation& population,
+                        const sim::SessionConfig& config) const {
+  sim::Session session(population, config);
+
+  std::vector<HashDevice> active = make_devices(session);
+
+  std::vector<std::uint32_t> counts;
+  std::vector<std::size_t> occupant;
+  std::vector<std::uint32_t> singleton_indices;
+
+  while (!active.empty()) {
+    session.begin_round();
+    session.check_round_budget();
+
+    const unsigned base_h = analysis::tpp_optimal_index_length(active.size());
+    const int offset_h = static_cast<int>(base_h) + config_.index_length_offset;
+    // h = 0 can only resolve a lone tag; with two or more active tags it
+    // would never produce a singleton, so the ablation offset is floored.
+    const int min_h = active.size() >= 2 ? 1 : 0;
+    const unsigned h = static_cast<unsigned>(std::clamp(offset_h, min_h, 30));
+    const std::uint64_t seed = session.rng()();
+    session.broadcast_command_bits(config_.round_init_bits);
+
+    // Phase 1 — picking index (tag side).
+    for (HashDevice& device : active)
+      device.index = tag_index_pow2(seed, device.tag->id(), h);
+
+    // Reader precomputation: sift out the singleton indices.
+    const std::size_t f = static_cast<std::size_t>(pow2(h));
+    counts.assign(f, 0);
+    occupant.assign(f, 0);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      ++counts[active[i].index];
+      occupant[active[i].index] = i;
+    }
+    singleton_indices.clear();
+    for (std::size_t idx = 0; idx < f; ++idx)
+      if (counts[idx] == 1)
+        singleton_indices.push_back(static_cast<std::uint32_t>(idx));
+
+    if (singleton_indices.empty()) continue;  // rare; retry with a new seed
+
+    // Phase 2 — building the polling tree. The sorted-index differential
+    // encoding is the fast path; the explicit trie is the reference.
+    std::vector<TreeSegment> segments =
+        PollingTree::segments_from_indices(singleton_indices, h);
+    if (config_.cross_check_tree) {
+      const PollingTree tree(singleton_indices, h);
+      const std::vector<TreeSegment> reference = tree.segments();
+      RFID_ENSURES(reference.size() == segments.size());
+      for (std::size_t j = 0; j < segments.size(); ++j) {
+        RFID_ENSURES(reference[j].bits == segments[j].bits);
+        RFID_ENSURES(reference[j].length == segments[j].length);
+        RFID_ENSURES(reference[j].completed_index ==
+                     segments[j].completed_index);
+      }
+      std::size_t broadcast_bits = 0;
+      for (const TreeSegment& s : segments) broadcast_bits += s.length;
+      RFID_ENSURES(broadcast_bits == tree.node_count());
+    }
+
+    // Phase 3 — tree-based polling. `reg` is the h-bit register A every
+    // listening tag maintains; one shared value models all of them because
+    // the updates are broadcast.
+    std::uint32_t reg = 0;
+    std::vector<char> done(active.size(), 0);
+    for (const TreeSegment& segment : segments) {
+      const std::uint32_t keep_mask =
+          (segment.length >= 32) ? 0u : (~0u << segment.length);
+      reg = (reg & keep_mask & ((f > 1) ? static_cast<std::uint32_t>(f - 1)
+                                        : 0u)) |
+            segment.bits;
+      RFID_ENSURES(reg == segment.completed_index);
+
+      // Tag side: every awake tag compares its index with A. Tags on
+      // collision indices can never match (collision indices are not
+      // leaves), so the responder set is the singleton occupant.
+      const std::size_t i = occupant[reg];
+      const HashDevice& device = active[i];
+      const tags::Tag* responder = device.tag;
+      const tags::Tag* read = session.poll(
+          {&responder, device.present ? 1u : 0u}, device.tag, segment.length);
+      done[i] = (read != nullptr || !device.present) ? 1 : 0;
+    }
+
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (done[i]) continue;
+      if (write != i) active[write] = active[i];
+      ++write;
+    }
+    active.resize(write);
+  }
+  return session.finish(std::string(name()));
+}
+
+}  // namespace rfid::protocols

@@ -1,0 +1,55 @@
+// Tree-based Polling Protocol (TPP), paper Section IV.
+//
+// TPP removes the redundancy HPP leaves on the air: consecutive singleton
+// indices share prefixes that HPP broadcasts repeatedly. Each round the
+// reader (1) has tags pick h-bit indices with h chosen so the load factor
+// n_i / 2^h lies in [ln2, 2 ln2) — the singleton-maximizing setting of
+// Eq. (15); (2) builds the binary polling tree over the singleton indices;
+// (3) broadcasts the tree's pre-order segments. Every tag maintains an h-bit
+// register A and overwrites its last k bits with each received k-bit
+// segment; a tag replies when A equals its own index. Since all tags apply
+// identical updates, A is common knowledge — the simulator models it as one
+// shared register plus a per-tag comparison, which is exactly the physical
+// behaviour.
+//
+// Only singleton indices ever appear as completed register values (collision
+// indices are not leaves of the tree), so every segment elicits exactly one
+// reply — the channel enforces this each poll.
+#pragma once
+
+#include "phy/commands.hpp"
+#include "protocols/protocol.hpp"
+
+namespace rfid::protocols {
+
+class Tpp final : public PollingProtocol {
+ public:
+  struct Config final {
+    /// Cost of the <h, r> round command (32-bit QueryRound frame).
+    std::size_t round_init_bits = phy::QueryRoundCommand::kBits;
+    /// Build an explicit trie each round and cross-check it against the
+    /// sorted-index fast path (costs time; enabled in tests).
+    bool cross_check_tree = false;
+    /// Optional index-length offset from the Eq. (15) optimum; non-zero
+    /// values are used by the ablation bench to show the optimum is real.
+    int index_length_offset = 0;
+  };
+
+  Tpp();
+  explicit Tpp(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "TPP";
+  }
+
+  [[nodiscard]] sim::RunResult run(
+      const tags::TagPopulation& population,
+      const sim::SessionConfig& config) const override;
+
+ private:
+  Config config_;
+};
+
+inline Tpp::Tpp() : config_(Config()) {}
+
+}  // namespace rfid::protocols

@@ -1,0 +1,20 @@
+#include "sim/metrics.hpp"
+
+namespace rfid::sim {
+
+void Metrics::merge(const Metrics& other) noexcept {
+  polls += other.polls;
+  missing += other.missing;
+  corrupted += other.corrupted;
+  rounds += other.rounds;
+  circles += other.circles;
+  slots_total += other.slots_total;
+  slots_useful += other.slots_useful;
+  slots_wasted += other.slots_wasted;
+  vector_bits += other.vector_bits;
+  command_bits += other.command_bits;
+  tag_bits += other.tag_bits;
+  time_us += other.time_us;
+}
+
+}  // namespace rfid::sim

@@ -1,0 +1,55 @@
+// Session-level accounting.
+//
+// The paper reports two quantities per protocol: the average polling-vector
+// length w (bits the reader spends to single out one tag) and the execution
+// time. Metrics separates reader bits into two buckets so both can be
+// derived from one run:
+//   * vector_bits  — bits the paper counts into w (per-poll vectors; for
+//                    EHPP also the circle command and per-round init, per
+//                    Section V-B's explicit statement)
+//   * command_bits — reader bits outside the w accounting (HPP/TPP round
+//                    initialization, CRC fields of coded polling, ...)
+// Time always accumulates everything actually transmitted.
+#pragma once
+
+#include <cstdint>
+
+namespace rfid::sim {
+
+struct Metrics final {
+  std::uint64_t polls = 0;    ///< successful singleton interrogations
+  std::uint64_t missing = 0;    ///< polls that timed out on an absent tag
+  std::uint64_t corrupted = 0;  ///< replies garbled by channel noise
+  std::uint64_t rounds = 0;   ///< inventory rounds (HPP/TPP) or frames
+  std::uint64_t circles = 0;  ///< EHPP subset-query circles
+
+  std::uint64_t slots_total = 0;   ///< frame slots walked (ALOHA family)
+  std::uint64_t slots_useful = 0;  ///< slots that yielded a reply
+  std::uint64_t slots_wasted = 0;  ///< empty/collision slots
+
+  std::uint64_t vector_bits = 0;   ///< reader bits counted into w
+  std::uint64_t command_bits = 0;  ///< reader bits outside w
+  std::uint64_t tag_bits = 0;      ///< bits transmitted by tags
+
+  double time_us = 0.0;  ///< wall-clock time under the C1G2 model
+
+  /// Average polling-vector length: w-counted bits per interrogated tag.
+  [[nodiscard]] double avg_vector_bits() const noexcept {
+    return polls == 0 ? 0.0
+                      : static_cast<double>(vector_bits) /
+                            static_cast<double>(polls);
+  }
+
+  [[nodiscard]] double exec_time_s() const noexcept { return time_us * 1e-6; }
+
+  /// Fraction of frame slots that produced no reply (ALOHA family metric).
+  [[nodiscard]] double waste_fraction() const noexcept {
+    return slots_total == 0 ? 0.0
+                            : static_cast<double>(slots_wasted) /
+                                  static_cast<double>(slots_total);
+  }
+
+  void merge(const Metrics& other) noexcept;
+};
+
+}  // namespace rfid::sim

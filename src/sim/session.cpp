@@ -1,0 +1,216 @@
+#include "sim/session.hpp"
+
+#include "common/error.hpp"
+
+namespace rfid::sim {
+
+Session::Session(const tags::TagPopulation& population, SessionConfig config)
+    : population_(&population), config_(config), rng_(config.seed) {
+  if (config_.keep_records) records_.reserve(population.size());
+}
+
+void Session::broadcast_vector_bits(std::size_t bits) {
+  metrics_.vector_bits += bits;
+  metrics_.time_us += config_.timing.reader_tx_us(bits);
+}
+
+void Session::broadcast_command_bits(std::size_t bits) {
+  metrics_.command_bits += bits;
+  metrics_.time_us += config_.timing.reader_tx_us(bits);
+}
+
+bool Session::is_present(const TagId& id) const noexcept {
+  return config_.present == nullptr || config_.present->contains(id);
+}
+
+const tags::Tag* Session::complete_reply(
+    std::span<const tags::Tag* const> responders, const tags::Tag* expected,
+    double reader_time_us) {
+  const air::SlotResult slot = channel_.arbitrate(responders);
+  if (slot.outcome == air::SlotOutcome::kEmpty && expected != nullptr &&
+      !is_present(expected->id())) {
+    // The addressed tag is physically absent: the reader waits out the
+    // turn-arounds, decodes nothing, and flags the tag missing.
+    metrics_.time_us += reader_time_us + config_.timing.t1_us +
+                        config_.timing.t2_us;
+    ++metrics_.missing;
+    ++metrics_.slots_total;
+    ++metrics_.slots_wasted;
+    if (config_.keep_records) missing_ids_.push_back(expected->id());
+    return nullptr;
+  }
+  if (slot.outcome != air::SlotOutcome::kSingleton) {
+    throw ProtocolError(
+        "poll did not elicit exactly one reply (responders: " +
+        std::to_string(slot.responder_count) + ")");
+  }
+  if (expected != nullptr && slot.responder != expected) {
+    throw ProtocolError("responding tag differs from the reader's target: " +
+                        slot.responder->id().to_hex() + " vs " +
+                        expected->id().to_hex());
+  }
+  if (config_.reply_error_rate > 0.0 &&
+      rng_.bernoulli(config_.reply_error_rate)) {
+    // Reply garbled in flight: the full interaction airtime is spent, the
+    // PHY CRC rejects the decode, and with no ACK the tag stays awake for
+    // a later round.
+    metrics_.time_us += reader_time_us + config_.timing.t1_us +
+                        config_.timing.tag_tx_us(config_.info_bits) +
+                        config_.timing.t2_us;
+    ++metrics_.corrupted;
+    ++metrics_.slots_total;
+    ++metrics_.slots_wasted;
+    return nullptr;
+  }
+  metrics_.time_us += reader_time_us + config_.timing.t1_us +
+                      config_.timing.tag_tx_us(config_.info_bits) +
+                      config_.timing.t2_us;
+  metrics_.tag_bits += config_.info_bits;
+  ++metrics_.polls;
+  ++metrics_.slots_total;
+  ++metrics_.slots_useful;
+  if (config_.keep_records) {
+    records_.push_back(CollectedRecord{
+        slot.responder->id(), slot.responder->reply_payload(config_.info_bits)});
+  }
+  return slot.responder;
+}
+
+const tags::Tag* Session::poll(std::span<const tags::Tag* const> responders,
+                               const tags::Tag* expected,
+                               std::size_t vector_bits) {
+  metrics_.vector_bits += vector_bits;
+  const double reader_us = config_.timing.reader_tx_us(
+      config_.timing.query_rep_bits + vector_bits);
+  return complete_reply(responders, expected, reader_us);
+}
+
+const tags::Tag* Session::poll_bare(
+    std::span<const tags::Tag* const> responders, const tags::Tag* expected,
+    std::size_t vector_bits) {
+  metrics_.vector_bits += vector_bits;
+  return complete_reply(responders, expected,
+                        config_.timing.reader_tx_us(vector_bits));
+}
+
+const tags::Tag* Session::poll_slot(
+    std::span<const tags::Tag* const> responders, const tags::Tag* expected) {
+  return complete_reply(
+      responders, expected,
+      config_.timing.reader_tx_us(config_.timing.query_rep_bits));
+}
+
+const tags::Tag* Session::await_extra_reply(
+    std::span<const tags::Tag* const> responders, const tags::Tag* expected) {
+  return complete_reply(responders, expected, /*reader_time_us=*/0.0);
+}
+
+void Session::expect_empty_slot(
+    std::span<const tags::Tag* const> responders, bool full_duration) {
+  const air::SlotResult slot = channel_.arbitrate(responders);
+  if (slot.outcome != air::SlotOutcome::kEmpty) {
+    throw ProtocolError("slot marked wasted was answered by " +
+                        std::to_string(slot.responder_count) + " tag(s)");
+  }
+  metrics_.time_us += full_duration
+                          ? config_.timing.poll_us(0, config_.info_bits)
+                          : config_.timing.idle_slot_us();
+  ++metrics_.slots_total;
+  ++metrics_.slots_wasted;
+}
+
+air::SlotResult Session::frame_slot_aloha(
+    std::span<const tags::Tag* const> responders) {
+  air::SlotResult slot = channel_.arbitrate(responders);
+  if (slot.outcome == air::SlotOutcome::kCollision &&
+      config_.capture_probability > 0.0 &&
+      rng_.bernoulli(config_.capture_probability)) {
+    // Capture effect: one reply dominates the superposition and decodes.
+    // The "strongest" tag is drawn uniformly (the simulator has no power
+    // model); the losers stay unread, exactly as if they had been silent.
+    slot.outcome = air::SlotOutcome::kSingleton;
+    slot.responder = responders[rng_.below(responders.size())];
+  }
+  if (slot.outcome == air::SlotOutcome::kSingleton &&
+      config_.reply_error_rate > 0.0 &&
+      rng_.bernoulli(config_.reply_error_rate)) {
+    // A garbled singleton wastes the slot exactly like a collision.
+    slot.decoded = false;
+    metrics_.time_us += config_.timing.collision_slot_us(config_.info_bits);
+    ++metrics_.corrupted;
+    ++metrics_.slots_total;
+    ++metrics_.slots_wasted;
+    return slot;
+  }
+  switch (slot.outcome) {
+    case air::SlotOutcome::kEmpty:
+      metrics_.time_us += config_.timing.idle_slot_us();
+      ++metrics_.slots_total;
+      ++metrics_.slots_wasted;
+      break;
+    case air::SlotOutcome::kCollision:
+      metrics_.time_us +=
+          config_.timing.collision_slot_us(config_.info_bits);
+      ++metrics_.slots_total;
+      ++metrics_.slots_wasted;
+      break;
+    case air::SlotOutcome::kSingleton:
+      metrics_.time_us += config_.timing.poll_us(0, config_.info_bits);
+      metrics_.tag_bits += config_.info_bits;
+      ++metrics_.polls;
+      ++metrics_.slots_total;
+      ++metrics_.slots_useful;
+      if (config_.keep_records) {
+        records_.push_back(
+            CollectedRecord{slot.responder->id(),
+                            slot.responder->reply_payload(config_.info_bits)});
+      }
+      break;
+  }
+  return slot;
+}
+
+void Session::begin_round() {
+  ++metrics_.rounds;
+  if (config_.keep_trace) {
+    trace_.push_back(RoundSnapshot{metrics_.rounds, metrics_.polls,
+                                   metrics_.vector_bits, metrics_.time_us});
+  }
+}
+
+bool Session::presence_slot(std::span<const tags::Tag* const> responders) {
+  const air::SlotResult slot = channel_.arbitrate(responders);
+  const bool busy = slot.outcome != air::SlotOutcome::kEmpty;
+  // Energy sensing: a busy slot carries one bit of backscatter; an empty
+  // slot only the turn-arounds. Noise is irrelevant at this granularity —
+  // the reader detects power, not payload.
+  metrics_.time_us +=
+      config_.timing.reader_tx_us(config_.timing.query_rep_bits) +
+      config_.timing.t1_us + (busy ? config_.timing.tag_tx_us(1) : 0.0) +
+      config_.timing.t2_us;
+  if (busy) metrics_.tag_bits += slot.responder_count;
+  ++metrics_.slots_total;
+  return busy;
+}
+
+void Session::check_round_budget() const {
+  if (metrics_.rounds + metrics_.circles > config_.max_rounds) {
+    throw ProtocolError("round budget exceeded (" +
+                        std::to_string(config_.max_rounds) +
+                        "): protocol is not converging");
+  }
+}
+
+RunResult Session::finish(std::string protocol_name) {
+  RunResult result;
+  result.protocol = std::move(protocol_name);
+  result.population = population_->size();
+  result.metrics = metrics_;
+  result.channel = channel_.stats();
+  result.records = std::move(records_);
+  result.missing_ids = std::move(missing_ids_);
+  result.trace = std::move(trace_);
+  return result;
+}
+
+}  // namespace rfid::sim

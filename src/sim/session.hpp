@@ -1,0 +1,185 @@
+// A polling session: one protocol execution against one tag population.
+//
+// The Session owns the per-run mutable state — RNG stream, channel, metrics,
+// collected records — and exposes the reader's physical primitives
+// (broadcast, poll, frame slots) with the C1G2 timing model applied. A
+// protocol implementation is then a pure algorithm over these primitives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "air/channel.hpp"
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "phy/c1g2.hpp"
+#include "sim/metrics.hpp"
+#include "tags/population.hpp"
+
+namespace rfid::sim {
+
+/// Per-run configuration shared by all protocols.
+struct SessionConfig final {
+  std::size_t info_bits = 1;     ///< l: payload bits collected per tag
+  std::uint64_t seed = 1;        ///< master seed; identical seeds replay
+  phy::C1G2Timing timing{};      ///< air-interface timing model
+  bool keep_records = true;      ///< store per-tag collected payloads
+  std::size_t max_rounds = 1u << 20;  ///< safety cap against livelock
+  /// Tags physically in the interrogation zone; nullptr means all of them.
+  /// With a subset, polls addressed to absent tags time out empty and the
+  /// tag is reported missing — the paper's anti-theft use case (Section I).
+  /// Not owned; must outlive the run.
+  const std::unordered_set<TagId, TagIdHash>* present = nullptr;
+  /// Probability that a tag's reply is garbled in flight (detected by the
+  /// reader's PHY CRC). The airtime is spent but nothing is decoded; under
+  /// C1G2 the unacknowledged tag stays awake, so polling protocols simply
+  /// catch it in a later round. 0 models the paper's clean channel.
+  double reply_error_rate = 0.0;
+  /// Capture effect: probability that a collision slot still decodes as
+  /// the strongest single reply (a real UHF phenomenon; helps the ALOHA
+  /// family, irrelevant to polling which never collides). Applies to
+  /// frame_slot_aloha only.
+  double capture_probability = 0.0;
+  /// Record a per-round snapshot trace in the result (diagnostics/plots).
+  bool keep_trace = false;
+};
+
+/// Cumulative snapshot taken at the start of each round/frame.
+struct RoundSnapshot final {
+  std::uint64_t round = 0;
+  std::uint64_t polls_so_far = 0;
+  std::uint64_t vector_bits_so_far = 0;
+  double time_us_so_far = 0.0;
+};
+
+/// One collected (tag, payload) pair.
+struct CollectedRecord final {
+  TagId id{};
+  BitVec payload{};
+};
+
+/// Outcome of a protocol run.
+struct RunResult final {
+  std::string protocol;
+  std::size_t population = 0;
+  Metrics metrics{};
+  air::ChannelStats channel{};
+  std::vector<CollectedRecord> records;
+  std::vector<TagId> missing_ids;  ///< expected tags that never replied
+  std::vector<RoundSnapshot> trace;  ///< filled when keep_trace is set
+
+  [[nodiscard]] double avg_vector_bits() const noexcept {
+    return metrics.avg_vector_bits();
+  }
+  [[nodiscard]] double exec_time_s() const noexcept {
+    return metrics.exec_time_s();
+  }
+};
+
+class Session final {
+ public:
+  Session(const tags::TagPopulation& population, SessionConfig config);
+
+  [[nodiscard]] const tags::TagPopulation& population() const noexcept {
+    return *population_;
+  }
+  [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Xoshiro256ss& rng() noexcept { return rng_; }
+  [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  // --- Reader transmissions -------------------------------------------------
+
+  /// Broadcasts `bits` reader bits that the paper counts into w.
+  void broadcast_vector_bits(std::size_t bits);
+
+  /// Broadcasts `bits` reader bits outside the w accounting (round/circle
+  /// initialization, framing fields).
+  void broadcast_command_bits(std::size_t bits);
+
+  // --- Poll interactions ----------------------------------------------------
+
+  /// True unless a `present` filter is configured and excludes `id`.
+  [[nodiscard]] bool is_present(const TagId& id) const noexcept;
+
+  /// One complete poll: QueryRep + `vector_bits` vector, turn-arounds, reply.
+  /// `responders` are the tags whose tag-side predicate fired; `expected` is
+  /// the reader's precomputed target. Returns the interrogated tag, or
+  /// nullptr in two recoverable cases: the expected tag is configured
+  /// absent (poll times out; tag recorded missing) or the reply was garbled
+  /// by channel noise (airtime spent; tag stays awake — the caller must
+  /// keep scheduling it). Protocols distinguish the two via the device's
+  /// presence flag. Any other deviation from a singleton reply throws
+  /// ProtocolError.
+  const tags::Tag* poll(std::span<const tags::Tag* const> responders,
+                        const tags::Tag* expected, std::size_t vector_bits);
+
+  /// Conventional-polling variant: bare broadcast without the QueryRep
+  /// prefix (see phy::C1G2Timing::poll_bare_us).
+  const tags::Tag* poll_bare(std::span<const tags::Tag* const> responders,
+                             const tags::Tag* expected,
+                             std::size_t vector_bits);
+
+  /// A reply phase with no further reader vector (the vector or frame
+  /// position was already transmitted): QueryRep + turn-arounds + reply.
+  const tags::Tag* poll_slot(std::span<const tags::Tag* const> responders,
+                             const tags::Tag* expected);
+
+  /// A reply phase appended to an already-transmitted reader frame with no
+  /// QueryRep of its own (coded polling's second responder).
+  const tags::Tag* await_extra_reply(
+      std::span<const tags::Tag* const> responders, const tags::Tag* expected);
+
+  // --- Frame slots (ALOHA-family baselines) ---------------------------------
+
+  /// A frame slot the reader expects to be empty (MIC's wasted slots).
+  /// Throws ProtocolError if any tag answers. With `full_duration` the
+  /// reader waits out the entire fixed-length slot (QueryRep, turn-arounds
+  /// and the reply airtime) — the slotted-frame accounting under which the
+  /// published MIC numbers reproduce; without it only the QueryRep and
+  /// turn-arounds elapse (early empty-slot termination).
+  void expect_empty_slot(std::span<const tags::Tag* const> responders,
+                         bool full_duration = false);
+
+  /// A frame slot whose outcome is not predetermined (classic framed-slotted
+  /// ALOHA): empty, singleton (collected), or collision (airtime wasted).
+  air::SlotResult frame_slot_aloha(
+      std::span<const tags::Tag* const> responders);
+
+  /// A 1-bit presence slot (missing-tag detection protocols): the reader
+  /// only senses whether any energy was backscattered. Returns true when at
+  /// least one tag replied; collisions are indistinguishable from single
+  /// replies and equally useful. No payload is collected.
+  bool presence_slot(std::span<const tags::Tag* const> responders);
+
+  // --- Round/circle bookkeeping ---------------------------------------------
+
+  void begin_round();
+  void begin_circle() { ++metrics_.circles; }
+
+  /// Throws ProtocolError once rounds exceed config().max_rounds; protocols
+  /// call this at round start so a mis-parameterized run fails loudly.
+  void check_round_budget() const;
+
+  [[nodiscard]] RunResult finish(std::string protocol_name);
+
+ private:
+  const tags::Tag* complete_reply(
+      std::span<const tags::Tag* const> responders, const tags::Tag* expected,
+      double reader_time_us);
+
+  const tags::TagPopulation* population_;
+  SessionConfig config_;
+  Xoshiro256ss rng_;
+  air::Channel channel_;
+  Metrics metrics_{};
+  std::vector<CollectedRecord> records_;
+  std::vector<TagId> missing_ids_;
+  std::vector<RoundSnapshot> trace_;
+};
+
+}  // namespace rfid::sim

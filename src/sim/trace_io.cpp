@@ -1,0 +1,20 @@
+#include "sim/trace_io.hpp"
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace rfid::sim {
+
+void write_trace_csv(const RunResult& result, const std::string& path) {
+  CsvWriter csv(path);
+  csv.write_row({"round", "polls_so_far", "vector_bits_so_far",
+                 "time_us_so_far"});
+  for (const RoundSnapshot& snapshot : result.trace) {
+    csv.write_row({std::to_string(snapshot.round),
+                   std::to_string(snapshot.polls_so_far),
+                   std::to_string(snapshot.vector_bits_so_far),
+                   TablePrinter::num(snapshot.time_us_so_far, 2)});
+  }
+}
+
+}  // namespace rfid::sim

@@ -1,0 +1,19 @@
+// Round-trace export.
+//
+// A session run with keep_trace produces one RoundSnapshot per round; this
+// helper writes the series as CSV so convergence curves (tags read vs time,
+// bits vs rounds) can be plotted externally.
+#pragma once
+
+#include <string>
+
+#include "sim/session.hpp"
+
+namespace rfid::sim {
+
+/// Writes `result.trace` to `path` with a header row. Throws
+/// std::runtime_error when the file cannot be opened; a run without a trace
+/// writes only the header.
+void write_trace_csv(const RunResult& result, const std::string& path);
+
+}  // namespace rfid::sim

@@ -1,0 +1,41 @@
+#include "sim/verify.hpp"
+
+#include <unordered_map>
+
+namespace rfid::sim {
+
+VerifyReport verify_complete_collection(const tags::TagPopulation& population,
+                                        const RunResult& result) {
+  VerifyReport report;
+  const auto fail = [&report](std::string msg) {
+    report.ok = false;
+    report.message = std::move(msg);
+    return report;
+  };
+
+  if (result.records.size() != population.size()) {
+    return fail("collected " + std::to_string(result.records.size()) +
+                " records for " + std::to_string(population.size()) + " tags");
+  }
+
+  std::unordered_map<TagId, const tags::Tag*, TagIdHash> by_id;
+  by_id.reserve(population.size());
+  for (const tags::Tag& tag : population) by_id.emplace(tag.id(), &tag);
+
+  std::unordered_map<TagId, std::size_t, TagIdHash> seen;
+  seen.reserve(result.records.size());
+  for (const CollectedRecord& record : result.records) {
+    const auto it = by_id.find(record.id);
+    if (it == by_id.end())
+      return fail("collected unknown tag " + record.id.to_hex());
+    if (++seen[record.id] > 1)
+      return fail("tag " + record.id.to_hex() + " interrogated twice");
+    const BitVec expected =
+        it->second->reply_payload(record.payload.size());
+    if (!(expected == record.payload))
+      return fail("payload mismatch for tag " + record.id.to_hex());
+  }
+  return report;
+}
+
+}  // namespace rfid::sim

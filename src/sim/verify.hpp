@@ -1,0 +1,24 @@
+// End-of-session verification.
+//
+// The fast-polling problem (paper Section II-C) is to collect m-bit
+// information from *each* tag exactly once. This checker asserts that a run
+// achieved it: every tag interrogated once, no stranger tags, and every
+// collected payload bit-identical to what the tag stores.
+#pragma once
+
+#include <string>
+
+#include "sim/session.hpp"
+
+namespace rfid::sim {
+
+struct VerifyReport final {
+  bool ok = true;
+  std::string message;  ///< first discrepancy found, empty when ok
+};
+
+/// Checks a finished run against the population it was drawn from.
+[[nodiscard]] VerifyReport verify_complete_collection(
+    const tags::TagPopulation& population, const RunResult& result);
+
+}  // namespace rfid::sim

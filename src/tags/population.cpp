@@ -1,0 +1,95 @@
+#include "tags/population.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace rfid::tags {
+
+namespace {
+
+TagId random_id(Xoshiro256ss& rng) {
+  TagId id;
+  const std::uint64_t hi = rng();
+  const std::uint64_t lo = rng();
+  id.words[0] = static_cast<std::uint32_t>(hi >> 32);
+  id.words[1] = static_cast<std::uint32_t>(hi);
+  id.words[2] = static_cast<std::uint32_t>(lo);
+  return id;
+}
+
+}  // namespace
+
+TagPopulation::TagPopulation(std::vector<Tag> tags) : tags_(std::move(tags)) {
+  std::unordered_set<TagId, TagIdHash> seen;
+  seen.reserve(tags_.size());
+  for (const Tag& tag : tags_) {
+    const bool inserted = seen.insert(tag.id()).second;
+    RFID_EXPECTS(inserted && "duplicate tag ID in population");
+  }
+}
+
+TagPopulation TagPopulation::uniform_random(std::size_t n, Xoshiro256ss& rng) {
+  std::unordered_set<TagId, TagIdHash> seen;
+  seen.reserve(n);
+  std::vector<Tag> tags;
+  tags.reserve(n);
+  while (tags.size() < n) {
+    const TagId id = random_id(rng);
+    if (seen.insert(id).second) tags.emplace_back(id);
+  }
+  return TagPopulation(std::move(tags));
+}
+
+TagPopulation TagPopulation::sequential(std::size_t n, std::uint64_t first) {
+  std::vector<Tag> tags;
+  tags.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t value = first + i;
+    TagId id;
+    id.words[1] = static_cast<std::uint32_t>(value >> 32);
+    id.words[2] = static_cast<std::uint32_t>(value);
+    tags.emplace_back(id);
+  }
+  return TagPopulation(std::move(tags));
+}
+
+TagPopulation TagPopulation::prefix_clustered(std::size_t n,
+                                              std::size_t categories,
+                                              std::size_t prefix_bits,
+                                              Xoshiro256ss& rng) {
+  RFID_EXPECTS(categories >= 1);
+  RFID_EXPECTS(prefix_bits <= kTagIdBits);
+  // One random prefix per category; suffixes random, deduplicated.
+  std::vector<TagId> prefixes;
+  prefixes.reserve(categories);
+  for (std::size_t c = 0; c < categories; ++c) prefixes.push_back(random_id(rng));
+
+  std::unordered_set<TagId, TagIdHash> seen;
+  seen.reserve(n);
+  std::vector<Tag> tags;
+  tags.reserve(n);
+  while (tags.size() < n) {
+    const std::size_t category = tags.size() % categories;
+    TagId id = random_id(rng);
+    for (std::size_t b = 0; b < prefix_bits; ++b)
+      id.set_bit(b, prefixes[category].bit(b));
+    if (seen.insert(id).second) tags.emplace_back(id);
+  }
+  return TagPopulation(std::move(tags));
+}
+
+TagPopulation TagPopulation::with_random_payloads(std::size_t bits,
+                                                  Xoshiro256ss& rng) const {
+  std::vector<Tag> tags;
+  tags.reserve(tags_.size());
+  for (const Tag& tag : tags_) {
+    BitVec payload;
+    for (std::size_t i = 0; i < bits; ++i)
+      payload.push_back(rng.bernoulli(0.5));
+    tags.emplace_back(tag.id(), std::move(payload));
+  }
+  return TagPopulation(std::move(tags));
+}
+
+}  // namespace rfid::tags

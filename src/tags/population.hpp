@@ -1,0 +1,66 @@
+// Tag population generation — the simulator's workload generator.
+//
+// The paper assumes the reader knows all tag IDs in advance (Section II-A);
+// a TagPopulation is exactly that shared knowledge: an immutable set of
+// unique tags the reader and the air interface both reference.
+//
+// Three ID distributions cover the paper's scenarios:
+//   * uniform_random  — the paper's general case ("no assumption on the
+//                       distribution of tag IDs", Section II-B)
+//   * sequential      — worst case for hash-free schemes, common in freshly
+//                       commissioned inventory
+//   * prefix_clustered — tags sharing category IDs, the case motivating the
+//                       enhanced-CPP baseline (Section II-B)
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tags/tag.hpp"
+
+namespace rfid::tags {
+
+/// Immutable collection of unique tags.
+class TagPopulation final {
+ public:
+  TagPopulation() = default;
+
+  /// Takes ownership of `tags`; throws ContractViolation on duplicate IDs.
+  explicit TagPopulation(std::vector<Tag> tags);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tags_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tags_.empty(); }
+
+  [[nodiscard]] const Tag& operator[](std::size_t i) const { return tags_[i]; }
+
+  [[nodiscard]] std::span<const Tag> tags() const noexcept { return tags_; }
+
+  [[nodiscard]] auto begin() const noexcept { return tags_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return tags_.end(); }
+
+  /// n tags with uniformly random unique 96-bit IDs.
+  [[nodiscard]] static TagPopulation uniform_random(std::size_t n,
+                                                    Xoshiro256ss& rng);
+
+  /// n tags with consecutive IDs starting at `first` (low word increments).
+  [[nodiscard]] static TagPopulation sequential(std::size_t n,
+                                                std::uint64_t first = 0);
+
+  /// n tags split across `categories` groups; tags in a group share a random
+  /// `prefix_bits`-bit ID prefix (category ID), remaining bits random.
+  [[nodiscard]] static TagPopulation prefix_clustered(std::size_t n,
+                                                      std::size_t categories,
+                                                      std::size_t prefix_bits,
+                                                      Xoshiro256ss& rng);
+
+  /// Returns a copy whose tags carry `bits`-long random sensor payloads.
+  [[nodiscard]] TagPopulation with_random_payloads(std::size_t bits,
+                                                   Xoshiro256ss& rng) const;
+
+ private:
+  std::vector<Tag> tags_;
+};
+
+}  // namespace rfid::tags

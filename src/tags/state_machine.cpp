@@ -1,0 +1,97 @@
+#include "tags/state_machine.hpp"
+
+namespace rfid::tags {
+
+std::string_view to_string(TagState state) noexcept {
+  switch (state) {
+    case TagState::kReady: return "Ready";
+    case TagState::kArbitrate: return "Arbitrate";
+    case TagState::kReply: return "Reply";
+    case TagState::kAcknowledged: return "Acknowledged";
+    case TagState::kOpen: return "Open";
+    case TagState::kSecured: return "Secured";
+    case TagState::kKilled: return "Killed";
+  }
+  return "?";
+}
+
+bool TagStateMachine::power_cycle() noexcept {
+  if (state_ == TagState::kKilled) return false;  // absorbing
+  state_ = TagState::kReady;
+  slot_ = 0;
+  return true;
+}
+
+bool TagStateMachine::on_query(SessionFlag target, std::uint16_t slot) noexcept {
+  if (state_ == TagState::kKilled) return false;
+  if (state_ != TagState::kReady) return illegal();
+  if (flag_ != target) return true;  // legally sits the round out
+  slot_ = slot;
+  state_ = (slot_ == 0) ? TagState::kReply : TagState::kArbitrate;
+  return true;
+}
+
+bool TagStateMachine::on_query_rep() noexcept {
+  if (state_ == TagState::kKilled) return false;
+  if (state_ != TagState::kArbitrate) return illegal();
+  if (slot_ > 0) --slot_;
+  if (slot_ == 0) state_ = TagState::kReply;
+  return true;
+}
+
+bool TagStateMachine::on_ack() noexcept {
+  if (state_ == TagState::kKilled) return false;
+  if (state_ != TagState::kReply) return illegal();
+  state_ = TagState::kAcknowledged;
+  return true;
+}
+
+bool TagStateMachine::on_nak() noexcept {
+  if (state_ == TagState::kKilled) return false;
+  switch (state_) {
+    case TagState::kReply:
+    case TagState::kAcknowledged:
+    case TagState::kOpen:
+    case TagState::kSecured:
+      state_ = TagState::kArbitrate;
+      slot_ = 0xFFFF;  // C1G2: NAK'ed tags fall back with max slot
+      return true;
+    default:
+      return illegal();
+  }
+}
+
+bool TagStateMachine::on_inventory_complete() noexcept {
+  if (state_ == TagState::kKilled) return false;
+  if (state_ != TagState::kAcknowledged && state_ != TagState::kOpen &&
+      state_ != TagState::kSecured)
+    return illegal();
+  flag_ = (flag_ == SessionFlag::kA) ? SessionFlag::kB : SessionFlag::kA;
+  state_ = TagState::kReady;
+  slot_ = 0;
+  return true;
+}
+
+bool TagStateMachine::on_req_rn() noexcept {
+  if (state_ == TagState::kKilled) return false;
+  if (state_ != TagState::kAcknowledged) return illegal();
+  state_ = TagState::kOpen;
+  return true;
+}
+
+bool TagStateMachine::on_access_granted() noexcept {
+  if (state_ == TagState::kKilled) return false;
+  if (state_ != TagState::kOpen) return illegal();
+  state_ = TagState::kSecured;
+  return true;
+}
+
+bool TagStateMachine::on_kill() noexcept {
+  if (state_ == TagState::kKilled) return false;
+  if (state_ != TagState::kOpen && state_ != TagState::kSecured)
+    return illegal();
+  state_ = TagState::kKilled;
+  return true;
+}
+
+}  // namespace rfid::tags

@@ -1,0 +1,91 @@
+// C1G2 tag inventory state machine.
+//
+// The EPC C1G2 standard drives every tag through a small state machine
+// during inventory: Ready -> (Query, slot counter) -> Arbitrate/Reply ->
+// Acknowledged -> back to Ready with the inventoried flag flipped; ReqRN
+// moves an acknowledged tag to Open/Secured for access commands; Kill is
+// absorbing. The polling protocols in this library compress the
+// *addressing* part of that dance; this class models the dance itself so
+// the simulator's behaviour can be validated against the standard's legal
+// transitions (and so downstream users get a faithful tag model to extend).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rfid::tags {
+
+enum class TagState : std::uint8_t {
+  kReady,         ///< powered, not participating in a round
+  kArbitrate,     ///< in a round, slot counter > 0
+  kReply,         ///< slot counter hit 0; backscattering RN16
+  kAcknowledged,  ///< ACKed; EPC sent
+  kOpen,          ///< access commands possible (ReqRN after Acknowledged)
+  kSecured,       ///< access-password verified
+  kKilled,        ///< permanently disabled (absorbing)
+};
+
+[[nodiscard]] std::string_view to_string(TagState state) noexcept;
+
+/// Session inventoried-flag target (C1G2 A/B symmetry).
+enum class SessionFlag : std::uint8_t { kA, kB };
+
+class TagStateMachine final {
+ public:
+  [[nodiscard]] TagState state() const noexcept { return state_; }
+  [[nodiscard]] SessionFlag inventoried() const noexcept { return flag_; }
+  [[nodiscard]] std::uint16_t slot_counter() const noexcept { return slot_; }
+
+  /// Number of commands the machine ignored because they were illegal in
+  /// the current state — the validation signal the tests assert on.
+  [[nodiscard]] std::uint64_t illegal_commands() const noexcept {
+    return illegal_;
+  }
+
+  // --- Events (reader commands / physical events) ---------------------------
+  // Each returns true when the command was legal and acted upon.
+
+  /// Power loss / re-entry to the field: any state except Killed resets to
+  /// Ready; the inventoried flag persists (it is NVM-backed in real tags).
+  bool power_cycle() noexcept;
+
+  /// Query targeting `target` tags: a tag whose flag matches joins the
+  /// round with the given slot count (0 -> Reply, else Arbitrate); a tag
+  /// whose flag does not match stays out (legal, no-op "ignored" = true).
+  bool on_query(SessionFlag target, std::uint16_t slot) noexcept;
+
+  /// QueryRep: decrement the slot counter; 0 -> Reply.
+  bool on_query_rep() noexcept;
+
+  /// ACK of this tag's reply: Reply -> Acknowledged.
+  bool on_ack() noexcept;
+
+  /// NAK: any inventoried-round state back to Arbitrate.
+  bool on_nak() noexcept;
+
+  /// End of round for an acknowledged tag: flag flips, back to Ready.
+  /// (C1G2 folds this into the next Query/QueryRep; modelled explicitly.)
+  bool on_inventory_complete() noexcept;
+
+  /// ReqRN: Acknowledged -> Open.
+  bool on_req_rn() noexcept;
+
+  /// Correct access password: Open -> Secured.
+  bool on_access_granted() noexcept;
+
+  /// Kill (valid password, nonzero kill PW): Open/Secured -> Killed.
+  bool on_kill() noexcept;
+
+ private:
+  bool illegal() noexcept {
+    ++illegal_;
+    return false;
+  }
+
+  TagState state_ = TagState::kReady;
+  SessionFlag flag_ = SessionFlag::kA;
+  std::uint16_t slot_ = 0;
+  std::uint64_t illegal_ = 0;
+};
+
+}  // namespace rfid::tags

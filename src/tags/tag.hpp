@@ -1,0 +1,45 @@
+// A simulated sensor-augmented RFID tag.
+//
+// Tags carry a 96-bit EPC identifier plus an m-bit information payload
+// (battery level, temperature, product data — the paper's Section I use
+// cases). Protocol-specific runtime state (picked index, TPP bit array,
+// sleep flag) lives in per-protocol device structs, not here, because a
+// physical tag's identity outlives any one inventory session.
+#pragma once
+
+#include "common/bitvec.hpp"
+#include "common/hash.hpp"
+#include "common/tag_id.hpp"
+
+namespace rfid::tags {
+
+class Tag final {
+ public:
+  Tag() = default;
+  explicit Tag(TagId id) : id_(id) {}
+  Tag(TagId id, BitVec payload) : id_(id), payload_(std::move(payload)) {}
+
+  [[nodiscard]] const TagId& id() const noexcept { return id_; }
+
+  /// Raw stored payload (may be empty if the population was created without
+  /// sensor data).
+  [[nodiscard]] const BitVec& stored_payload() const noexcept { return payload_; }
+
+  void set_payload(BitVec payload) { payload_ = std::move(payload); }
+
+  /// The `bits`-long reply this tag transmits when polled. If the stored
+  /// payload is at least `bits` long its prefix is used; otherwise the reply
+  /// is derived deterministically from the ID, so reader-side verification
+  /// can recompute the expected value without a side channel.
+  [[nodiscard]] BitVec reply_payload(std::size_t bits) const;
+
+ private:
+  TagId id_{};
+  BitVec payload_{};
+};
+
+/// The deterministic payload derivation used when a tag has no stored sensor
+/// data; exposed so tests and the session verifier share one definition.
+[[nodiscard]] BitVec derived_payload(const TagId& id, std::size_t bits);
+
+}  // namespace rfid::tags

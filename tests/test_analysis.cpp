@@ -1,0 +1,183 @@
+// Tests for the closed-form models (paper Eqs. (1)-(16), Theorems 1-2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ehpp_model.hpp"
+#include "analysis/hpp_model.hpp"
+#include "analysis/tpp_model.hpp"
+#include "common/math_util.hpp"
+
+namespace rfid::analysis {
+namespace {
+
+TEST(HppModel, SingletonProbabilityEquationOne) {
+  // p = (n/f) e^{-(n-1)/f}; at n = f the value is ~ 1/e for large n.
+  EXPECT_NEAR(hpp_singleton_probability(1024, 1024), std::exp(-1023.0 / 1024),
+              1e-12);
+  EXPECT_DOUBLE_EQ(hpp_singleton_probability(0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(hpp_singleton_probability(8, 0), 0.0);
+}
+
+TEST(HppModel, PoissonApproximationTracksExactBinomial) {
+  // The paper's e^{-(n-1)/f} approximation vs the exact binomial: the
+  // relative error is ~(n-1)/(2 f^2) ~ 1/(2f), i.e. under 0.5% for the
+  // frame sizes the protocols actually use and shrinking with n.
+  for (const std::size_t n : {128u, 1000u, 4096u, 100000u}) {
+    const double f = double(pow2(ceil_log2(n)));
+    const double approx = hpp_singleton_probability(double(n), f);
+    const double exact = hpp_singleton_probability_exact(n, f);
+    EXPECT_LT(relative_difference(approx, exact), 1.0 / f) << n;
+  }
+  EXPECT_DOUBLE_EQ(hpp_singleton_probability_exact(0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(hpp_singleton_probability_exact(1, 1), 1.0);
+}
+
+TEST(HppModel, SingletonProbabilityInPaperBand) {
+  // Section III-B: 36.8%..60.7% of unread tags are read per round. The
+  // per-tag read probability is e^{-(n-1)/f} with 2^{h-1} < n <= 2^h.
+  for (std::uint64_t n = 2; n <= 4096; n *= 2) {
+    const double f = double(pow2(ceil_log2(n)));
+    const double read_fraction = std::exp(-(double(n) - 1) / f);
+    EXPECT_GE(read_fraction, 0.367) << n;
+    EXPECT_LE(read_fraction, 0.607 + 1e-9) << n;
+  }
+}
+
+TEST(HppModel, PredictionMatchesPaperFigure3) {
+  // Fig. 3: w ~= 10 at n = 1000 and ~15..16 at n = 100,000.
+  EXPECT_NEAR(hpp_predict(1000).avg_vector_bits, 10.0, 0.7);
+  EXPECT_NEAR(hpp_predict(100000).avg_vector_bits, 15.5, 1.0);
+}
+
+TEST(HppModel, PredictionMonotoneInN) {
+  double prev = 0.0;
+  for (const std::size_t n : {100u, 1000u, 10000u, 100000u}) {
+    const double w = hpp_predict(n).avg_vector_bits;
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(HppModel, UpperBoundEquationFive) {
+  for (const std::size_t n : {2u, 10u, 1000u, 100000u}) {
+    EXPECT_LE(hpp_predict(n).avg_vector_bits,
+              double(hpp_vector_upper_bound(n)));
+  }
+}
+
+TEST(HppModel, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(hpp_predict(0).avg_vector_bits, 0.0);
+  EXPECT_DOUBLE_EQ(hpp_predict(1).avg_vector_bits, 0.0);  // h = 0
+  EXPECT_GT(hpp_predict(2).avg_vector_bits, 0.0);
+}
+
+TEST(EhppModel, TheoremOneBoundsHoldUnderItsOwnModel) {
+  // Theorem 1 is proved for the approximation h(n')/n' = mu log2(n') with
+  // mu in [1/e, 1]; under that cost model the optimum l_c ln2 / mu lies in
+  // [l_c ln2, e l_c ln2] for every admissible mu.
+  for (const double lc : {50.0, 100.0, 128.0, 200.0, 400.0}) {
+    for (const double mu : {1.0 / kE, 0.5, 0.75, 1.0}) {
+      const double star = lc * kLn2 / mu;
+      EXPECT_GE(star, ehpp_subset_lower_bound(lc) - 1e-9);
+      EXPECT_LE(star, ehpp_subset_upper_bound(lc) + 1e-9);
+    }
+  }
+}
+
+TEST(EhppModel, ExactOptimumNearTheoremInterval) {
+  // The exact Eq.-(4) recursion is cheaper per tag than the mu log2
+  // approximation (the first round reads >1/e of tags below log2 n' bits),
+  // so its optimum sits somewhat below l_c ln2; it must still be of the
+  // same magnitude and under the Theorem-1 upper bound.
+  for (const double lc : {50.0, 100.0, 128.0, 200.0, 400.0}) {
+    const std::size_t star = ehpp_optimal_subset_size(lc, 0.0);
+    EXPECT_GE(double(star), ehpp_subset_lower_bound(lc) * 0.5) << lc;
+    EXPECT_LE(double(star), ehpp_subset_upper_bound(lc) * 1.1) << lc;
+  }
+}
+
+TEST(EhppModel, BoundsFormulas) {
+  EXPECT_NEAR(ehpp_subset_lower_bound(100), 69.3, 0.1);
+  EXPECT_NEAR(ehpp_subset_upper_bound(100), 188.4, 0.3);
+}
+
+TEST(EhppModel, BiggerCommandBiggerSubset) {
+  // Fig. 4: n* grows with l_c.
+  EXPECT_LT(ehpp_optimal_subset_size(100.0), ehpp_optimal_subset_size(400.0));
+}
+
+TEST(EhppModel, OptimalCostBeatsNeighbours) {
+  const double lc = 128.0;
+  const std::size_t star = ehpp_optimal_subset_size(lc);
+  const double at_star = ehpp_circle_cost(star, lc);
+  EXPECT_LE(at_star, ehpp_circle_cost(star / 2, lc));
+  EXPECT_LE(at_star, ehpp_circle_cost(star * 2, lc));
+}
+
+TEST(EhppModel, PredictedWStableInN) {
+  // Fig. 5: for fixed l_c the predicted w is flat in n.
+  const double w1 = ehpp_predict_w(10000, 200.0);
+  const double w2 = ehpp_predict_w(100000, 200.0);
+  EXPECT_NEAR(w1, w2, 0.25);
+}
+
+TEST(EhppModel, PaperFigureFiveValue) {
+  // Fig. 5: ~7.94 bits at n = 1e5 with l_c = 200 (no init overhead).
+  EXPECT_NEAR(ehpp_predict_w(100000, 200.0), 7.94, 0.6);
+}
+
+TEST(EhppModel, SmallPopulationFallsBackToHpp) {
+  const double w = ehpp_predict_w(50, 128.0);
+  EXPECT_NEAR(w, hpp_predict(50).avg_vector_bits, 1e-9);
+}
+
+TEST(TppModel, MuPeaksAtLambdaOne) {
+  // Fig. 8: mu = lambda e^{-lambda} peaks at 1/e when lambda = 1.
+  EXPECT_NEAR(tpp_mu(1.0), 1.0 / kE, 1e-12);
+  EXPECT_GT(tpp_mu(1.0), tpp_mu(0.5));
+  EXPECT_GT(tpp_mu(1.0), tpp_mu(2.0));
+  EXPECT_DOUBLE_EQ(tpp_mu(0.0), 0.0);
+}
+
+TEST(TppModel, BalancedLoadEquationThirteen) {
+  // lambda1 = ln2 satisfies mu(lambda1) = mu(2 lambda1).
+  EXPECT_NEAR(tpp_mu(kLn2), tpp_mu(2 * kLn2), 1e-12);
+}
+
+TEST(TppModel, OptimalIndexLengthEquationFifteen) {
+  for (const std::size_t n : {2u, 3u, 10u, 100u, 1024u, 99999u}) {
+    const unsigned h = tpp_optimal_index_length(n);
+    const double lambda = double(n) / double(pow2(h));
+    EXPECT_GE(lambda, kLn2 - 1e-12) << n;
+    EXPECT_LT(lambda, 2 * kLn2 + 1e-12) << n;
+  }
+  EXPECT_EQ(tpp_optimal_index_length(0), 0u);
+  EXPECT_EQ(tpp_optimal_index_length(1), 0u);
+}
+
+TEST(TppModel, UniversalBoundEquationSixteen) {
+  // Eq. (16): 3.44 bits.
+  EXPECT_NEAR(tpp_universal_upper_bound(), 3.44, 0.01);
+}
+
+TEST(TppModel, RoundBoundBelowUniversalBound) {
+  for (const std::size_t n : {10u, 100u, 5000u, 100000u}) {
+    EXPECT_LE(tpp_round_w_upper(n), tpp_universal_upper_bound() + 0.05) << n;
+  }
+}
+
+TEST(TppModel, PredictionMatchesPaperFigure9) {
+  // Fig. 9: w stable around 3.38 for n in [1e3, 1e5].
+  for (const std::size_t n : {1000u, 10000u, 100000u}) {
+    EXPECT_NEAR(tpp_predict_w(n), 3.38, 0.15) << n;
+  }
+}
+
+TEST(TppModel, TwentyEightFoldReductionOverCpp) {
+  // Abstract: "28 times less than 96-bit tag IDs".
+  EXPECT_GT(96.0 / tpp_universal_upper_bound(), 27.5);
+}
+
+}  // namespace
+}  // namespace rfid::analysis

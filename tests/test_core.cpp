@@ -1,0 +1,146 @@
+// Tests for the public facade (core/polling.hpp) and protocol registry.
+#include <gtest/gtest.h>
+
+#include "core/polling.hpp"
+
+namespace rfid::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+TEST(Registry, NamesRoundTrip) {
+  for (const ProtocolKind kind : protocols::all_protocols()) {
+    const auto parsed = protocols::parse_protocol(protocols::to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(Registry, ParseIsCaseInsensitive) {
+  EXPECT_EQ(protocols::parse_protocol("tpp"), ProtocolKind::kTpp);
+  EXPECT_EQ(protocols::parse_protocol("Ehpp"), ProtocolKind::kEhpp);
+  EXPECT_EQ(protocols::parse_protocol("prefixcpp"), ProtocolKind::kPrefixCpp);
+}
+
+TEST(Registry, UnknownNameRejected) {
+  EXPECT_FALSE(protocols::parse_protocol("NOPE").has_value());
+  EXPECT_FALSE(protocols::parse_protocol("").has_value());
+}
+
+TEST(Registry, FactoryProducesMatchingNames) {
+  for (const ProtocolKind kind : protocols::all_protocols()) {
+    const auto protocol = protocols::make_protocol(kind);
+    EXPECT_EQ(protocol->name(), protocols::to_string(kind));
+  }
+}
+
+class CollectAllProtocols : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(CollectAllProtocols, VerifiedEndToEnd) {
+  Xoshiro256ss rng(7);
+  const auto pop = tags::TagPopulation::uniform_random(600, rng)
+                       .with_random_payloads(16, rng);
+  sim::SessionConfig config;
+  config.info_bits = 16;
+  config.seed = 3;
+  const auto report = collect_info(GetParam(), pop, config);
+  EXPECT_TRUE(report.verification.ok) << report.result.protocol << ": "
+                                      << report.verification.message;
+  EXPECT_EQ(report.result.metrics.polls, 600u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CollectAllProtocols,
+    ::testing::ValuesIn(protocols::all_protocols().begin(),
+                        protocols::all_protocols().end()),
+    [](const auto& param_info) {
+      return std::string(protocols::to_string(param_info.param));
+    });
+
+TEST(CollectInfo, EmptyPopulation) {
+  const tags::TagPopulation empty;
+  const auto report = collect_info(ProtocolKind::kTpp, empty, {});
+  EXPECT_TRUE(report.verification.ok);
+  EXPECT_EQ(report.result.metrics.polls, 0u);
+}
+
+class MissingAllPollingProtocols
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(MissingAllPollingProtocols, ExactIdentification) {
+  Xoshiro256ss rng(8);
+  const auto pop = tags::TagPopulation::uniform_random(400, rng);
+  std::unordered_set<TagId, TagIdHash> present;
+  for (std::size_t i = 0; i < pop.size(); ++i)
+    if (i % 10 != 0) present.insert(pop[i].id());
+  const auto report = find_missing_tags(GetParam(), pop, present, {});
+  EXPECT_TRUE(report.exact);
+  EXPECT_EQ(report.missing.size(), 40u);
+  EXPECT_EQ(report.result.metrics.polls + report.result.metrics.missing,
+            400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Polling, MissingAllPollingProtocols,
+    ::testing::Values(ProtocolKind::kCpp, ProtocolKind::kPrefixCpp,
+                      ProtocolKind::kCodedPolling, ProtocolKind::kHpp,
+                      ProtocolKind::kEhpp, ProtocolKind::kTpp,
+                      ProtocolKind::kMic, ProtocolKind::kSic),
+    [](const auto& param_info) {
+      return std::string(protocols::to_string(param_info.param));
+    });
+
+TEST(FindMissing, NoneMissingWhenAllPresent) {
+  Xoshiro256ss rng(9);
+  const auto pop = tags::TagPopulation::uniform_random(100, rng);
+  std::unordered_set<TagId, TagIdHash> present;
+  for (const tags::Tag& tag : pop) present.insert(tag.id());
+  const auto report = find_missing_tags(ProtocolKind::kTpp, pop, present, {});
+  EXPECT_TRUE(report.exact);
+  EXPECT_TRUE(report.missing.empty());
+}
+
+TEST(FindMissing, AllMissingDetected) {
+  Xoshiro256ss rng(10);
+  const auto pop = tags::TagPopulation::uniform_random(50, rng);
+  const std::unordered_set<TagId, TagIdHash> nobody;
+  const auto report = find_missing_tags(ProtocolKind::kHpp, pop, nobody, {});
+  EXPECT_TRUE(report.exact);
+  EXPECT_EQ(report.missing.size(), 50u);
+}
+
+TEST(FindMissing, DfsaRejected) {
+  Xoshiro256ss rng(11);
+  const auto pop = tags::TagPopulation::uniform_random(10, rng);
+  const std::unordered_set<TagId, TagIdHash> present;
+  EXPECT_THROW((void)find_missing_tags(ProtocolKind::kDfsa, pop, present, {}),
+               ContractViolation);
+}
+
+TEST(CompareProtocols, PaperOrderingHolds) {
+  const std::array kinds = {ProtocolKind::kCpp, ProtocolKind::kHpp,
+                            ProtocolKind::kEhpp, ProtocolKind::kMic,
+                            ProtocolKind::kTpp};
+  const auto rows = compare_protocols(kinds, 3000, 1, /*trials=*/3);
+  ASSERT_EQ(rows.size(), kinds.size() + 1);
+  const auto time_of = [&rows](const std::string& name) {
+    for (const auto& row : rows)
+      if (row.protocol == name) return row.avg_time_s;
+    ADD_FAILURE() << "row " << name << " not found";
+    return 0.0;
+  };
+  EXPECT_LT(time_of("TPP"), time_of("MIC"));
+  EXPECT_LT(time_of("MIC"), time_of("EHPP"));
+  EXPECT_LT(time_of("EHPP"), time_of("HPP"));
+  EXPECT_LT(time_of("HPP"), time_of("CPP"));
+  EXPECT_LT(time_of("LowerBound"), time_of("TPP"));
+}
+
+TEST(CompareProtocols, LowerBoundRowMatchesFormula) {
+  const std::array kinds = {ProtocolKind::kTpp};
+  const auto rows = compare_protocols(kinds, 1000, 32, 2);
+  EXPECT_NEAR(rows.back().avg_time_s, (299.8 + 800) * 1000 * 1e-6, 1e-6);
+}
+
+}  // namespace
+}  // namespace rfid::core

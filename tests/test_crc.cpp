@@ -1,0 +1,96 @@
+// Unit tests for the CRC substrate, including the linearity property that
+// rules CRCs out as coded-polling role validators (see coded_polling.hpp).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "common/crc.hpp"
+#include "common/rng.hpp"
+
+namespace rfid {
+namespace {
+
+std::uint16_t crc_of_string(const std::string& s) {
+  return crc16_ccitt({reinterpret_cast<const std::uint8_t*>(s.data()),
+                      s.size()});
+}
+
+TEST(Crc16, CheckValue123456789) {
+  // CRC-16/CCITT-FALSE check value from the Rocksoft catalogue.
+  EXPECT_EQ(crc_of_string("123456789"), 0x29B1);
+}
+
+TEST(Crc16, EmptyInputIsInitValue) {
+  EXPECT_EQ(crc16_ccitt({}), 0xFFFF);
+}
+
+TEST(Crc16, SingleByteDiffersFromInit) {
+  const std::array<std::uint8_t, 1> byte{0x00};
+  EXPECT_NE(crc16_ccitt(byte), 0xFFFF);
+}
+
+TEST(Crc16, SensitiveToByteOrder) {
+  EXPECT_NE(crc_of_string("ab"), crc_of_string("ba"));
+}
+
+TEST(Crc16OfId, MatchesByteSerialization) {
+  TagId id;
+  id.words = {0x01020304, 0x05060708, 0x090a0b0c};
+  const std::array<std::uint8_t, 12> bytes{1, 2, 3, 4,  5,  6,
+                                           7, 8, 9, 10, 11, 12};
+  EXPECT_EQ(crc16_of_id(id), crc16_ccitt(bytes));
+}
+
+TEST(Crc16OfId, IsLinearOverXor) {
+  // crc(a ^ b) == crc(a) ^ crc(b) ^ crc(0): GF(2) linearity. This is the
+  // property that makes a CRC useless for disambiguating XOR-coded polling
+  // frames — the second CRC check is implied by the first.
+  Xoshiro256ss rng(1);
+  TagId zero{};
+  const std::uint16_t c0 = crc16_of_id(zero);
+  for (int trial = 0; trial < 200; ++trial) {
+    TagId a, b;
+    for (auto& w : a.words) w = static_cast<std::uint32_t>(rng());
+    for (auto& w : b.words) w = static_cast<std::uint32_t>(rng());
+    EXPECT_EQ(crc16_of_id(a ^ b),
+              crc16_of_id(a) ^ crc16_of_id(b) ^ c0);
+  }
+}
+
+TEST(Crc5, MatchesBitwiseReference) {
+  // Independent bit-serial reference implementation.
+  const auto reference = [](std::uint32_t value, unsigned nbits) {
+    std::uint8_t crc = 0b01001;
+    for (unsigned i = 0; i < nbits; ++i) {
+      const bool bit = (value >> (nbits - 1 - i)) & 1u;
+      const bool msb = (crc >> 4) & 1u;
+      crc = static_cast<std::uint8_t>((crc << 1) & 0x1F);
+      if (bit != msb) crc ^= 0x09;
+    }
+    return crc;
+  };
+  Xoshiro256ss rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto value = static_cast<std::uint32_t>(rng() & 0x3FFFFF);
+    EXPECT_EQ(crc5_c1g2(value, 22), reference(value, 22));
+  }
+}
+
+TEST(Crc5, StaysWithinFiveBits) {
+  Xoshiro256ss rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    EXPECT_LT(crc5_c1g2(static_cast<std::uint32_t>(rng()), 17), 32u);
+  }
+}
+
+TEST(Crc5, DetectsSingleBitErrors) {
+  const std::uint32_t value = 0x155555;
+  const std::uint8_t good = crc5_c1g2(value, 22);
+  for (unsigned bit = 0; bit < 22; ++bit) {
+    EXPECT_NE(crc5_c1g2(value ^ (1u << bit), 22), good) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace rfid

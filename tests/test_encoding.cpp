@@ -1,0 +1,124 @@
+// Tests for the C1G2 bit encodings and link-rate arithmetic.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "phy/encoding.hpp"
+
+namespace rfid::phy {
+namespace {
+
+TEST(Fm0, TwoLevelsPerBit) {
+  EXPECT_EQ(fm0_encode(BitVec("1011")).size(), 8u);
+  EXPECT_TRUE(fm0_encode(BitVec("")).empty());
+}
+
+TEST(Fm0, BoundaryAlwaysInverts) {
+  const auto levels = fm0_encode(BitVec("010011101"));
+  for (std::size_t symbol = 1; symbol * 2 < levels.size(); ++symbol)
+    EXPECT_NE(levels[symbol * 2], levels[symbol * 2 - 1]) << symbol;
+}
+
+TEST(Fm0, ZeroInvertsMidSymbolOneDoesNot) {
+  const auto levels = fm0_encode(BitVec("01"));
+  EXPECT_NE(levels[0], levels[1]);  // data-0: mid-symbol inversion
+  EXPECT_EQ(levels[2], levels[3]);  // data-1: constant within symbol
+}
+
+TEST(Fm0, RoundTripFuzz) {
+  Xoshiro256ss rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec bits;
+    const std::size_t len = 1 + rng.below(64);
+    for (std::size_t i = 0; i < len; ++i) bits.push_back(rng.bernoulli(0.5));
+    for (const bool start : {false, true}) {
+      const auto decoded = fm0_decode(fm0_encode(bits, start));
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_TRUE(*decoded == bits);
+    }
+  }
+}
+
+TEST(Fm0, DecodeRejectsViolations) {
+  EXPECT_FALSE(fm0_decode({true}).has_value());  // odd length
+  // Missing boundary inversion: symbol ends high, next starts high.
+  EXPECT_FALSE(fm0_decode({false, true, true, true}).has_value());
+}
+
+TEST(Miller, ChipCountMatchesM) {
+  const BitVec bits("1010");
+  for (const unsigned m : {2u, 4u, 8u})
+    EXPECT_EQ(miller_encode(bits, m).size(), bits.size() * 2 * m) << m;
+}
+
+TEST(Miller, SubcarrierTogglesEveryChip) {
+  // Within one half-symbol the subcarrier alternates chips; transitions
+  // therefore dominate the waveform (at least one per chip pair).
+  const auto levels = miller_encode(BitVec("0000"), 4);
+  std::size_t transitions = 0;
+  for (std::size_t i = 1; i < levels.size(); ++i)
+    transitions += levels[i] != levels[i - 1];
+  EXPECT_GE(transitions, levels.size() / 2);
+}
+
+TEST(Miller, RoundTripFuzz) {
+  Xoshiro256ss rng(2);
+  for (const unsigned m : {2u, 4u, 8u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      BitVec bits;
+      const std::size_t len = 1 + rng.below(48);
+      for (std::size_t i = 0; i < len; ++i)
+        bits.push_back(rng.bernoulli(0.5));
+      for (const bool start : {false, true}) {
+        const auto decoded = miller_decode(miller_encode(bits, m, start), m);
+        ASSERT_TRUE(decoded.has_value()) << m;
+        EXPECT_TRUE(*decoded == bits) << m;
+      }
+    }
+  }
+}
+
+TEST(Miller, DecodeRejectsCorruptedSubcarrier) {
+  auto levels = miller_encode(BitVec("1100"), 4);
+  levels[5] = !levels[5];  // break one chip
+  EXPECT_FALSE(miller_decode(levels, 4).has_value());
+  // Wrong length is also rejected.
+  levels.push_back(true);
+  EXPECT_FALSE(miller_decode(levels, 4).has_value());
+}
+
+TEST(Miller, RejectsInvalidM) {
+  EXPECT_THROW((void)miller_encode(BitVec("1"), 3), ContractViolation);
+}
+
+TEST(LinkRates, PaperForwardRateFromPie) {
+  // Tari 25 us with 2-Tari data-1: 37.5 us/bit ~ 26.7 kbps, the paper's
+  // reader rate (it quotes the reciprocal rounded to 37.45).
+  EXPECT_DOUBLE_EQ(pie_avg_us_per_bit(25.0), 37.5);
+  EXPECT_NEAR(1000.0 / pie_avg_us_per_bit(25.0), 26.7, 0.1);
+  // Fastest standard setting: Tari 6.25 us, 1.5-Tari data-1 -> 128 kbps.
+  EXPECT_NEAR(1000.0 / pie_avg_us_per_bit(6.25, 1.5), 128.0, 0.5);
+}
+
+TEST(LinkRates, PaperReturnRateFromFm0) {
+  // BLF 40 kHz FM0: 25 us/bit = 40 kbps, the paper's tag rate. FM0 spans
+  // 40..640 kbps across the standard's BLF range.
+  EXPECT_DOUBLE_EQ(backscatter_us_per_bit(40.0), 25.0);
+  EXPECT_DOUBLE_EQ(backscatter_us_per_bit(640.0), 1.5625);
+}
+
+TEST(LinkRates, MillerDividesRate) {
+  EXPECT_DOUBLE_EQ(backscatter_us_per_bit(320.0, 8),
+                   8 * backscatter_us_per_bit(320.0, 1));
+}
+
+TEST(LinkRates, LinkTimingRecoversPaperSetting) {
+  const C1G2Timing timing = link_timing(25.0, 40.0);
+  EXPECT_NEAR(timing.reader_us_per_bit, 37.45, 0.1);
+  EXPECT_DOUBLE_EQ(timing.tag_us_per_bit, 25.0);
+  // The derived model yields the paper's per-poll cost within rounding.
+  const C1G2Timing paper;  // defaults = paper constants
+  EXPECT_NEAR(timing.poll_us(3, 1), paper.poll_us(3, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace rfid::phy

@@ -1,0 +1,132 @@
+// Unit tests for the shared reader/tag hash H(r, id).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "tags/population.hpp"
+
+namespace rfid {
+namespace {
+
+TagId make_id(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  TagId id;
+  id.words = {a, b, c};
+  return id;
+}
+
+TEST(TagHash, DeterministicAcrossCalls) {
+  const TagId id = make_id(1, 2, 3);
+  EXPECT_EQ(tag_hash(42, id), tag_hash(42, id));
+}
+
+TEST(TagHash, SeedChangesValue) {
+  const TagId id = make_id(1, 2, 3);
+  EXPECT_NE(tag_hash(42, id), tag_hash(43, id));
+}
+
+TEST(TagHash, AllIdWordsMatter) {
+  const TagId base = make_id(1, 2, 3);
+  EXPECT_NE(tag_hash(1, base), tag_hash(1, make_id(9, 2, 3)));
+  EXPECT_NE(tag_hash(1, base), tag_hash(1, make_id(1, 9, 3)));
+  EXPECT_NE(tag_hash(1, base), tag_hash(1, make_id(1, 2, 9)));
+}
+
+TEST(TagHash, SingleBitFlipAvalanches) {
+  // Flipping one ID bit should flip roughly half the output bits.
+  const TagId base = make_id(0x12345678, 0x9abcdef0, 0x0f1e2d3c);
+  const std::uint64_t h0 = tag_hash(7, base);
+  for (const std::size_t pos : {0u, 31u, 32u, 63u, 64u, 95u}) {
+    TagId flipped = base;
+    flipped.set_bit(pos, !flipped.bit(pos));
+    const int flips = __builtin_popcountll(h0 ^ tag_hash(7, flipped));
+    EXPECT_GT(flips, 16) << "bit " << pos;
+    EXPECT_LT(flips, 48) << "bit " << pos;
+  }
+}
+
+TEST(TagIndexPow2, ZeroLengthIndexIsZero) {
+  EXPECT_EQ(tag_index_pow2(99, make_id(4, 5, 6), 0), 0u);
+}
+
+TEST(TagIndexPow2, StaysBelowRange) {
+  Xoshiro256ss rng(1);
+  const auto pop = tags::TagPopulation::uniform_random(500, rng);
+  for (unsigned h = 1; h <= 16; ++h) {
+    for (const tags::Tag& tag : pop)
+      EXPECT_LT(tag_index_pow2(77, tag.id(), h), 1u << h);
+  }
+}
+
+TEST(TagIndexPow2, UniformAcrossIndices) {
+  // Chi-square at 99%: a systematic bias in index selection would break
+  // the singleton-probability analysis of every protocol.
+  Xoshiro256ss rng(2);
+  const auto pop = tags::TagPopulation::uniform_random(32000, rng);
+  constexpr unsigned h = 6;  // 64 buckets, ~500 expected each
+  std::vector<std::size_t> counts(1u << h, 0);
+  for (const tags::Tag& tag : pop) ++counts[tag_index_pow2(5, tag.id(), h)];
+  EXPECT_LT(chi_square_uniform(counts), chi_square_critical_99(counts.size() - 1));
+}
+
+TEST(TagIndexPow2, SeedsDecorrelate) {
+  // The same population must land on fresh indices each round; otherwise
+  // collision sets would persist and HPP/TPP would never converge.
+  Xoshiro256ss rng(3);
+  const auto pop = tags::TagPopulation::uniform_random(2000, rng);
+  std::size_t same = 0;
+  for (const tags::Tag& tag : pop)
+    same += tag_index_pow2(1, tag.id(), 10) == tag_index_pow2(2, tag.id(), 10);
+  // Expected collisions by chance: 2000 / 1024 ~ 2.
+  EXPECT_LT(same, 12u);
+}
+
+TEST(TagIndexMod, RespectsModulus) {
+  Xoshiro256ss rng(4);
+  const auto pop = tags::TagPopulation::uniform_random(300, rng);
+  for (const std::uint64_t modulus : {1ULL, 7ULL, 100ULL, 65536ULL}) {
+    for (const tags::Tag& tag : pop)
+      EXPECT_LT(tag_index_mod(9, tag.id(), modulus), modulus);
+  }
+}
+
+TEST(TagIndexMod, ThresholdSelectionHasExpectedRate) {
+  // EHPP's circle membership: P(H mod F < f) should be f/F.
+  Xoshiro256ss rng(5);
+  const auto pop = tags::TagPopulation::uniform_random(20000, rng);
+  const std::uint64_t modulus = 1u << 20;
+  const std::uint64_t threshold = modulus / 4;
+  std::size_t joined = 0;
+  for (const tags::Tag& tag : pop)
+    joined += tag_index_mod(123, tag.id(), modulus) < threshold;
+  EXPECT_NEAR(double(joined) / double(pop.size()), 0.25, 0.02);
+}
+
+TEST(TagHashFamily, MembersAreIndependent) {
+  Xoshiro256ss rng(6);
+  const auto pop = tags::TagPopulation::uniform_random(4000, rng);
+  // Two different family members agreeing mod 256 should happen ~1/256.
+  std::size_t agree = 0;
+  for (const tags::Tag& tag : pop)
+    agree += (tag_hash_family(1, 0, tag.id()) % 256) ==
+             (tag_hash_family(1, 1, tag.id()) % 256);
+  EXPECT_LT(agree, 40u);
+  EXPECT_GT(agree, 2u);
+}
+
+TEST(TagHashFamily, MemberZeroDiffersFromPlainHash) {
+  const TagId id = make_id(10, 20, 30);
+  EXPECT_NE(tag_hash_family(42, 0, id), tag_hash(42, id));
+}
+
+TEST(Mix64, BijectivityOnSample) {
+  // mix64 is a bijection; no two distinct inputs from a sample may collide.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i * 0x9e37));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,174 @@
+// Tests for the Hash Polling Protocol (paper Section III).
+#include <gtest/gtest.h>
+
+#include "analysis/hpp_model.hpp"
+#include "common/math_util.hpp"
+#include "protocols/hash_polling.hpp"
+#include "sim/verify.hpp"
+
+namespace rfid::protocols {
+namespace {
+
+sim::RunResult run_hpp(std::size_t n, std::uint64_t seed,
+                       std::size_t info_bits = 1) {
+  Xoshiro256ss rng(seed);
+  const auto pop = tags::TagPopulation::uniform_random(n, rng);
+  sim::SessionConfig config;
+  config.info_bits = info_bits;
+  config.seed = seed * 77 + 1;
+  return Hpp().run(pop, config);
+}
+
+TEST(Hpp, EmptyPopulationIsNoop) {
+  Xoshiro256ss rng(1);
+  const auto pop = tags::TagPopulation::uniform_random(0, rng);
+  const auto result = Hpp().run(pop, sim::SessionConfig{});
+  EXPECT_EQ(result.metrics.polls, 0u);
+  EXPECT_EQ(result.metrics.rounds, 0u);
+}
+
+TEST(Hpp, SingleTagPolledWithZeroBits) {
+  const auto result = run_hpp(1, 2);
+  EXPECT_EQ(result.metrics.polls, 1u);
+  EXPECT_EQ(result.metrics.vector_bits, 0u);  // h = 0 for one tag
+}
+
+TEST(Hpp, TwoTagsComplete) {
+  const auto result = run_hpp(2, 3);
+  EXPECT_EQ(result.metrics.polls, 2u);
+}
+
+TEST(Hpp, EveryPollIsSingleton) {
+  const auto result = run_hpp(500, 4);
+  EXPECT_EQ(result.channel.collision_slots, 0u);
+  EXPECT_EQ(result.channel.empty_slots, 0u);
+  EXPECT_EQ(result.channel.singleton_slots, result.metrics.polls);
+}
+
+TEST(Hpp, PollCountEqualsPopulation) {
+  // "The total number of polling is the same with the number of tags,
+  // completely avoiding slot waste." (Section III-B)
+  for (const std::size_t n : {10u, 100u, 1000u}) {
+    const auto result = run_hpp(n, n);
+    EXPECT_EQ(result.metrics.polls, n);
+    EXPECT_EQ(result.metrics.slots_wasted, 0u);
+  }
+}
+
+TEST(Hpp, CollectionIsCompleteAndCorrect) {
+  Xoshiro256ss rng(5);
+  const auto pop = tags::TagPopulation::uniform_random(800, rng)
+                       .with_random_payloads(16, rng);
+  sim::SessionConfig config;
+  config.info_bits = 16;
+  const auto result = Hpp().run(pop, config);
+  const auto verify = sim::verify_complete_collection(pop, result);
+  EXPECT_TRUE(verify.ok) << verify.message;
+}
+
+TEST(Hpp, VectorLengthRespectsLogUpperBound) {
+  // Eq. (5): w <= ceil(log2 n).
+  for (const std::size_t n : {64u, 500u, 3000u, 20000u}) {
+    const auto result = run_hpp(n, n + 13);
+    EXPECT_LE(result.avg_vector_bits(),
+              double(analysis::hpp_vector_upper_bound(n)) + 1e-9);
+  }
+}
+
+TEST(Hpp, VectorLengthGrowsWithPopulation) {
+  // Fig. 3 / Fig. 10: w grows roughly logarithmically with n.
+  const double w_small = run_hpp(1000, 6).avg_vector_bits();
+  const double w_large = run_hpp(30000, 7).avg_vector_bits();
+  EXPECT_GT(w_large, w_small + 2.0);
+}
+
+TEST(Hpp, MatchesAnalyticalPrediction) {
+  // Eq. (4) recursion vs simulation, within a few percent at n = 5000.
+  const auto predicted = analysis::hpp_predict(5000);
+  double simulated = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s)
+    simulated += run_hpp(5000, 100 + s).avg_vector_bits();
+  simulated /= 5.0;
+  EXPECT_LT(relative_difference(simulated, predicted.avg_vector_bits), 0.06)
+      << "sim " << simulated << " vs model " << predicted.avg_vector_bits;
+}
+
+TEST(Hpp, ReadFractionPerRoundInPaperBand) {
+  // Section III-B: 36.8%..60.7% of unread tags are read per round; check
+  // round 1 via the round counter and remaining polls.
+  const auto result = run_hpp(10000, 8);
+  // Expected rounds for n = 1e4 is ~13..25 given geometric decay in band.
+  EXPECT_GE(result.metrics.rounds, 8u);
+  EXPECT_LE(result.metrics.rounds, 40u);
+}
+
+TEST(Hpp, DeterministicReplay) {
+  const auto a = run_hpp(1200, 9);
+  const auto b = run_hpp(1200, 9);
+  EXPECT_EQ(a.metrics.vector_bits, b.metrics.vector_bits);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_DOUBLE_EQ(a.metrics.time_us, b.metrics.time_us);
+}
+
+TEST(Hpp, DifferentSeedsDifferentSchedules) {
+  const auto a = run_hpp(1200, 10);
+  Xoshiro256ss rng(10);
+  const auto pop = tags::TagPopulation::uniform_random(1200, rng);
+  sim::SessionConfig config;
+  config.seed = 999;
+  const auto b = Hpp().run(pop, config);
+  EXPECT_NE(a.metrics.vector_bits, b.metrics.vector_bits);
+}
+
+TEST(Hpp, RoundInitCountedAsCommandNotVector) {
+  const auto result = run_hpp(300, 11);
+  EXPECT_EQ(result.metrics.command_bits, result.metrics.rounds * 32u);
+}
+
+TEST(Hpp, CountInitInWChangesAccounting) {
+  Xoshiro256ss rng(12);
+  const auto pop = tags::TagPopulation::uniform_random(300, rng);
+  sim::SessionConfig config;
+  config.seed = 1;
+  const auto base = Hpp().run(pop, config);
+  const auto counted =
+      Hpp(HppRoundConfig{32, /*count_init_in_w=*/true}).run(pop, config);
+  EXPECT_EQ(counted.metrics.vector_bits,
+            base.metrics.vector_bits + 32u * base.metrics.rounds);
+  EXPECT_EQ(counted.metrics.command_bits, 0u);
+  EXPECT_DOUBLE_EQ(counted.metrics.time_us, base.metrics.time_us);
+}
+
+TEST(Hpp, WorksOnSequentialIds) {
+  // No assumption on ID distribution (Section II-B): adversarially regular
+  // IDs must behave like random ones thanks to the hash.
+  const auto pop = tags::TagPopulation::sequential(2048, 0);
+  sim::SessionConfig config;
+  config.seed = 5;
+  const auto result = Hpp().run(pop, config);
+  EXPECT_EQ(result.metrics.polls, 2048u);
+  EXPECT_LE(result.avg_vector_bits(), 11.0 + 1e-9);
+}
+
+TEST(Hpp, SixteenBitPayloadTiming) {
+  const auto result = run_hpp(100, 13, 16);
+  // Each poll carries 16 tag bits: tag_bits must equal 16 n.
+  EXPECT_EQ(result.metrics.tag_bits, 1600u);
+}
+
+class HppPopulationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HppPopulationSweep, CompleteAndWasteFree) {
+  const std::size_t n = GetParam();
+  const auto result = run_hpp(n, 31 * n + 7);
+  EXPECT_EQ(result.metrics.polls, n);
+  EXPECT_EQ(result.channel.collision_slots, 0u);
+  EXPECT_EQ(result.channel.empty_slots, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HppPopulationSweep,
+                         ::testing::Values(1, 2, 3, 5, 17, 64, 65, 255, 256,
+                                           257, 1000, 4096, 10000));
+
+}  // namespace
+}  // namespace rfid::protocols

@@ -1,0 +1,141 @@
+// Integration tests: single runs at the paper's n = 10^4 operating point
+// must land on the shapes of Tables I-III and Fig. 10.
+#include <gtest/gtest.h>
+
+#include "analysis/timing_model.hpp"
+#include "core/polling.hpp"
+
+namespace rfid {
+namespace {
+
+using core::ProtocolKind;
+
+struct PaperPoint final {
+  sim::RunResult cpp, hpp, ehpp, mic, tpp;
+};
+
+const PaperPoint& paper_point(std::size_t info_bits) {
+  // One shared 10k-tag run per payload size (construction is expensive on
+  // the test machine; results are deterministic anyway).
+  static std::map<std::size_t, PaperPoint> cache;
+  auto it = cache.find(info_bits);
+  if (it == cache.end()) {
+    Xoshiro256ss rng(2016);
+    const auto pop = tags::TagPopulation::uniform_random(10000, rng);
+    sim::SessionConfig config;
+    config.info_bits = info_bits;
+    config.seed = 7;
+    config.keep_records = false;
+    PaperPoint point;
+    point.cpp = protocols::make_protocol(ProtocolKind::kCpp)->run(pop, config);
+    point.hpp = protocols::make_protocol(ProtocolKind::kHpp)->run(pop, config);
+    point.ehpp =
+        protocols::make_protocol(ProtocolKind::kEhpp)->run(pop, config);
+    point.mic = protocols::make_protocol(ProtocolKind::kMic)->run(pop, config);
+    point.tpp = protocols::make_protocol(ProtocolKind::kTpp)->run(pop, config);
+    it = cache.emplace(info_bits, std::move(point)).first;
+  }
+  return it->second;
+}
+
+TEST(TableOne, CppRowExact) {
+  EXPECT_NEAR(paper_point(1).cpp.exec_time_s(), 37.70, 0.01);
+}
+
+TEST(TableOne, HppRowNearPaper) {
+  EXPECT_NEAR(paper_point(1).hpp.exec_time_s(), 8.12, 0.35);
+}
+
+TEST(TableOne, EhppRowNearPaper) {
+  EXPECT_NEAR(paper_point(1).ehpp.exec_time_s(), 6.63, 0.35);
+}
+
+TEST(TableOne, MicRowNearPaper) {
+  EXPECT_NEAR(paper_point(1).mic.exec_time_s(), 5.15, 0.45);
+}
+
+TEST(TableOne, TppRowNearPaper) {
+  EXPECT_NEAR(paper_point(1).tpp.exec_time_s(), 4.39, 0.25);
+}
+
+TEST(TableOne, OrderingMatchesPaper) {
+  const auto& p = paper_point(1);
+  EXPECT_LT(p.tpp.exec_time_s(), p.mic.exec_time_s());
+  EXPECT_LT(p.mic.exec_time_s(), p.ehpp.exec_time_s());
+  EXPECT_LT(p.ehpp.exec_time_s(), p.hpp.exec_time_s());
+  EXPECT_LT(p.hpp.exec_time_s(), p.cpp.exec_time_s());
+}
+
+TEST(TableOne, TppWithinSmallFactorOfLowerBound) {
+  // Paper: TPP is ~1.35x the lower bound at l = 1.
+  const double bound = analysis::lower_bound_time_s(10000, 1);
+  const double ratio = paper_point(1).tpp.exec_time_s() / bound;
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 1.5);
+}
+
+TEST(TableOne, TppReducesMicByDoubleDigitPercent) {
+  // Paper: 14.8% reduction vs MIC when collecting 1 bit.
+  const auto& p = paper_point(1);
+  const double reduction =
+      1.0 - p.tpp.exec_time_s() / p.mic.exec_time_s();
+  EXPECT_GT(reduction, 0.08);
+  EXPECT_LT(reduction, 0.22);
+}
+
+TEST(TableTwo, SixteenBitRatiosNearPaper) {
+  // Paper: at l = 16, TPP is 85.7% of MIC, 78.3% of EHPP, 68.6% of HPP,
+  // 19.6% of CPP.
+  const auto& p = paper_point(16);
+  const double tpp = p.tpp.exec_time_s();
+  EXPECT_NEAR(tpp / p.mic.exec_time_s(), 0.857, 0.05);
+  EXPECT_NEAR(tpp / p.ehpp.exec_time_s(), 0.783, 0.05);
+  EXPECT_NEAR(tpp / p.hpp.exec_time_s(), 0.686, 0.05);
+  EXPECT_NEAR(tpp / p.cpp.exec_time_s(), 0.196, 0.02);
+}
+
+TEST(TableThree, ThirtyTwoBitLowerBoundMultiples) {
+  // Paper: at l = 32 and n = 10^4 — TPP 1.10x, MIC 1.28x, EHPP 1.31x,
+  // HPP 1.45x, CPP 4.14x the lower bound.
+  const double bound = analysis::lower_bound_time_s(10000, 32);
+  const auto& p = paper_point(32);
+  EXPECT_NEAR(p.tpp.exec_time_s() / bound, 1.10, 0.05);
+  EXPECT_NEAR(p.mic.exec_time_s() / bound, 1.28, 0.08);
+  EXPECT_NEAR(p.ehpp.exec_time_s() / bound, 1.31, 0.08);
+  EXPECT_NEAR(p.hpp.exec_time_s() / bound, 1.45, 0.08);
+  EXPECT_NEAR(p.cpp.exec_time_s() / bound, 4.14, 0.10);
+}
+
+TEST(FigureTen, VectorLengthsNearPaperAtTenThousand) {
+  const auto& p = paper_point(1);
+  EXPECT_NEAR(p.hpp.avg_vector_bits(), 13.0, 1.0);   // log-growth point
+  EXPECT_NEAR(p.ehpp.avg_vector_bits(), 9.0, 0.8);   // flat at ~9
+  EXPECT_NEAR(p.tpp.avg_vector_bits(), 3.06, 0.25);  // flat at ~3.06
+}
+
+TEST(FigureTen, CompressionFactorsVsCpp) {
+  // Section V-B: EHPP and TPP shorten the vector ~10x and ~31x vs CPP.
+  const auto& p = paper_point(1);
+  EXPECT_NEAR(96.0 / p.ehpp.avg_vector_bits(), 10.0, 1.5);
+  EXPECT_NEAR(96.0 / p.tpp.avg_vector_bits(), 31.0, 3.5);
+}
+
+TEST(Integration, HppVectorGrowsButTppStays) {
+  Xoshiro256ss rng(3);
+  const auto pop_small = tags::TagPopulation::uniform_random(1000, rng);
+  const auto pop_large = tags::TagPopulation::uniform_random(50000, rng);
+  sim::SessionConfig config;
+  config.keep_records = false;
+  config.seed = 5;
+  const auto hpp = protocols::make_protocol(ProtocolKind::kHpp);
+  const auto tpp = protocols::make_protocol(ProtocolKind::kTpp);
+  const double hpp_growth = hpp->run(pop_large, config).avg_vector_bits() -
+                            hpp->run(pop_small, config).avg_vector_bits();
+  const double tpp_growth = tpp->run(pop_large, config).avg_vector_bits() -
+                            tpp->run(pop_small, config).avg_vector_bits();
+  EXPECT_GT(hpp_growth, 4.0);
+  EXPECT_LT(std::abs(tpp_growth), 0.4);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,129 @@
+// Unit tests for numeric helpers and streaming statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace rfid {
+namespace {
+
+TEST(CeilLog2, PaperIndexLengthConvention) {
+  // HPP requires 2^{h-1} < n <= 2^h, i.e. h = ceil_log2(n).
+  EXPECT_EQ(ceil_log2(0), 0u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(CeilLog2, SatisfiesDefiningInequality) {
+  for (std::uint64_t n = 2; n < 5000; ++n) {
+    const unsigned h = ceil_log2(n);
+    EXPECT_LT(pow2(h - 1), n);
+    EXPECT_LE(n, pow2(h));
+  }
+}
+
+TEST(FloorLog2, Basics) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+}
+
+TEST(IsPow2, Basics) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+}
+
+TEST(RelativeDifference, Symmetric) {
+  EXPECT_DOUBLE_EQ(relative_difference(10.0, 11.0),
+                   relative_difference(11.0, 10.0));
+  EXPECT_NEAR(relative_difference(10.0, 11.0), 1.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_difference(0.0, 0.0), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Xoshiro256ss rng(10);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform01() * 10.0;
+    whole.add(x);
+    (i < 250 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Xoshiro256ss rng(11);
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform01());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(ChiSquare, UniformCountsScoreLow) {
+  std::vector<std::size_t> counts(20, 100);
+  EXPECT_DOUBLE_EQ(chi_square_uniform(counts), 0.0);
+}
+
+TEST(ChiSquare, SkewedCountsScoreHigh) {
+  std::vector<std::size_t> counts(20, 100);
+  counts[0] = 500;
+  counts[1] = 0;
+  EXPECT_GT(chi_square_uniform(counts), chi_square_critical_99(19));
+}
+
+TEST(ChiSquareCritical, MatchesTableValues) {
+  // Reference values: chi2_{0.99}(k) for k = 10, 30, 100.
+  EXPECT_NEAR(chi_square_critical_99(10), 23.21, 0.4);
+  EXPECT_NEAR(chi_square_critical_99(30), 50.89, 0.5);
+  EXPECT_NEAR(chi_square_critical_99(100), 135.81, 1.0);
+}
+
+}  // namespace
+}  // namespace rfid

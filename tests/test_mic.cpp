@@ -1,0 +1,132 @@
+// Tests for the MIC / SIC information-collection baselines.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "protocols/mic.hpp"
+#include "sim/verify.hpp"
+
+namespace rfid::protocols {
+namespace {
+
+sim::RunResult run_mic(std::size_t n, std::uint64_t seed,
+                       Mic::Config config = Mic::Config()) {
+  Xoshiro256ss rng(seed);
+  const auto pop = tags::TagPopulation::uniform_random(n, rng);
+  sim::SessionConfig session;
+  session.seed = seed * 7 + 3;
+  return Mic(config).run(pop, session);
+}
+
+TEST(Mic, CompleteCollection) {
+  Xoshiro256ss rng(1);
+  const auto pop = tags::TagPopulation::uniform_random(2000, rng)
+                       .with_random_payloads(16, rng);
+  sim::SessionConfig session;
+  session.info_bits = 16;
+  const auto result = Mic().run(pop, session);
+  const auto verify = sim::verify_complete_collection(pop, result);
+  EXPECT_TRUE(verify.ok) << verify.message;
+}
+
+TEST(Mic, EveryMarkedSlotIsAnswered) {
+  // The layered assignment guarantees marked slots are singleton: useful
+  // slots equal polls and no collisions ever reach the channel.
+  const auto result = run_mic(3000, 2);
+  EXPECT_EQ(result.metrics.polls, 3000u);
+  EXPECT_EQ(result.channel.collision_slots, 0u);
+  EXPECT_EQ(result.metrics.slots_useful, 3000u);
+}
+
+TEST(Mic, WasteNearPublishedFigure) {
+  // MIC's authors report 13.9% wasted slots at k = 7, f = n; the layered
+  // fixed point 1 - 0.861 lands there.
+  const auto result = run_mic(20000, 3);
+  EXPECT_NEAR(result.metrics.waste_fraction(), 0.139, 0.025);
+}
+
+TEST(Mic, SicWasteNearAlohaFigure) {
+  // k = 1 degenerates to single-hash assignment: ~63.2% waste (the ALOHA
+  // number the paper quotes when motivating MIC).
+  Xoshiro256ss rng(4);
+  const auto pop = tags::TagPopulation::uniform_random(20000, rng);
+  sim::SessionConfig session;
+  session.seed = 5;
+  const auto result = make_sic().run(pop, session);
+  EXPECT_NEAR(result.metrics.waste_fraction(), 0.632, 0.03);
+}
+
+TEST(Mic, MoreHashesLessWaste) {
+  // The related-work dilemma: waste falls monotonically with k...
+  const double w1 = run_mic(10000, 6, Mic::Config{.num_hashes = 1})
+                        .metrics.waste_fraction();
+  const double w3 = run_mic(10000, 6, Mic::Config{.num_hashes = 3})
+                        .metrics.waste_fraction();
+  const double w7 = run_mic(10000, 6, Mic::Config{.num_hashes = 7})
+                        .metrics.waste_fraction();
+  EXPECT_GT(w1, w3);
+  EXPECT_GT(w3, w7);
+}
+
+TEST(Mic, MoreHashesBiggerIndicatorVector) {
+  // ...but the indicator vector grows with ceil(log2(k+1)) bits per slot —
+  // the storage/overhead dilemma of Section VI. Compare per-slot cost
+  // (totals are dominated by k=1 needing far more slots overall).
+  const auto r7 = run_mic(5000, 7, Mic::Config{.num_hashes = 7});
+  const auto r1 = run_mic(5000, 7, Mic::Config{.num_hashes = 1});
+  const double per_slot_7 = double(r7.metrics.vector_bits) /
+                            double(r7.metrics.slots_total);
+  const double per_slot_1 = double(r1.metrics.vector_bits) /
+                            double(r1.metrics.slots_total);
+  EXPECT_DOUBLE_EQ(per_slot_7, 3.0);
+  EXPECT_DOUBLE_EQ(per_slot_1, 1.0);
+}
+
+TEST(Mic, IndicatorVectorBitsMatchFrameSizes) {
+  const auto result = run_mic(1000, 8);
+  // Every frame contributes 3 bits per slot with k = 7.
+  EXPECT_EQ(result.metrics.vector_bits, result.metrics.slots_total * 3u);
+}
+
+TEST(Mic, SingleTagResolvedImmediately) {
+  const auto result = run_mic(1, 9);
+  EXPECT_EQ(result.metrics.polls, 1u);
+  EXPECT_EQ(result.metrics.rounds, 1u);
+}
+
+TEST(Mic, DeterministicReplay) {
+  const auto a = run_mic(1500, 10);
+  const auto b = run_mic(1500, 10);
+  EXPECT_EQ(a.metrics.slots_total, b.metrics.slots_total);
+  EXPECT_DOUBLE_EQ(a.metrics.time_us, b.metrics.time_us);
+}
+
+TEST(Mic, InvalidConfigRejected) {
+  Xoshiro256ss rng(11);
+  const auto pop = tags::TagPopulation::uniform_random(10, rng);
+  EXPECT_THROW((void)Mic(Mic::Config{.num_hashes = 0}).run(pop, {}),
+               ContractViolation);
+  EXPECT_THROW((void)Mic(Mic::Config{.frame_factor = 0.0}).run(pop, {}),
+               ContractViolation);
+}
+
+TEST(Mic, FrameFactorScalesFrames) {
+  const auto tight = run_mic(4000, 12, Mic::Config{.frame_factor = 0.5});
+  const auto loose = run_mic(4000, 12, Mic::Config{.frame_factor = 2.0});
+  EXPECT_EQ(tight.metrics.polls, 4000u);
+  EXPECT_EQ(loose.metrics.polls, 4000u);
+  EXPECT_GT(loose.metrics.waste_fraction(), tight.metrics.waste_fraction());
+}
+
+class MicSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MicSweep, Complete) {
+  const std::size_t n = GetParam();
+  const auto result = run_mic(n, 19 * n + 5);
+  EXPECT_EQ(result.metrics.polls, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MicSweep,
+                         ::testing::Values(1, 2, 5, 50, 333, 1000, 8000));
+
+}  // namespace
+}  // namespace rfid::protocols

@@ -1,0 +1,141 @@
+// Multi-reader scheduling tests (core/multi_reader.hpp).
+#include <gtest/gtest.h>
+
+#include "core/multi_reader.hpp"
+
+namespace rfid::core {
+namespace {
+
+tags::TagPopulation uniform(std::size_t n, std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  return tags::TagPopulation::uniform_random(n, rng);
+}
+
+TEST(ReaderOf, PartitionIsBalanced) {
+  const auto pop = uniform(8000, 1);
+  std::vector<std::size_t> counts(4, 0);
+  for (const tags::Tag& tag : pop) ++counts[reader_of(tag.id(), 4, 99)];
+  for (const std::size_t c : counts) {
+    EXPECT_GT(c, 1800u);
+    EXPECT_LT(c, 2200u);
+  }
+}
+
+TEST(ReaderOf, DeterministicAndSeedDependent) {
+  const auto pop = uniform(100, 2);
+  std::size_t moved = 0;
+  for (const tags::Tag& tag : pop) {
+    EXPECT_EQ(reader_of(tag.id(), 3, 7), reader_of(tag.id(), 3, 7));
+    moved += reader_of(tag.id(), 3, 7) != reader_of(tag.id(), 3, 8);
+  }
+  EXPECT_GT(moved, 30u);  // a new partition seed reshuffles zones
+}
+
+TEST(MultiReader, CoversInventoryExactlyOnce) {
+  const auto pop = uniform(3000, 3);
+  MultiReaderConfig config;
+  config.readers = 3;
+  const auto report = run_multi_reader(pop, config);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.collected, 3000u);
+  EXPECT_EQ(report.per_reader.size(), 3u);
+}
+
+TEST(MultiReader, SingleReaderDegeneratesToPlainRun) {
+  const auto pop = uniform(500, 4);
+  MultiReaderConfig config;
+  config.readers = 1;
+  const auto report = run_multi_reader(pop, config);
+  EXPECT_TRUE(report.verified);
+  EXPECT_DOUBLE_EQ(report.makespan_s, report.total_busy_s);
+  EXPECT_EQ(report.per_reader.front().metrics.polls, 500u);
+}
+
+TEST(MultiReader, TimeDivisionMakespanIsSum) {
+  const auto pop = uniform(2000, 5);
+  MultiReaderConfig config;
+  config.readers = 4;
+  config.schedule = ReaderSchedule::kTimeDivision;
+  const auto report = run_multi_reader(pop, config);
+  double sum = 0.0;
+  for (const auto& r : report.per_reader) sum += r.exec_time_s();
+  EXPECT_NEAR(report.makespan_s, sum, 1e-9);
+}
+
+TEST(MultiReader, SpatialParallelMakespanIsMax) {
+  const auto pop = uniform(2000, 6);
+  MultiReaderConfig config;
+  config.readers = 4;
+  config.schedule = ReaderSchedule::kSpatialParallel;
+  const auto report = run_multi_reader(pop, config);
+  double max_t = 0.0;
+  for (const auto& r : report.per_reader)
+    max_t = std::max(max_t, r.exec_time_s());
+  EXPECT_NEAR(report.makespan_s, max_t, 1e-9);
+  EXPECT_LT(report.makespan_s, report.total_busy_s);
+}
+
+TEST(MultiReader, SpatialParallelismScalesSweeps) {
+  // Four isolated zones should sweep ~4x faster than one reader; TPP's flat
+  // vector length means near-ideal scaling (only round-granularity loss).
+  const auto pop = uniform(8000, 7);
+  MultiReaderConfig one;
+  one.readers = 1;
+  MultiReaderConfig four;
+  four.readers = 4;
+  four.schedule = ReaderSchedule::kSpatialParallel;
+  const double t1 = run_multi_reader(pop, one).makespan_s;
+  const double t4 = run_multi_reader(pop, four).makespan_s;
+  EXPECT_LT(t4, t1 / 3.0);
+  EXPECT_GT(t4, t1 / 5.0);
+}
+
+TEST(MultiReader, WorksForEveryProtocol) {
+  const auto pop = uniform(900, 8);
+  for (const auto kind : protocols::all_protocols()) {
+    MultiReaderConfig config;
+    config.readers = 3;
+    config.kind = kind;
+    const auto report = run_multi_reader(pop, config);
+    EXPECT_TRUE(report.verified) << protocols::to_string(kind);
+  }
+}
+
+TEST(MultiReader, NoisyChannelStillCoversExactly) {
+  const auto pop = uniform(1500, 21);
+  MultiReaderConfig config;
+  config.readers = 3;
+  config.session.reply_error_rate = 0.2;
+  const auto report = run_multi_reader(pop, config);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.collected, 1500u);
+}
+
+TEST(MultiReader, MoreReadersThanTags) {
+  const auto pop = uniform(3, 9);
+  MultiReaderConfig config;
+  config.readers = 8;
+  const auto report = run_multi_reader(pop, config);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.collected, 3u);
+}
+
+TEST(MultiReader, EmptyInventory) {
+  const tags::TagPopulation empty;
+  MultiReaderConfig config;
+  config.readers = 2;
+  const auto report = run_multi_reader(empty, config);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.collected, 0u);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 0.0);
+}
+
+TEST(MultiReader, InvalidReaderCountRejected) {
+  const auto pop = uniform(10, 10);
+  MultiReaderConfig config;
+  config.readers = 0;
+  EXPECT_THROW((void)run_multi_reader(pop, config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rfid::core

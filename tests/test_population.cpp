@@ -1,0 +1,122 @@
+// Unit tests for tag and population generation.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "tags/population.hpp"
+
+namespace rfid::tags {
+namespace {
+
+TEST(Tag, ReplyPayloadUsesStoredPrefix) {
+  Tag tag(TagId::from_hex("000000000000000000000001"), BitVec("10110"));
+  EXPECT_EQ(tag.reply_payload(3).to_string(), "101");
+  EXPECT_EQ(tag.reply_payload(5).to_string(), "10110");
+}
+
+TEST(Tag, ReplyPayloadDerivedWhenStoredTooShort) {
+  const TagId id = TagId::from_hex("000000000000000000000002");
+  Tag tag(id, BitVec("1"));
+  EXPECT_EQ(tag.reply_payload(16), derived_payload(id, 16));
+}
+
+TEST(Tag, DerivedPayloadDeterministicAndIdDependent) {
+  const TagId a = TagId::from_hex("000000000000000000000003");
+  const TagId b = TagId::from_hex("000000000000000000000004");
+  EXPECT_EQ(derived_payload(a, 32), derived_payload(a, 32));
+  EXPECT_FALSE(derived_payload(a, 32) == derived_payload(b, 32));
+}
+
+TEST(Tag, DerivedPayloadPrefixConsistent) {
+  // Asking for fewer bits must yield a prefix of the longer derivation.
+  const TagId id = TagId::from_hex("00000000000000000000000a");
+  const BitVec long_payload = derived_payload(id, 100);
+  const BitVec short_payload = derived_payload(id, 40);
+  for (std::size_t i = 0; i < 40; ++i)
+    EXPECT_EQ(short_payload.bit(i), long_payload.bit(i));
+}
+
+TEST(Population, UniformRandomHasRequestedSizeAndUniqueIds) {
+  Xoshiro256ss rng(1);
+  const auto pop = TagPopulation::uniform_random(5000, rng);
+  EXPECT_EQ(pop.size(), 5000u);
+  std::unordered_set<TagId, TagIdHash> ids;
+  for (const Tag& tag : pop) ids.insert(tag.id());
+  EXPECT_EQ(ids.size(), 5000u);
+}
+
+TEST(Population, UniformRandomIsSeedDeterministic) {
+  Xoshiro256ss rng1(42), rng2(42);
+  const auto a = TagPopulation::uniform_random(100, rng1);
+  const auto b = TagPopulation::uniform_random(100, rng2);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(a[i].id(), b[i].id());
+}
+
+TEST(Population, EmptyPopulationAllowed) {
+  Xoshiro256ss rng(1);
+  EXPECT_EQ(TagPopulation::uniform_random(0, rng).size(), 0u);
+  EXPECT_TRUE(TagPopulation::sequential(0).empty());
+}
+
+TEST(Population, SequentialIdsIncrement) {
+  const auto pop = TagPopulation::sequential(10, 5);
+  EXPECT_EQ(pop[0].id().to_hex(), "000000000000000000000005");
+  EXPECT_EQ(pop[9].id().to_hex(), "00000000000000000000000e");
+}
+
+TEST(Population, SequentialCrossesWordBoundary) {
+  const auto pop = TagPopulation::sequential(2, 0xFFFFFFFFULL);
+  EXPECT_EQ(pop[0].id().to_hex(), "0000000000000000ffffffff");
+  EXPECT_EQ(pop[1].id().to_hex(), "000000000000000100000000");
+}
+
+TEST(Population, DuplicateIdsRejected) {
+  std::vector<Tag> tags;
+  tags.emplace_back(TagId::from_hex("000000000000000000000001"));
+  tags.emplace_back(TagId::from_hex("000000000000000000000001"));
+  EXPECT_THROW(TagPopulation{std::move(tags)}, ContractViolation);
+}
+
+TEST(Population, PrefixClusteredSharesCategoryPrefix) {
+  Xoshiro256ss rng(3);
+  constexpr std::size_t kPrefixBits = 32;
+  const auto pop = TagPopulation::prefix_clustered(400, 4, kPrefixBits, rng);
+  ASSERT_EQ(pop.size(), 400u);
+  // Collect distinct prefixes; must be exactly the category count.
+  std::unordered_set<std::uint32_t> prefixes;
+  for (const Tag& tag : pop) prefixes.insert(tag.id().words[0]);
+  EXPECT_EQ(prefixes.size(), 4u);
+}
+
+TEST(Population, PrefixClusteredIdsStillUnique) {
+  Xoshiro256ss rng(4);
+  const auto pop = TagPopulation::prefix_clustered(1000, 2, 48, rng);
+  std::unordered_set<TagId, TagIdHash> ids;
+  for (const Tag& tag : pop) ids.insert(tag.id());
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(Population, WithRandomPayloadsAttachesCorrectLength) {
+  Xoshiro256ss rng(5);
+  const auto base = TagPopulation::uniform_random(50, rng);
+  const auto with = base.with_random_payloads(16, rng);
+  ASSERT_EQ(with.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(with[i].id(), base[i].id());
+    EXPECT_EQ(with[i].stored_payload().size(), 16u);
+  }
+}
+
+TEST(Population, PayloadBitsAreBalanced) {
+  Xoshiro256ss rng(6);
+  const auto pop =
+      TagPopulation::uniform_random(500, rng).with_random_payloads(32, rng);
+  std::size_t ones = 0;
+  for (const Tag& tag : pop)
+    for (std::size_t b = 0; b < 32; ++b) ones += tag.stored_payload().bit(b);
+  EXPECT_NEAR(double(ones) / (500.0 * 32.0), 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace rfid::tags

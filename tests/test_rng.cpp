@@ -1,0 +1,119 @@
+// Unit tests for the deterministic PRNG substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rfid {
+namespace {
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  // Reference values from the canonical splitmix64 with seed 0.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64_next(state), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256ss a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256ss a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, ZeroSeedProducesNonDegenerateStream) {
+  Xoshiro256ss rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Xoshiro, ReseedRestartsStream) {
+  Xoshiro256ss rng(7);
+  const std::uint64_t first = rng();
+  rng.reseed(7);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256ss rng(99);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BelowIsRoughlyUniform) {
+  Xoshiro256ss rng(4242);
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr int kSamples = 64000;
+  std::vector<std::size_t> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = double(kSamples) / double(kBuckets);
+  for (const std::size_t c : counts) {
+    EXPECT_NEAR(double(c), expected, expected * 0.10);
+  }
+}
+
+TEST(Xoshiro, Uniform01InHalfOpenUnitInterval) {
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, BernoulliEdgeProbabilities) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Xoshiro256ss rng(8);
+  int hits = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(double(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256ss a(55);
+  Xoshiro256ss b(55);
+  b.jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 1000; ++i) from_a.insert(a());
+  std::size_t overlap = 0;
+  for (int i = 0; i < 1000; ++i) overlap += from_a.count(b());
+  EXPECT_EQ(overlap, 0u);
+}
+
+TEST(DeriveSeed, DistinctIndicesDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(derive_seed(42, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+  EXPECT_NE(derive_seed(7, 3), derive_seed(8, 3));
+  EXPECT_NE(derive_seed(7, 3), derive_seed(7, 4));
+}
+
+}  // namespace
+}  // namespace rfid

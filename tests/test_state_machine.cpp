@@ -1,0 +1,162 @@
+// Tests for the C1G2 tag inventory state machine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tags/state_machine.hpp"
+
+namespace rfid::tags {
+namespace {
+
+TEST(StateMachine, PowersUpReady) {
+  TagStateMachine tag;
+  EXPECT_EQ(tag.state(), TagState::kReady);
+  EXPECT_EQ(tag.inventoried(), SessionFlag::kA);
+  EXPECT_EQ(tag.illegal_commands(), 0u);
+}
+
+TEST(StateMachine, HappyPathInventory) {
+  TagStateMachine tag;
+  EXPECT_TRUE(tag.on_query(SessionFlag::kA, 2));
+  EXPECT_EQ(tag.state(), TagState::kArbitrate);
+  EXPECT_TRUE(tag.on_query_rep());
+  EXPECT_EQ(tag.state(), TagState::kArbitrate);
+  EXPECT_TRUE(tag.on_query_rep());
+  EXPECT_EQ(tag.state(), TagState::kReply);
+  EXPECT_TRUE(tag.on_ack());
+  EXPECT_EQ(tag.state(), TagState::kAcknowledged);
+  EXPECT_TRUE(tag.on_inventory_complete());
+  EXPECT_EQ(tag.state(), TagState::kReady);
+  EXPECT_EQ(tag.inventoried(), SessionFlag::kB);  // flag flipped
+  EXPECT_EQ(tag.illegal_commands(), 0u);
+}
+
+TEST(StateMachine, SlotZeroRepliesImmediately) {
+  TagStateMachine tag;
+  EXPECT_TRUE(tag.on_query(SessionFlag::kA, 0));
+  EXPECT_EQ(tag.state(), TagState::kReply);
+}
+
+TEST(StateMachine, WrongSessionTargetSitsOut) {
+  TagStateMachine tag;
+  EXPECT_TRUE(tag.on_query(SessionFlag::kB, 0));  // legal no-op
+  EXPECT_EQ(tag.state(), TagState::kReady);
+  EXPECT_EQ(tag.illegal_commands(), 0u);
+}
+
+TEST(StateMachine, FlippedFlagJoinsOppositeTarget) {
+  TagStateMachine tag;
+  (void)tag.on_query(SessionFlag::kA, 0);
+  (void)tag.on_ack();
+  (void)tag.on_inventory_complete();
+  // Now flag is B: A-target queries are ignored, B-target joins.
+  EXPECT_TRUE(tag.on_query(SessionFlag::kA, 0));
+  EXPECT_EQ(tag.state(), TagState::kReady);
+  EXPECT_TRUE(tag.on_query(SessionFlag::kB, 0));
+  EXPECT_EQ(tag.state(), TagState::kReply);
+}
+
+TEST(StateMachine, IllegalCommandsCountedAndIgnored) {
+  TagStateMachine tag;
+  EXPECT_FALSE(tag.on_ack());        // Ready cannot be ACKed
+  EXPECT_FALSE(tag.on_query_rep());  // not in a round
+  EXPECT_FALSE(tag.on_req_rn());
+  EXPECT_EQ(tag.state(), TagState::kReady);
+  EXPECT_EQ(tag.illegal_commands(), 3u);
+}
+
+TEST(StateMachine, NakFallsBackToArbitrate) {
+  TagStateMachine tag;
+  (void)tag.on_query(SessionFlag::kA, 0);
+  (void)tag.on_ack();
+  EXPECT_TRUE(tag.on_nak());
+  EXPECT_EQ(tag.state(), TagState::kArbitrate);
+  EXPECT_EQ(tag.slot_counter(), 0xFFFF);
+}
+
+TEST(StateMachine, AccessChain) {
+  TagStateMachine tag;
+  (void)tag.on_query(SessionFlag::kA, 0);
+  (void)tag.on_ack();
+  EXPECT_TRUE(tag.on_req_rn());
+  EXPECT_EQ(tag.state(), TagState::kOpen);
+  EXPECT_TRUE(tag.on_access_granted());
+  EXPECT_EQ(tag.state(), TagState::kSecured);
+  EXPECT_TRUE(tag.on_inventory_complete());
+  EXPECT_EQ(tag.state(), TagState::kReady);
+}
+
+TEST(StateMachine, KillIsAbsorbing) {
+  TagStateMachine tag;
+  (void)tag.on_query(SessionFlag::kA, 0);
+  (void)tag.on_ack();
+  (void)tag.on_req_rn();
+  EXPECT_TRUE(tag.on_kill());
+  EXPECT_EQ(tag.state(), TagState::kKilled);
+  EXPECT_FALSE(tag.power_cycle());
+  EXPECT_FALSE(tag.on_query(SessionFlag::kA, 0));
+  EXPECT_FALSE(tag.on_ack());
+  EXPECT_EQ(tag.state(), TagState::kKilled);
+}
+
+TEST(StateMachine, KillRequiresOpenOrSecured) {
+  TagStateMachine tag;
+  EXPECT_FALSE(tag.on_kill());
+  (void)tag.on_query(SessionFlag::kA, 0);
+  EXPECT_FALSE(tag.on_kill());  // Reply state: illegal
+  EXPECT_EQ(tag.state(), TagState::kReply);
+}
+
+TEST(StateMachine, PowerCycleResetsButKeepsFlag) {
+  TagStateMachine tag;
+  (void)tag.on_query(SessionFlag::kA, 0);
+  (void)tag.on_ack();
+  (void)tag.on_inventory_complete();
+  ASSERT_EQ(tag.inventoried(), SessionFlag::kB);
+  (void)tag.on_query(SessionFlag::kB, 5);
+  EXPECT_TRUE(tag.power_cycle());
+  EXPECT_EQ(tag.state(), TagState::kReady);
+  EXPECT_EQ(tag.inventoried(), SessionFlag::kB);  // NVM-backed flag persists
+}
+
+TEST(StateMachine, FullFrameSimulationInventoriesEveryone) {
+  // Drive a population of machines through a classic slotted round and
+  // check that ACK'ed singletons account for every tag over a few rounds.
+  Xoshiro256ss rng(1);
+  constexpr std::size_t kTags = 200;
+  std::vector<TagStateMachine> tags(kTags);
+  std::size_t inventoried = 0;
+  for (int round = 0; round < 64 && inventoried < kTags; ++round) {
+    const std::size_t frame = kTags - inventoried;
+    std::vector<std::uint16_t> slots(kTags);
+    for (std::size_t i = 0; i < kTags; ++i) {
+      slots[i] = static_cast<std::uint16_t>(rng.below(frame));
+      (void)tags[i].on_query(SessionFlag::kA, slots[i]);
+    }
+    for (std::size_t s = 0; s < frame; ++s) {
+      // Who is in Reply right now?
+      std::vector<std::size_t> replying;
+      for (std::size_t i = 0; i < kTags; ++i)
+        if (tags[i].state() == TagState::kReply) replying.push_back(i);
+      if (replying.size() == 1) {
+        (void)tags[replying.front()].on_ack();
+        (void)tags[replying.front()].on_inventory_complete();
+        ++inventoried;
+      } else {
+        for (const std::size_t i : replying) (void)tags[i].on_nak();
+      }
+      for (std::size_t i = 0; i < kTags; ++i)
+        if (tags[i].state() == TagState::kArbitrate &&
+            tags[i].slot_counter() != 0xFFFF)
+          (void)tags[i].on_query_rep();
+    }
+    // Round over: survivors power-cycle back to Ready for the next Query.
+    for (auto& tag : tags)
+      if (tag.state() != TagState::kReady) (void)tag.power_cycle();
+  }
+  EXPECT_EQ(inventoried, kTags);
+}
+
+}  // namespace
+}  // namespace rfid::tags

@@ -1,0 +1,87 @@
+// Unit tests for the table and CSV emitters used by the bench harnesses.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace rfid {
+namespace {
+
+TEST(TablePrinter, RendersHeadersAndRows) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TablePrinter, TitleAppearsFirst) {
+  TablePrinter table({"x"});
+  table.set_title("My Title");
+  std::ostringstream oss;
+  table.print(oss);
+  EXPECT_EQ(oss.str().rfind("My Title", 0), 0u);
+}
+
+TEST(TablePrinter, ColumnsAlignToWidestCell) {
+  TablePrinter table({"a", "b"});
+  table.add_row({"looooooong", "1"});
+  std::ostringstream oss;
+  table.print(oss);
+  // Every rendered line between rules must have the same length.
+  std::istringstream iss(oss.str());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(iss, line)) {
+    if (line.empty()) continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinter, RowArityEnforced) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TablePrinter, EmptyHeadersRejected) {
+  EXPECT_THROW(TablePrinter({}), ContractViolation);
+}
+
+TEST(TablePrinter, NumFormatsFixedDigits) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::num(1.005e3, 1), "1005.0");
+}
+
+TEST(CsvWriter, WritesRowsAndEscapes) {
+  const std::string path = testing::TempDir() + "rfid_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"a", "b,c", "d\"e"});
+    csv.write_row({"1", "2", "3"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1,2,3");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rfid

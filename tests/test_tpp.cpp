@@ -1,0 +1,149 @@
+// Tests for the Tree-based Polling Protocol (paper Section IV).
+#include <gtest/gtest.h>
+
+#include "analysis/tpp_model.hpp"
+#include "common/math_util.hpp"
+#include "protocols/hash_polling.hpp"
+#include "protocols/tree_polling.hpp"
+#include "sim/verify.hpp"
+
+namespace rfid::protocols {
+namespace {
+
+sim::RunResult run_tpp(std::size_t n, std::uint64_t seed,
+                       Tpp::Config config = Tpp::Config()) {
+  Xoshiro256ss rng(seed);
+  const auto pop = tags::TagPopulation::uniform_random(n, rng);
+  sim::SessionConfig session;
+  session.seed = seed * 13 + 11;
+  return Tpp(config).run(pop, session);
+}
+
+TEST(Tpp, CompleteCollectionWithTreeCrossCheck) {
+  // cross_check_tree verifies every round that the trie construction, the
+  // sorted-index encoding, the register-update rule and the reader's leaf
+  // expectations all agree — the protocol's full internal consistency.
+  Xoshiro256ss rng(1);
+  const auto pop = tags::TagPopulation::uniform_random(4000, rng)
+                       .with_random_payloads(4, rng);
+  sim::SessionConfig session;
+  session.info_bits = 4;
+  const auto result =
+      Tpp(Tpp::Config{.cross_check_tree = true}).run(pop, session);
+  const auto verify = sim::verify_complete_collection(pop, result);
+  EXPECT_TRUE(verify.ok) << verify.message;
+}
+
+TEST(Tpp, NoSlotWaste) {
+  const auto result = run_tpp(3000, 2);
+  EXPECT_EQ(result.metrics.polls, 3000u);
+  EXPECT_EQ(result.channel.collision_slots, 0u);
+  EXPECT_EQ(result.channel.empty_slots, 0u);
+}
+
+TEST(Tpp, VectorNearPaperHeadline) {
+  // Fig. 10: TPP levels off at about 3.06 bits.
+  for (const std::size_t n : {5000u, 20000u}) {
+    const double w = run_tpp(n, n).avg_vector_bits();
+    EXPECT_GT(w, 2.5) << n;
+    EXPECT_LT(w, 3.5) << n;
+  }
+}
+
+TEST(Tpp, VectorStableAcrossPopulations) {
+  const double w_small = run_tpp(2000, 3).avg_vector_bits();
+  const double w_large = run_tpp(50000, 4).avg_vector_bits();
+  EXPECT_NEAR(w_small, w_large, 0.4);
+}
+
+TEST(Tpp, RespectsUniversalUpperBound) {
+  // Eq. (16): w <= 3.44 in expectation; allow small sampling slack.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const double w = run_tpp(8000, 100 + seed).avg_vector_bits();
+    EXPECT_LT(w, analysis::tpp_universal_upper_bound() + 0.25);
+  }
+}
+
+TEST(Tpp, BeatsHppByLargeFactor) {
+  Xoshiro256ss rng(5);
+  const auto pop = tags::TagPopulation::uniform_random(10000, rng);
+  sim::SessionConfig session;
+  session.seed = 6;
+  const double w_hpp = Hpp().run(pop, session).avg_vector_bits();
+  const double w_tpp = Tpp().run(pop, session).avg_vector_bits();
+  EXPECT_LT(w_tpp * 3.0, w_hpp);
+}
+
+TEST(Tpp, OptimalIndexLengthBeatsOffsets) {
+  // Eq. (15) ablation: shifting h away from the optimum must cost bits.
+  const double w_opt = run_tpp(10000, 7).avg_vector_bits();
+  const double w_minus =
+      run_tpp(10000, 7, Tpp::Config{.index_length_offset = -2}).avg_vector_bits();
+  const double w_plus =
+      run_tpp(10000, 7, Tpp::Config{.index_length_offset = 2}).avg_vector_bits();
+  EXPECT_LT(w_opt, w_minus);
+  EXPECT_LT(w_opt, w_plus);
+}
+
+TEST(Tpp, SingleTagPolledWithZeroBits) {
+  const auto result = run_tpp(1, 8);
+  EXPECT_EQ(result.metrics.polls, 1u);
+  EXPECT_EQ(result.metrics.vector_bits, 0u);
+}
+
+TEST(Tpp, RoundInitOutsideW) {
+  const auto result = run_tpp(400, 9);
+  EXPECT_EQ(result.metrics.command_bits, result.metrics.rounds * 32u);
+}
+
+TEST(Tpp, DeterministicReplay) {
+  const auto a = run_tpp(2500, 10);
+  const auto b = run_tpp(2500, 10);
+  EXPECT_EQ(a.metrics.vector_bits, b.metrics.vector_bits);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_DOUBLE_EQ(a.metrics.time_us, b.metrics.time_us);
+}
+
+TEST(Tpp, WorksOnSequentialAndClusteredIds) {
+  sim::SessionConfig session;
+  session.seed = 21;
+  const auto seq = tags::TagPopulation::sequential(3000, 1000);
+  const auto r1 = Tpp(Tpp::Config{.cross_check_tree = true}).run(seq, session);
+  EXPECT_EQ(r1.metrics.polls, 3000u);
+
+  Xoshiro256ss rng(11);
+  const auto clustered =
+      tags::TagPopulation::prefix_clustered(3000, 3, 32, rng);
+  const auto r2 = Tpp().run(clustered, session);
+  EXPECT_EQ(r2.metrics.polls, 3000u);
+  // ID clustering must not affect the hashed polling vector materially.
+  EXPECT_NEAR(r1.avg_vector_bits(), r2.avg_vector_bits(), 0.5);
+}
+
+TEST(Tpp, LoadFactorStaysInOptimalBand) {
+  // Eq. (14): every round's h satisfies ln2 <= n_i / 2^h < 2 ln2; check
+  // round 1 of several populations via the model helper.
+  for (const std::size_t n : {100u, 1000u, 9999u, 65536u}) {
+    const unsigned h = analysis::tpp_optimal_index_length(n);
+    const double lambda = double(n) / double(std::size_t{1} << h);
+    EXPECT_GE(lambda, kLn2 - 1e-12) << n;
+    EXPECT_LT(lambda, 2 * kLn2 + 1e-12) << n;
+  }
+}
+
+class TppPopulationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TppPopulationSweep, CompleteWithCrossCheck) {
+  const std::size_t n = GetParam();
+  const auto result =
+      run_tpp(n, 23 * n + 1, Tpp::Config{.cross_check_tree = true});
+  EXPECT_EQ(result.metrics.polls, n);
+  EXPECT_EQ(result.channel.collision_slots, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TppPopulationSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 33, 128, 129, 777,
+                                           2048, 10000));
+
+}  // namespace
+}  // namespace rfid::protocols
