@@ -33,6 +33,8 @@ int main() {
       plan.master_seed = 2024;
       plan.session.info_bits = 1;
       plan.session.reply_error_rate = p;
+      bench::RunManifest::instance().record(protocol->name(), n, 1, trials,
+                                            plan.master_seed);
       const auto series = parallel::run_trials(
           *protocol, parallel::uniform_population(n), plan);
       row.push_back(bench::with_ci(series.time_s()));

@@ -28,6 +28,8 @@ int main() {
     parallel::TrialPlan plan;
     plan.trials = trials;
     plan.master_seed = 555;
+    bench::RunManifest::instance().record(ehpp.name(), n, 1, trials,
+                                          plan.master_seed);
     const auto series =
         parallel::run_trials(ehpp, parallel::uniform_population(n), plan);
     RunningStats circles;

@@ -32,6 +32,8 @@ int main() {
     parallel::TrialPlan plan;
     plan.trials = trials;
     plan.master_seed = 31337;
+    bench::RunManifest::instance().record(protocol->name(), n, 1, trials,
+                                          plan.master_seed);
     const auto u = parallel::run_trials(*protocol, uniform, plan);
     const auto c = parallel::run_trials(*protocol, clustered, plan);
     const double speedup = u.time_s().mean() / c.time_s().mean();

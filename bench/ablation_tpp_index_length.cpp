@@ -22,6 +22,8 @@ int main() {
     parallel::TrialPlan plan;
     plan.trials = trials;
     plan.master_seed = 4242;
+    bench::RunManifest::instance().record(tpp.name(), n, 1, trials,
+                                          plan.master_seed);
     const auto series =
         parallel::run_trials(tpp, parallel::uniform_population(n), plan);
     table.add_row({std::to_string(offset), bench::with_ci(series.vector_bits()),

@@ -5,11 +5,13 @@
 //
 //   ./protocol_comparison                      # defaults: 10000 1 5, all
 //   ./protocol_comparison 50000 16 10 TPP MIC  # custom workload & subset
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "core/polling.hpp"
 
@@ -31,20 +33,19 @@ int main(int argc, char** argv) {
   };
 
   int arg = 1;
-  const auto parse_size = [&](std::size_t& out) {
-    if (arg >= argc) return true;
-    char* end = nullptr;
-    const unsigned long long value = std::strtoull(argv[arg], &end, 10);
-    if (end == argv[arg] || *end != '\0') return false;  // not a number
-    out = static_cast<std::size_t>(value);
-    ++arg;
-    return true;
-  };
   // The three leading numeric arguments are positional; the first
-  // non-numeric argument starts the protocol list.
+  // non-numeric argument starts the protocol list. parse_size_arg is
+  // strict: trailing garbage, overflow, and a zero workload are all
+  // rejected instead of silently running a degenerate comparison.
   for (auto* slot : {&n, &info_bits, &trials}) {
     if (arg < argc && std::isdigit(static_cast<unsigned char>(*argv[arg]))) {
-      if (!parse_size(*slot)) return usage();
+      const auto parsed = parse_size_arg(argv[arg]);
+      if (!parsed) {
+        std::cerr << "bad numeric argument: " << argv[arg] << '\n';
+        return usage();
+      }
+      *slot = *parsed;
+      ++arg;
     }
   }
   for (; arg < argc; ++arg) {

@@ -1,0 +1,182 @@
+// Replays a JSONL air-interface trace (examples/telemetry_export
+// --trace-jsonl) into a per-phase time-accounting summary: where the
+// microseconds went (vector transmission, commands, turn-arounds, tag
+// replies, wasted slots), per-event-kind tallies, and slot-airtime
+// quantiles via the streaming P2 estimator. Pure offline tool — it knows
+// nothing about the simulator, only the trace schema.
+//
+//   ./trace_inspect TRACE.jsonl
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "common/table.hpp"
+#include "obs/histogram.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace rfid;
+
+/// Pulls `"key":<number>` out of a JSONL line; 0 when absent. Good enough
+/// for the fixed flat schema JsonlSink writes — not a general JSON parser.
+double field_num(std::string_view line, std::string_view key) {
+  const std::string needle = '"' + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return 0.0;
+  return std::strtod(line.data() + pos + needle.size(), nullptr);
+}
+
+/// Pulls `"key":"value"` out of a JSONL line; empty when absent.
+std::string field_str(std::string_view line, std::string_view key) {
+  const std::string needle = '"' + std::string(key) + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return {};
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string_view::npos) return {};
+  return std::string(line.substr(start, end - start));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " TRACE.jsonl\n";
+    return EXIT_FAILURE;
+  }
+  std::ifstream in(argv[1]);
+  if (!in.is_open()) {
+    std::cerr << "cannot open " << argv[1] << '\n';
+    return EXIT_FAILURE;
+  }
+
+  obs::PhaseBreakdown phases;
+  std::uint64_t kind_counts[obs::kEventKindCount] = {};
+  std::uint64_t vector_bits = 0, command_bits = 0, tag_bits = 0;
+  std::uint64_t rounds = 0, circles = 0, polls = 0;
+  double clock_us = 0.0;
+  obs::P2Quantile slot_p50(0.5), slot_p99(0.99);
+  obs::Histogram slot_airtime = obs::Histogram::exponential(100.0, 1.2, 32);
+  std::uint64_t lines = 0, skipped = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const std::string type = field_str(line, "type");
+    if (type == "meta") {
+      if (field_str(line, "schema") != "rfid-trace") {
+        std::cerr << "not an rfid-trace JSONL file\n";
+        return EXIT_FAILURE;
+      }
+      continue;
+    }
+    obs::EventKind kind;
+    if (type != "event" || !obs::parse_event_kind(field_str(line, "event"),
+                                                  kind)) {
+      ++skipped;
+      continue;
+    }
+    ++kind_counts[static_cast<std::size_t>(kind)];
+    const double duration = field_num(line, "duration_us");
+    const double reader_us = field_num(line, "reader_us");
+    const double tag_us = field_num(line, "tag_us");
+    vector_bits += static_cast<std::uint64_t>(field_num(line, "vector_bits"));
+    command_bits +=
+        static_cast<std::uint64_t>(field_num(line, "command_bits"));
+    tag_bits += static_cast<std::uint64_t>(field_num(line, "tag_bits"));
+    clock_us += duration;
+
+    // The same attribution rules the live session uses (docs/observability.md).
+    switch (kind) {
+      case obs::EventKind::kReaderBroadcast:
+        phases.add(field_num(line, "vector_bits") > 0
+                       ? obs::Phase::kReaderVector
+                       : obs::Phase::kCommand,
+                   duration);
+        break;
+      case obs::EventKind::kReply:
+        ++polls;
+        phases.add(obs::Phase::kReaderVector, reader_us);
+        phases.add(obs::Phase::kTagReply, tag_us);
+        phases.add(obs::Phase::kTurnaround, duration - reader_us - tag_us);
+        slot_p50.record(duration);
+        slot_p99.record(duration);
+        slot_airtime.record(duration);
+        break;
+      case obs::EventKind::kTimeout:
+      case obs::EventKind::kCorrupted:
+      case obs::EventKind::kSlotEmpty:
+      case obs::EventKind::kSlotCollision:
+        phases.add(obs::Phase::kWastedSlot, duration);
+        slot_p50.record(duration);
+        slot_p99.record(duration);
+        slot_airtime.record(duration);
+        break;
+      case obs::EventKind::kRoundBegin:
+        ++rounds;
+        break;
+      case obs::EventKind::kCircleBegin:
+        ++circles;
+        break;
+      case obs::EventKind::kPoll:
+        break;  // airtime rides on the outcome event
+    }
+  }
+
+  std::uint64_t total_events = 0;
+  for (std::size_t k = 0; k < obs::kEventKindCount; ++k)
+    total_events += kind_counts[k];
+  if (total_events == 0) {
+    std::cerr << "no trace events in " << argv[1] << " (" << lines
+              << " lines, " << skipped
+              << " unrecognized) — is this a telemetry_export"
+                 " --trace-jsonl file?\n";
+    return EXIT_FAILURE;
+  }
+
+  std::cout << "=== trace summary: " << argv[1] << " ===\n"
+            << lines << " lines";
+  if (skipped > 0) std::cout << " (" << skipped << " unrecognized, skipped)";
+  std::cout << "\n\n";
+
+  TablePrinter events({"event", "count"});
+  for (std::size_t k = 0; k < obs::kEventKindCount; ++k)
+    events.add_row({std::string(to_string(static_cast<obs::EventKind>(k))),
+                    std::to_string(kind_counts[k])});
+  events.print(std::cout);
+
+  std::cout << '\n';
+  TablePrinter table({"phase", "time (us)", "share"});
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const auto phase = static_cast<obs::Phase>(p);
+    table.add_row({std::string(to_string(phase)),
+                   TablePrinter::num(phases.get(phase), 1),
+                   TablePrinter::num(100.0 * phases.fraction(phase), 1) + "%"});
+  }
+  table.add_row({"total", TablePrinter::num(phases.total_us(), 1), "100.0%"});
+  table.print(std::cout);
+
+  std::cout << "\nbits: vector " << vector_bits << ", command "
+            << command_bits << ", tag " << tag_bits << '\n'
+            << "rounds " << rounds << ", circles " << circles << ", polls "
+            << polls << '\n';
+  if (polls > 0)
+    std::cout << "avg vector bits/poll: "
+              << TablePrinter::num(
+                     static_cast<double>(vector_bits) /
+                         static_cast<double>(polls),
+                     3)
+              << '\n';
+  if (slot_airtime.count() > 0)
+    std::cout << "slot airtime us: mean "
+              << TablePrinter::num(slot_airtime.mean(), 1) << ", p50 "
+              << TablePrinter::num(slot_p50.value(), 1) << ", p99 "
+              << TablePrinter::num(slot_p99.value(), 1) << " (P2)\n";
+  std::cout << "clock total: " << TablePrinter::num(clock_us, 1) << " us\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Smoke test for the observability pipeline: runs telemetry_export end to
+# end, validates both the stdout report and the JSONL event trace as real
+# JSON, and replays the trace through trace_inspect. Wired into ctest with
+# label `obs`; run standalone as
+#
+#   scripts/smoke_telemetry.sh [BIN_DIR]
+#
+# where BIN_DIR is the CMake binary dir holding examples/ (default: build).
+set -euo pipefail
+
+bin_dir="${1:-build}"
+telemetry="$bin_dir/examples/telemetry_export"
+inspect="$bin_dir/examples/trace_inspect"
+for tool in "$telemetry" "$inspect"; do
+  if [ ! -x "$tool" ]; then
+    echo "smoke_telemetry: missing $tool (build with RFID_BUILD_EXAMPLES=ON)" >&2
+    exit 1
+  fi
+done
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# 1. Full run: stdout report JSON + JSONL trace side channel.
+"$telemetry" TPP 500 --trace-jsonl "$workdir/trace.jsonl" \
+  > "$workdir/report.json"
+
+# 2. Both outputs must be valid JSON (every JSONL line is one document).
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$workdir/report.json" > /dev/null
+  python3 - "$workdir/trace.jsonl" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    for lineno, line in enumerate(f, 1):
+        try:
+            json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"line {lineno}: {e}")
+PY
+else
+  echo "smoke_telemetry: python3 not found, skipping JSON validation" >&2
+fi
+
+# 3. The trace must carry the schema header and per-event lines.
+head -n 1 "$workdir/trace.jsonl" | grep -q '"schema":"rfid-trace"'
+events=$(grep -c '"type":"event"' "$workdir/trace.jsonl")
+if [ "$events" -lt 500 ]; then
+  echo "smoke_telemetry: expected >= 500 events, got $events" >&2
+  exit 1
+fi
+
+# 4. trace_inspect must replay the trace and account for every phase.
+"$inspect" "$workdir/trace.jsonl" > "$workdir/summary.txt"
+for needle in reader_vector turnaround tag_reply "clock total"; do
+  grep -q "$needle" "$workdir/summary.txt"
+done
+
+# 5. Strict argument parsing: a garbage population must be rejected.
+if "$telemetry" TPP 12x > /dev/null 2>&1; then
+  echo "smoke_telemetry: '12x' should have been rejected" >&2
+  exit 1
+fi
+if "$telemetry" TPP 0 > /dev/null 2>&1; then
+  echo "smoke_telemetry: population 0 should have been rejected" >&2
+  exit 1
+fi
+
+echo "smoke_telemetry: OK ($events events)"

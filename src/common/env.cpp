@@ -1,16 +1,37 @@
 #include "common/env.hpp"
 
 #include <cstdlib>
+#include <limits>
 
 namespace rfid {
 
 std::uint64_t env_u64(const std::string& name, std::uint64_t fallback) {
   const char* raw = std::getenv(name.c_str());
   if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
-  return static_cast<std::uint64_t>(value);
+  const auto parsed = parse_u64(raw);
+  return parsed.value_or(fallback);
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;  // sign/space/garbage
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+      return std::nullopt;  // would overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<std::size_t> parse_size_arg(std::string_view text,
+                                          bool allow_zero) noexcept {
+  const auto parsed = parse_u64(text);
+  if (!parsed) return std::nullopt;
+  if (*parsed == 0 && !allow_zero) return std::nullopt;
+  if (*parsed > std::numeric_limits<std::size_t>::max()) return std::nullopt;
+  return static_cast<std::size_t>(*parsed);
 }
 
 }  // namespace rfid

@@ -15,27 +15,43 @@ RunningStats collect(const std::vector<TrialOutcome>& outcomes,
   return stats;
 }
 
-TrialOutcome run_one(const protocols::PollingProtocol& protocol,
-                     const PopulationFactory& make_population,
-                     const TrialPlan& plan, std::size_t trial) {
+/// Everything one trial hands back for aggregation. Registries are merged
+/// after the pool drains, in trial order, so the fold is deterministic.
+struct TrialSlot final {
+  TrialOutcome outcome;
+  sim::Metrics metrics;
+  obs::MetricsRegistry registry;
+};
+
+TrialSlot run_one(const protocols::PollingProtocol& protocol,
+                  const PopulationFactory& make_population,
+                  const TrialPlan& plan, std::size_t trial) {
   // Two independent streams per trial: one for the population's IDs, one for
   // the protocol's seeds. Both derive only from (master_seed, trial), which
   // is what makes the series order- and scheduling-independent.
   Xoshiro256ss pop_rng(derive_seed(plan.master_seed, 2 * trial));
   const tags::TagPopulation population = make_population(pop_rng);
 
+  TrialSlot slot;
   sim::SessionConfig session = plan.session;
   session.seed = derive_seed(plan.master_seed, 2 * trial + 1);
   session.keep_records = false;  // trials aggregate metrics only
+  session.tracer = nullptr;      // a caller-shared sink would race the pool
+
+  // Each trial traces into its own registry; cross-trial merging happens
+  // serially in run_trials.
+  obs::RegistrySink registry_sink(slot.registry);
+  obs::Tracer tracer(&registry_sink);
+  if (plan.collect_registry) session.tracer = &tracer;
 
   const sim::RunResult result = protocol.run(population, session);
-  TrialOutcome outcome;
-  outcome.avg_vector_bits = result.avg_vector_bits();
-  outcome.exec_time_s = result.exec_time_s();
-  outcome.rounds = static_cast<double>(result.metrics.rounds);
-  outcome.waste_fraction = result.metrics.waste_fraction();
-  outcome.polls = static_cast<double>(result.metrics.polls);
-  return outcome;
+  slot.metrics = result.metrics;
+  slot.outcome.avg_vector_bits = result.avg_vector_bits();
+  slot.outcome.exec_time_s = result.exec_time_s();
+  slot.outcome.rounds = static_cast<double>(result.metrics.rounds);
+  slot.outcome.waste_fraction = result.metrics.waste_fraction();
+  slot.outcome.polls = static_cast<double>(result.metrics.polls);
+  return slot;
 }
 
 }  // namespace
@@ -56,28 +72,37 @@ RunningStats TrialSeries::waste() const {
 TrialSeries run_trials(const protocols::PollingProtocol& protocol,
                        const PopulationFactory& make_population,
                        const TrialPlan& plan, ThreadPool* pool) {
-  TrialSeries series;
-  series.outcomes.resize(plan.trials);
+  std::vector<TrialSlot> slots(plan.trials);
 
   if (pool == nullptr) {
     for (std::size_t t = 0; t < plan.trials; ++t)
-      series.outcomes[t] = run_one(protocol, make_population, plan, t);
-    return series;
+      slots[t] = run_one(protocol, make_population, plan, t);
+  } else {
+    std::vector<std::exception_ptr> errors(plan.trials);
+    for (std::size_t t = 0; t < plan.trials; ++t) {
+      pool->submit([&, t] {
+        try {
+          slots[t] = run_one(protocol, make_population, plan, t);
+        } catch (...) {
+          errors[t] = std::current_exception();
+        }
+      });
+    }
+    pool->wait_idle();
+    for (const std::exception_ptr& error : errors)
+      if (error) std::rethrow_exception(error);
   }
 
-  std::vector<std::exception_ptr> errors(plan.trials);
+  // The cross-trial fold runs serially in trial order regardless of how the
+  // trials were scheduled: merge order is what makes the aggregates (sums,
+  // histograms) bit-identical between serial and pooled execution.
+  TrialSeries series;
+  series.outcomes.resize(plan.trials);
   for (std::size_t t = 0; t < plan.trials; ++t) {
-    pool->submit([&, t] {
-      try {
-        series.outcomes[t] = run_one(protocol, make_population, plan, t);
-      } catch (...) {
-        errors[t] = std::current_exception();
-      }
-    });
+    series.outcomes[t] = slots[t].outcome;
+    series.totals.merge(slots[t].metrics);
+    if (plan.collect_registry) series.registry.merge(slots[t].registry);
   }
-  pool->wait_idle();
-  for (const std::exception_ptr& error : errors)
-    if (error) std::rethrow_exception(error);
   return series;
 }
 

@@ -15,6 +15,7 @@ void Metrics::merge(const Metrics& other) noexcept {
   command_bits += other.command_bits;
   tag_bits += other.tag_bits;
   time_us += other.time_us;
+  phases.merge(other.phases);
 }
 
 }  // namespace rfid::sim

@@ -10,9 +10,15 @@
 //   * command_bits — reader bits outside the w accounting (HPP/TPP round
 //                    initialization, CRC fields of coded polling, ...)
 // Time always accumulates everything actually transmitted.
+// A third derived view, the per-phase time split (where did the microseconds
+// go: vector transmission, commands, turn-arounds, tag replies, wasted
+// slots), lives in `phases` — see obs/phase_timer.hpp for the taxonomy and
+// docs/observability.md for the partition identity.
 #pragma once
 
 #include <cstdint>
+
+#include "obs/phase_timer.hpp"
 
 namespace rfid::sim {
 
@@ -32,6 +38,10 @@ struct Metrics final {
   std::uint64_t tag_bits = 0;      ///< bits transmitted by tags
 
   double time_us = 0.0;  ///< wall-clock time under the C1G2 model
+
+  /// time_us attributed by air-interface phase; the five entries partition
+  /// the clock up to floating-point association (~1e-9 relative).
+  obs::PhaseBreakdown phases{};
 
   /// Average polling-vector length: w-counted bits per interrogated tag.
   [[nodiscard]] double avg_vector_bits() const noexcept {

@@ -129,6 +129,13 @@ void write_json(std::ostream& os, const RunResult& result,
   json.key_value("command_bits", u64(m.command_bits));
   json.key_value("tag_bits", u64(m.tag_bits));
   json.key_value("time_us", num(m.time_us));
+  json.begin_object("phase_us");
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const auto phase = static_cast<obs::Phase>(p);
+    json.key_value(std::string(obs::to_string(phase)),
+                   num(m.phases.get(phase)));
+  }
+  json.end_object();
   json.end_object();
 
   json.begin_object("channel");
@@ -160,6 +167,11 @@ void write_json(std::ostream& os, const RunResult& result,
       json.key_value("polls", u64(snapshot.polls_so_far));
       json.key_value("vector_bits", u64(snapshot.vector_bits_so_far));
       json.key_value("time_us", num(snapshot.time_us_so_far));
+      for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+        const auto phase = static_cast<obs::Phase>(p);
+        json.key_value(std::string(obs::to_string(phase)) + "_us",
+                       num(snapshot.phases_so_far.get(phase)));
+      }
       json.end_object();
     }
     json.end_array();

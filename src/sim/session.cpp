@@ -4,19 +4,53 @@
 
 namespace rfid::sim {
 
+// Accounting discipline: every site computes its clock increment as a named
+// `dt` built from the exact expression the metrics always used (evaluation
+// order preserved, so seeded runs are byte-identical to the pre-tracing
+// code), adds it once to metrics_.time_us, splits it across phases, and —
+// only behind a branch on the null tracer pointer — emits one trace event
+// whose duration_us is that same double. A trace therefore replays into the
+// Metrics totals exactly (see docs/observability.md).
+
 Session::Session(const tags::TagPopulation& population, SessionConfig config)
     : population_(&population), config_(config), rng_(config.seed) {
   if (config_.keep_records) records_.reserve(population.size());
 }
 
+void Session::trace_event(obs::EventKind kind, double duration_us,
+                          std::uint64_t vector_bits,
+                          std::uint64_t command_bits, std::uint64_t tag_bits,
+                          double reader_us, double tag_us) {
+  obs::Event event;
+  event.kind = kind;
+  event.round = metrics_.rounds;
+  event.circle = metrics_.circles;
+  event.vector_bits = vector_bits;
+  event.command_bits = command_bits;
+  event.tag_bits = tag_bits;
+  event.time_us = metrics_.time_us;
+  event.duration_us = duration_us;
+  event.reader_us = reader_us;
+  event.tag_us = tag_us;
+  config_.tracer->emit(event);
+}
+
 void Session::broadcast_vector_bits(std::size_t bits) {
+  const double dt = config_.timing.reader_tx_us(bits);
   metrics_.vector_bits += bits;
-  metrics_.time_us += config_.timing.reader_tx_us(bits);
+  metrics_.time_us += dt;
+  metrics_.phases.add(obs::Phase::kReaderVector, dt);
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kReaderBroadcast, dt, bits, 0, 0, dt, 0.0);
 }
 
 void Session::broadcast_command_bits(std::size_t bits) {
+  const double dt = config_.timing.reader_tx_us(bits);
   metrics_.command_bits += bits;
-  metrics_.time_us += config_.timing.reader_tx_us(bits);
+  metrics_.time_us += dt;
+  metrics_.phases.add(obs::Phase::kCommand, dt);
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kReaderBroadcast, dt, 0, bits, 0, dt, 0.0);
 }
 
 bool Session::is_present(const TagId& id) const noexcept {
@@ -31,12 +65,16 @@ const tags::Tag* Session::complete_reply(
       !is_present(expected->id())) {
     // The addressed tag is physically absent: the reader waits out the
     // turn-arounds, decodes nothing, and flags the tag missing.
-    metrics_.time_us += reader_time_us + config_.timing.t1_us +
-                        config_.timing.t2_us;
+    const double dt =
+        reader_time_us + config_.timing.t1_us + config_.timing.t2_us;
+    metrics_.time_us += dt;
+    metrics_.phases.add(obs::Phase::kWastedSlot, dt);
     ++metrics_.missing;
     ++metrics_.slots_total;
     ++metrics_.slots_wasted;
     if (config_.keep_records) missing_ids_.push_back(expected->id());
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_time_us, 0.0);
     return nullptr;
   }
   if (slot.outcome != air::SlotOutcome::kSingleton) {
@@ -49,22 +87,33 @@ const tags::Tag* Session::complete_reply(
                         slot.responder->id().to_hex() + " vs " +
                         expected->id().to_hex());
   }
+  const double tag_us = config_.timing.tag_tx_us(config_.info_bits);
   if (config_.reply_error_rate > 0.0 &&
       rng_.bernoulli(config_.reply_error_rate)) {
     // Reply garbled in flight: the full interaction airtime is spent, the
     // PHY CRC rejects the decode, and with no ACK the tag stays awake for
     // a later round.
-    metrics_.time_us += reader_time_us + config_.timing.t1_us +
-                        config_.timing.tag_tx_us(config_.info_bits) +
-                        config_.timing.t2_us;
+    const double dt = reader_time_us + config_.timing.t1_us +
+                      config_.timing.tag_tx_us(config_.info_bits) +
+                      config_.timing.t2_us;
+    metrics_.time_us += dt;
+    metrics_.phases.add(obs::Phase::kWastedSlot, dt);
     ++metrics_.corrupted;
     ++metrics_.slots_total;
     ++metrics_.slots_wasted;
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kCorrupted, dt, 0, 0, 0, reader_time_us,
+                  tag_us);
     return nullptr;
   }
-  metrics_.time_us += reader_time_us + config_.timing.t1_us +
-                      config_.timing.tag_tx_us(config_.info_bits) +
-                      config_.timing.t2_us;
+  const double dt = reader_time_us + config_.timing.t1_us +
+                    config_.timing.tag_tx_us(config_.info_bits) +
+                    config_.timing.t2_us;
+  metrics_.time_us += dt;
+  metrics_.phases.add(obs::Phase::kReaderVector, reader_time_us);
+  metrics_.phases.add(obs::Phase::kTurnaround,
+                      config_.timing.t1_us + config_.timing.t2_us);
+  metrics_.phases.add(obs::Phase::kTagReply, tag_us);
   metrics_.tag_bits += config_.info_bits;
   ++metrics_.polls;
   ++metrics_.slots_total;
@@ -73,6 +122,9 @@ const tags::Tag* Session::complete_reply(
     records_.push_back(CollectedRecord{
         slot.responder->id(), slot.responder->reply_payload(config_.info_bits)});
   }
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kReply, dt, 0, 0, config_.info_bits,
+                reader_time_us, tag_us);
   return slot.responder;
 }
 
@@ -80,6 +132,8 @@ const tags::Tag* Session::poll(std::span<const tags::Tag* const> responders,
                                const tags::Tag* expected,
                                std::size_t vector_bits) {
   metrics_.vector_bits += vector_bits;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
   const double reader_us = config_.timing.reader_tx_us(
       config_.timing.query_rep_bits + vector_bits);
   return complete_reply(responders, expected, reader_us);
@@ -89,12 +143,16 @@ const tags::Tag* Session::poll_bare(
     std::span<const tags::Tag* const> responders, const tags::Tag* expected,
     std::size_t vector_bits) {
   metrics_.vector_bits += vector_bits;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
   return complete_reply(responders, expected,
                         config_.timing.reader_tx_us(vector_bits));
 }
 
 const tags::Tag* Session::poll_slot(
     std::span<const tags::Tag* const> responders, const tags::Tag* expected) {
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kPoll, 0.0, 0, 0, 0, 0.0, 0.0);
   return complete_reply(
       responders, expected,
       config_.timing.reader_tx_us(config_.timing.query_rep_bits));
@@ -112,11 +170,15 @@ void Session::expect_empty_slot(
     throw ProtocolError("slot marked wasted was answered by " +
                         std::to_string(slot.responder_count) + " tag(s)");
   }
-  metrics_.time_us += full_duration
-                          ? config_.timing.poll_us(0, config_.info_bits)
-                          : config_.timing.idle_slot_us();
+  const double dt = full_duration
+                        ? config_.timing.poll_us(0, config_.info_bits)
+                        : config_.timing.idle_slot_us();
+  metrics_.time_us += dt;
+  metrics_.phases.add(obs::Phase::kWastedSlot, dt);
   ++metrics_.slots_total;
   ++metrics_.slots_wasted;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kSlotEmpty, dt, 0, 0, 0, 0.0, 0.0);
 }
 
 air::SlotResult Session::frame_slot_aloha(
@@ -136,26 +198,49 @@ air::SlotResult Session::frame_slot_aloha(
       rng_.bernoulli(config_.reply_error_rate)) {
     // A garbled singleton wastes the slot exactly like a collision.
     slot.decoded = false;
-    metrics_.time_us += config_.timing.collision_slot_us(config_.info_bits);
+    const double dt = config_.timing.collision_slot_us(config_.info_bits);
+    metrics_.time_us += dt;
+    metrics_.phases.add(obs::Phase::kWastedSlot, dt);
     ++metrics_.corrupted;
     ++metrics_.slots_total;
     ++metrics_.slots_wasted;
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kCorrupted, dt, 0, 0, 0, 0.0,
+                  config_.timing.tag_tx_us(config_.info_bits));
     return slot;
   }
   switch (slot.outcome) {
-    case air::SlotOutcome::kEmpty:
-      metrics_.time_us += config_.timing.idle_slot_us();
+    case air::SlotOutcome::kEmpty: {
+      const double dt = config_.timing.idle_slot_us();
+      metrics_.time_us += dt;
+      metrics_.phases.add(obs::Phase::kWastedSlot, dt);
       ++metrics_.slots_total;
       ++metrics_.slots_wasted;
+      if (config_.tracer != nullptr)
+        trace_event(obs::EventKind::kSlotEmpty, dt, 0, 0, 0, 0.0, 0.0);
       break;
-    case air::SlotOutcome::kCollision:
-      metrics_.time_us +=
+    }
+    case air::SlotOutcome::kCollision: {
+      const double dt =
           config_.timing.collision_slot_us(config_.info_bits);
+      metrics_.time_us += dt;
+      metrics_.phases.add(obs::Phase::kWastedSlot, dt);
       ++metrics_.slots_total;
       ++metrics_.slots_wasted;
+      if (config_.tracer != nullptr)
+        trace_event(obs::EventKind::kSlotCollision, dt, 0, 0, 0, 0.0, 0.0);
       break;
-    case air::SlotOutcome::kSingleton:
-      metrics_.time_us += config_.timing.poll_us(0, config_.info_bits);
+    }
+    case air::SlotOutcome::kSingleton: {
+      const double dt = config_.timing.poll_us(0, config_.info_bits);
+      const double reader_us =
+          config_.timing.reader_tx_us(config_.timing.query_rep_bits);
+      const double tag_us = config_.timing.tag_tx_us(config_.info_bits);
+      metrics_.time_us += dt;
+      metrics_.phases.add(obs::Phase::kReaderVector, reader_us);
+      metrics_.phases.add(obs::Phase::kTurnaround,
+                          config_.timing.t1_us + config_.timing.t2_us);
+      metrics_.phases.add(obs::Phase::kTagReply, tag_us);
       metrics_.tag_bits += config_.info_bits;
       ++metrics_.polls;
       ++metrics_.slots_total;
@@ -165,7 +250,11 @@ air::SlotResult Session::frame_slot_aloha(
             CollectedRecord{slot.responder->id(),
                             slot.responder->reply_payload(config_.info_bits)});
       }
+      if (config_.tracer != nullptr)
+        trace_event(obs::EventKind::kReply, dt, 0, 0, config_.info_bits,
+                    reader_us, tag_us);
       break;
+    }
   }
   return slot;
 }
@@ -174,8 +263,17 @@ void Session::begin_round() {
   ++metrics_.rounds;
   if (config_.keep_trace) {
     trace_.push_back(RoundSnapshot{metrics_.rounds, metrics_.polls,
-                                   metrics_.vector_bits, metrics_.time_us});
+                                   metrics_.vector_bits, metrics_.time_us,
+                                   metrics_.phases});
   }
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kRoundBegin, 0.0, 0, 0, 0, 0.0, 0.0);
+}
+
+void Session::begin_circle() {
+  ++metrics_.circles;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kCircleBegin, 0.0, 0, 0, 0, 0.0, 0.0);
 }
 
 bool Session::presence_slot(std::span<const tags::Tag* const> responders) {
@@ -184,12 +282,30 @@ bool Session::presence_slot(std::span<const tags::Tag* const> responders) {
   // Energy sensing: a busy slot carries one bit of backscatter; an empty
   // slot only the turn-arounds. Noise is irrelevant at this granularity —
   // the reader detects power, not payload.
-  metrics_.time_us +=
+  const double reader_us =
+      config_.timing.reader_tx_us(config_.timing.query_rep_bits);
+  const double dt =
       config_.timing.reader_tx_us(config_.timing.query_rep_bits) +
       config_.timing.t1_us + (busy ? config_.timing.tag_tx_us(1) : 0.0) +
       config_.timing.t2_us;
-  if (busy) metrics_.tag_bits += slot.responder_count;
+  metrics_.time_us += dt;
+  if (busy) {
+    metrics_.phases.add(obs::Phase::kReaderVector, reader_us);
+    metrics_.phases.add(obs::Phase::kTurnaround,
+                        config_.timing.t1_us + config_.timing.t2_us);
+    metrics_.phases.add(obs::Phase::kTagReply, config_.timing.tag_tx_us(1));
+    metrics_.tag_bits += slot.responder_count;
+  } else {
+    metrics_.phases.add(obs::Phase::kWastedSlot, dt);
+  }
   ++metrics_.slots_total;
+  if (config_.tracer != nullptr) {
+    if (busy)
+      trace_event(obs::EventKind::kReply, dt, 0, 0, slot.responder_count,
+                  reader_us, config_.timing.tag_tx_us(1));
+    else
+      trace_event(obs::EventKind::kSlotEmpty, dt, 0, 0, 0, reader_us, 0.0);
+  }
   return busy;
 }
 
@@ -202,6 +318,7 @@ void Session::check_round_budget() const {
 }
 
 RunResult Session::finish(std::string protocol_name) {
+  if (config_.tracer != nullptr) config_.tracer->finish();
   RunResult result;
   result.protocol = std::move(protocol_name);
   result.population = population_->size();

@@ -16,6 +16,7 @@
 #include "air/channel.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "phy/c1g2.hpp"
 #include "sim/metrics.hpp"
 #include "tags/population.hpp"
@@ -46,6 +47,11 @@ struct SessionConfig final {
   double capture_probability = 0.0;
   /// Record a per-round snapshot trace in the result (diagnostics/plots).
   bool keep_trace = false;
+  /// Event tracer receiving one typed event per air-interface action (see
+  /// obs/trace.hpp). Not owned; must outlive the run. Null disables tracing
+  /// entirely — the hot-path cost is a single branch on this pointer, and
+  /// seeded runs stay byte-identical with or without it.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Cumulative snapshot taken at the start of each round/frame.
@@ -54,6 +60,8 @@ struct RoundSnapshot final {
   std::uint64_t polls_so_far = 0;
   std::uint64_t vector_bits_so_far = 0;
   double time_us_so_far = 0.0;
+  /// Per-phase split of time_us_so_far (cumulative, like the other fields).
+  obs::PhaseBreakdown phases_so_far{};
 };
 
 /// One collected (tag, payload) pair.
@@ -159,7 +167,7 @@ class Session final {
   // --- Round/circle bookkeeping ---------------------------------------------
 
   void begin_round();
-  void begin_circle() { ++metrics_.circles; }
+  void begin_circle();
 
   /// Throws ProtocolError once rounds exceed config().max_rounds; protocols
   /// call this at round start so a mis-parameterized run fails loudly.
@@ -171,6 +179,14 @@ class Session final {
   const tags::Tag* complete_reply(
       std::span<const tags::Tag* const> responders, const tags::Tag* expected,
       double reader_time_us);
+
+  /// Builds and emits one trace event stamped with the current clock and
+  /// round/circle counters. Callers must have applied the metric updates
+  /// first and must guard on config_.tracer themselves (keeps the disabled
+  /// path to one branch).
+  void trace_event(obs::EventKind kind, double duration_us,
+                   std::uint64_t vector_bits, std::uint64_t command_bits,
+                   std::uint64_t tag_bits, double reader_us, double tag_us);
 
   const tags::TagPopulation* population_;
   SessionConfig config_;

@@ -2,18 +2,30 @@
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "obs/phase_timer.hpp"
 
 namespace rfid::sim {
 
 void write_trace_csv(const RunResult& result, const std::string& path) {
   CsvWriter csv(path);
-  csv.write_row({"round", "polls_so_far", "vector_bits_so_far",
-                 "time_us_so_far"});
+  std::vector<std::string> header{"round", "polls_so_far",
+                                  "vector_bits_so_far", "time_us_so_far"};
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p)
+    header.push_back(
+        std::string(obs::to_string(static_cast<obs::Phase>(p))) +
+        "_us_so_far");
+  // A run without a trace still writes the header row (documented contract;
+  // downstream plotters rely on the columns existing).
+  csv.write_row(header);
   for (const RoundSnapshot& snapshot : result.trace) {
-    csv.write_row({std::to_string(snapshot.round),
-                   std::to_string(snapshot.polls_so_far),
-                   std::to_string(snapshot.vector_bits_so_far),
-                   TablePrinter::num(snapshot.time_us_so_far, 2)});
+    std::vector<std::string> row{std::to_string(snapshot.round),
+                                 std::to_string(snapshot.polls_so_far),
+                                 std::to_string(snapshot.vector_bits_so_far),
+                                 TablePrinter::num(snapshot.time_us_so_far, 2)};
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p)
+      row.push_back(TablePrinter::num(
+          snapshot.phases_so_far.get(static_cast<obs::Phase>(p)), 2));
+    csv.write_row(row);
   }
 }
 

@@ -1,0 +1,500 @@
+// Tests for the observability subsystem: event tracing (sinks, metric
+// identities), histograms and streaming quantiles, the metrics registry,
+// phase accounting, trial-runner aggregation, and the strict numeric
+// argument parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "core/polling.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "parallel/trial_runner.hpp"
+#include "protocols/tree_polling.hpp"
+
+namespace rfid {
+namespace {
+
+sim::RunResult traced_run(core::ProtocolKind kind, std::size_t n,
+                          obs::Tracer& tracer, std::uint64_t seed = 7,
+                          double noise = 0.0) {
+  Xoshiro256ss rng(2026);
+  const auto pop = tags::TagPopulation::uniform_random(n, rng);
+  sim::SessionConfig config;
+  config.seed = seed;
+  config.keep_records = false;
+  config.reply_error_rate = noise;
+  config.tracer = &tracer;
+  return protocols::make_protocol(kind)->run(pop, config);
+}
+
+// --- Event stream vs metrics: the lossless-decomposition contract ----------
+
+TEST(Trace, TppEventsSumExactlyToMetrics) {
+  // The acceptance bar: a TPP run over n = 2000 through the JSONL sink must
+  // decompose the metrics exactly — summed vector bits, tag bits, and the
+  // duration fold all equal the Metrics totals, and the vector-bits
+  // histogram mean equals avg_vector_bits() to 1e-9.
+  std::ostringstream jsonl;
+  obs::JsonlSink jsonl_sink(jsonl);
+  obs::RingBufferSink ring(1u << 16);
+  obs::MetricsRegistry registry;
+  obs::RegistrySink registry_sink(registry);
+  obs::Tracer tracer;
+  tracer.add_sink(&jsonl_sink);
+  tracer.add_sink(&ring);
+  tracer.add_sink(&registry_sink);
+
+  const auto result = traced_run(core::ProtocolKind::kTpp, 2000, tracer);
+  ASSERT_EQ(ring.dropped(), 0u);
+
+  EXPECT_EQ(ring.sum_vector_bits(), result.metrics.vector_bits);
+  EXPECT_EQ(ring.sum_command_bits(), result.metrics.command_bits);
+  EXPECT_EQ(ring.sum_tag_bits(), result.metrics.tag_bits);
+  // Durations are the very doubles the session clock added, folded in the
+  // same order — bit-exact equality, not approximate.
+  EXPECT_EQ(ring.sum_duration_us(), result.metrics.time_us);
+
+  const auto events = ring.snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().time_us, result.metrics.time_us);
+  EXPECT_EQ(events.back().round, result.metrics.rounds);
+
+  // JSONL: one meta line + one line per event, all parseable back into the
+  // same totals (precision-17 doubles round-trip).
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"schema\":\"rfid-trace\""), std::string::npos);
+  std::uint64_t event_lines = 0, vector_bits = 0, tag_bits = 0;
+  double clock = 0.0;
+  const auto num_field = [](const std::string& text, const char* key) {
+    const std::string needle = '"' + std::string(key) + "\":";
+    const auto pos = text.find(needle);
+    EXPECT_NE(pos, std::string::npos) << key << " in " << text;
+    return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  };
+  while (std::getline(lines, line)) {
+    ++event_lines;
+    vector_bits += static_cast<std::uint64_t>(num_field(line, "vector_bits"));
+    tag_bits += static_cast<std::uint64_t>(num_field(line, "tag_bits"));
+    clock += num_field(line, "duration_us");
+  }
+  EXPECT_EQ(event_lines, ring.total_events());
+  EXPECT_EQ(vector_bits, result.metrics.vector_bits);
+  EXPECT_EQ(tag_bits, result.metrics.tag_bits);
+  EXPECT_EQ(clock, result.metrics.time_us);
+
+  // Registry-side distribution: mean polling-vector length.
+  const obs::Histogram* h = registry.find_histogram("vector_bits_per_poll");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), result.metrics.polls);
+  EXPECT_NEAR(h->mean(), result.avg_vector_bits(), 1e-9);
+  EXPECT_EQ(registry.counter_value("events.reply"), result.metrics.polls);
+}
+
+TEST(Trace, EventDecompositionHoldsAcrossProtocolFamilies) {
+  for (const auto kind :
+       {core::ProtocolKind::kHpp, core::ProtocolKind::kEhpp,
+        core::ProtocolKind::kCpp, core::ProtocolKind::kMic,
+        core::ProtocolKind::kDfsa}) {
+    obs::RingBufferSink ring(1u << 18);
+    obs::Tracer tracer(&ring);
+    const auto result = traced_run(kind, 500, tracer);
+    ASSERT_EQ(ring.dropped(), 0u) << result.protocol;
+    EXPECT_EQ(ring.sum_vector_bits(), result.metrics.vector_bits)
+        << result.protocol;
+    EXPECT_EQ(ring.sum_command_bits(), result.metrics.command_bits)
+        << result.protocol;
+    EXPECT_EQ(ring.sum_tag_bits(), result.metrics.tag_bits)
+        << result.protocol;
+    EXPECT_EQ(ring.sum_duration_us(), result.metrics.time_us)
+        << result.protocol;
+  }
+}
+
+TEST(Trace, NoiseAndCirclesShowUpAsEvents) {
+  obs::MetricsRegistry registry;
+  obs::RegistrySink sink(registry);
+  obs::Tracer tracer(&sink);
+  const auto result =
+      traced_run(core::ProtocolKind::kEhpp, 800, tracer, 11, 0.15);
+  EXPECT_EQ(registry.counter_value("events.circle_begin"),
+            result.metrics.circles);
+  EXPECT_EQ(registry.counter_value("events.corrupted"),
+            result.metrics.corrupted);
+  EXPECT_EQ(registry.counter_value("events.round_begin"),
+            result.metrics.rounds);
+  EXPECT_GT(result.metrics.corrupted, 0u);
+  EXPECT_GT(result.metrics.circles, 0u);
+}
+
+TEST(Trace, DisabledTracerIsByteIdentical) {
+  obs::RingBufferSink ring(8);
+  obs::Tracer tracer(&ring);
+  const auto with = traced_run(core::ProtocolKind::kTpp, 600, tracer);
+  Xoshiro256ss rng(2026);
+  const auto pop = tags::TagPopulation::uniform_random(600, rng);
+  sim::SessionConfig config;
+  config.seed = 7;
+  config.keep_records = false;
+  const auto without =
+      protocols::make_protocol(core::ProtocolKind::kTpp)->run(pop, config);
+  EXPECT_EQ(with.metrics.time_us, without.metrics.time_us);  // bitwise
+  EXPECT_EQ(with.metrics.vector_bits, without.metrics.vector_bits);
+  EXPECT_EQ(with.metrics.polls, without.metrics.polls);
+  EXPECT_EQ(with.metrics.rounds, without.metrics.rounds);
+}
+
+TEST(Trace, RingBufferKeepsNewestAndCountsDropped) {
+  obs::RingBufferSink ring(4);
+  obs::Event event;
+  for (int i = 0; i < 10; ++i) {
+    event.round = static_cast<std::uint64_t>(i);
+    event.duration_us = 1.0;
+    ring.on_event(event);
+  }
+  EXPECT_EQ(ring.total_events(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().round, 6u);
+  EXPECT_EQ(kept.back().round, 9u);
+  EXPECT_DOUBLE_EQ(ring.sum_duration_us(), 10.0);  // totals span all events
+}
+
+TEST(Trace, EventKindNamesRoundTrip) {
+  for (std::size_t k = 0; k < obs::kEventKindCount; ++k) {
+    const auto kind = static_cast<obs::EventKind>(k);
+    obs::EventKind parsed;
+    ASSERT_TRUE(obs::parse_event_kind(to_string(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  obs::EventKind parsed;
+  EXPECT_FALSE(obs::parse_event_kind("quux", parsed));
+}
+
+// --- Phase accounting -------------------------------------------------------
+
+TEST(Phases, PartitionTheClockAcrossProtocols) {
+  for (const auto kind :
+       {core::ProtocolKind::kTpp, core::ProtocolKind::kHpp,
+        core::ProtocolKind::kEhpp, core::ProtocolKind::kCpp,
+        core::ProtocolKind::kMic, core::ProtocolKind::kDfsa}) {
+    Xoshiro256ss rng(5);
+    const auto pop = tags::TagPopulation::uniform_random(400, rng);
+    sim::SessionConfig config;
+    config.seed = 3;
+    const auto result = protocols::make_protocol(kind)->run(pop, config);
+    EXPECT_NEAR(result.metrics.phases.total_us(), result.metrics.time_us,
+                1e-9 * result.metrics.time_us)
+        << result.protocol;
+  }
+}
+
+TEST(Phases, CleanPollingWastesNothingAlohaWastesSomething) {
+  Xoshiro256ss rng(6);
+  const auto pop = tags::TagPopulation::uniform_random(300, rng);
+  sim::SessionConfig config;
+  config.seed = 4;
+  const auto tpp =
+      protocols::make_protocol(core::ProtocolKind::kTpp)->run(pop, config);
+  EXPECT_EQ(tpp.metrics.phases.get(obs::Phase::kWastedSlot), 0.0);
+  EXPECT_GT(tpp.metrics.phases.get(obs::Phase::kReaderVector), 0.0);
+  EXPECT_GT(tpp.metrics.phases.get(obs::Phase::kTurnaround), 0.0);
+  EXPECT_GT(tpp.metrics.phases.get(obs::Phase::kTagReply), 0.0);
+  const auto dfsa =
+      protocols::make_protocol(core::ProtocolKind::kDfsa)->run(pop, config);
+  EXPECT_GT(dfsa.metrics.phases.get(obs::Phase::kWastedSlot), 0.0);
+}
+
+// --- Metrics::merge (all fields) -------------------------------------------
+
+TEST(MetricsMerge, AccumulatesEveryField) {
+  sim::Metrics a, b;
+  a.polls = 1;
+  a.missing = 2;
+  a.corrupted = 3;
+  a.rounds = 4;
+  a.circles = 5;
+  a.slots_total = 6;
+  a.slots_useful = 7;
+  a.slots_wasted = 8;
+  a.vector_bits = 9;
+  a.command_bits = 10;
+  a.tag_bits = 11;
+  a.time_us = 12.5;
+  a.phases.add(obs::Phase::kReaderVector, 1.5);
+  a.phases.add(obs::Phase::kWastedSlot, 11.0);
+  b.polls = 100;
+  b.missing = 200;
+  b.corrupted = 300;
+  b.rounds = 400;
+  b.circles = 500;
+  b.slots_total = 600;
+  b.slots_useful = 700;
+  b.slots_wasted = 800;
+  b.vector_bits = 900;
+  b.command_bits = 1000;
+  b.tag_bits = 1100;
+  b.time_us = 1200.25;
+  b.phases.add(obs::Phase::kCommand, 1200.25);
+  a.merge(b);
+  EXPECT_EQ(a.polls, 101u);
+  EXPECT_EQ(a.missing, 202u);
+  EXPECT_EQ(a.corrupted, 303u);
+  EXPECT_EQ(a.rounds, 404u);
+  EXPECT_EQ(a.circles, 505u);
+  EXPECT_EQ(a.slots_total, 606u);
+  EXPECT_EQ(a.slots_useful, 707u);
+  EXPECT_EQ(a.slots_wasted, 808u);
+  EXPECT_EQ(a.vector_bits, 909u);
+  EXPECT_EQ(a.command_bits, 1010u);
+  EXPECT_EQ(a.tag_bits, 1111u);
+  EXPECT_DOUBLE_EQ(a.time_us, 1212.75);
+  EXPECT_DOUBLE_EQ(a.phases.get(obs::Phase::kReaderVector), 1.5);
+  EXPECT_DOUBLE_EQ(a.phases.get(obs::Phase::kCommand), 1200.25);
+  EXPECT_DOUBLE_EQ(a.phases.get(obs::Phase::kWastedSlot), 11.0);
+  EXPECT_DOUBLE_EQ(a.phases.total_us(), a.time_us);
+}
+
+TEST(MetricsMerge, MergeWithDefaultIsIdentity) {
+  sim::Metrics a;
+  a.polls = 7;
+  a.time_us = 3.25;
+  a.circles = 2;
+  a.corrupted = 1;
+  const sim::Metrics before = a;
+  a.merge(sim::Metrics{});
+  EXPECT_EQ(a.polls, before.polls);
+  EXPECT_EQ(a.circles, before.circles);
+  EXPECT_EQ(a.corrupted, before.corrupted);
+  EXPECT_DOUBLE_EQ(a.time_us, before.time_us);
+}
+
+// --- Histograms -------------------------------------------------------------
+
+TEST(Histogram, RecordsAndInterpolatesQuantiles) {
+  auto h = obs::Histogram::linear(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i) + 0.5);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 99.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(Histogram, UnderflowAndOverflowAreBucketed) {
+  auto h = obs::Histogram::linear(0.0, 10.0, 10);
+  h.record(-5.0);
+  h.record(50.0);
+  h.record(5.0);
+  EXPECT_EQ(h.counts().front(), 1u);  // underflow
+  EXPECT_EQ(h.counts().back(), 1u);   // overflow
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+}
+
+TEST(Histogram, MergeIsExactAndAssociative) {
+  auto make = [](std::uint64_t seed, int count) {
+    auto h = obs::Histogram::linear(0.0, 1000.0, 50);
+    Xoshiro256ss rng(seed);
+    for (int i = 0; i < count; ++i)
+      h.record(static_cast<double>(rng.below(1200)));
+    return h;
+  };
+  const auto a = make(1, 100), b = make(2, 200), c = make(3, 300);
+  auto ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+  auto bc = b;
+  bc.merge(c);
+  auto a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c.count(), 600u);
+  EXPECT_EQ(ab_c.counts(), a_bc.counts());
+  EXPECT_DOUBLE_EQ(ab_c.min(), a_bc.min());
+  EXPECT_DOUBLE_EQ(ab_c.max(), a_bc.max());
+  // sum is a double fold; association differs, so compare with tolerance.
+  EXPECT_NEAR(ab_c.sum(), a_bc.sum(), 1e-9 * ab_c.sum());
+}
+
+TEST(Histogram, MergeRejectsForeignLayouts) {
+  auto a = obs::Histogram::linear(0.0, 10.0, 10);
+  auto b = obs::Histogram::linear(0.0, 20.0, 10);
+  b.record(1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  // Merging into a default-constructed histogram adopts the layout.
+  obs::Histogram empty;
+  empty.merge(b);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_TRUE(empty.same_layout(b));
+}
+
+TEST(Histogram, ExponentialEdgesGrowGeometrically) {
+  const auto h = obs::Histogram::exponential(100.0, 2.0, 4);
+  const auto& edges = h.edges();
+  ASSERT_EQ(edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(edges[0], 100.0);
+  EXPECT_DOUBLE_EQ(edges[4], 1600.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(obs::Histogram({1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram::linear(5.0, 5.0, 10), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram::exponential(0.0, 2.0, 4),
+               std::invalid_argument);
+}
+
+TEST(P2Quantile, TracksUniformMedianAndTail) {
+  obs::P2Quantile p50(0.5), p95(0.95);
+  Xoshiro256ss rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = static_cast<double>(rng.below(10000));
+    p50.record(x);
+    p95.record(x);
+  }
+  EXPECT_NEAR(p50.value(), 5000.0, 250.0);
+  EXPECT_NEAR(p95.value(), 9500.0, 250.0);
+}
+
+TEST(P2Quantile, SmallSamplesAreExact) {
+  obs::P2Quantile p50(0.5);
+  EXPECT_DOUBLE_EQ(p50.value(), 0.0);
+  p50.record(7.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 7.0);
+  p50.record(1.0);
+  p50.record(9.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 7.0);  // middle of {1, 7, 9}
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(Registry, CountersAndMergeAdoptNames) {
+  obs::MetricsRegistry a, b;
+  ++a.counter("x");
+  b.counter("x") += 4;
+  ++b.counter("y");
+  b.histogram("h", obs::Histogram::linear(0, 10, 5)).record(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("x"), 5u);
+  EXPECT_EQ(a.counter_value("y"), 1u);
+  EXPECT_EQ(a.counter_value("never"), 0u);
+  ASSERT_NE(a.find_histogram("h"), nullptr);
+  EXPECT_EQ(a.find_histogram("h")->count(), 1u);
+}
+
+TEST(Registry, JsonIsBalancedAndDeterministic) {
+  obs::MetricsRegistry registry;
+  obs::RegistrySink sink(registry);
+  obs::Tracer tracer(&sink);
+  (void)traced_run(core::ProtocolKind::kTpp, 200, tracer);
+  std::ostringstream a, b;
+  registry.write_json(a);
+  registry.write_json(b, 0);
+  EXPECT_EQ(a.str().empty(), false);
+  EXPECT_EQ(b.str().find('\n'), std::string::npos);
+  std::ptrdiff_t braces = 0, brackets = 0;
+  for (const char c : a.str()) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Registry, PollsPerRoundCoversEveryRound) {
+  obs::MetricsRegistry registry;
+  obs::RegistrySink sink(registry);
+  obs::Tracer tracer(&sink);
+  const auto result = traced_run(core::ProtocolKind::kHpp, 500, tracer);
+  const obs::Histogram* h = registry.find_histogram("polls_per_round");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), result.metrics.rounds);
+  EXPECT_DOUBLE_EQ(h->sum(), static_cast<double>(result.metrics.polls));
+}
+
+// --- Trial-runner aggregation ----------------------------------------------
+
+TEST(TrialRunner, RegistryMergeMatchesSerialVsPooled) {
+  // Histogram merging is associative and run_trials folds per-trial
+  // registries in trial order, so the pooled aggregate must equal the
+  // serial one exactly — counts bitwise, sums to double-fold identity.
+  protocols::Tpp tpp;
+  parallel::TrialPlan plan;
+  plan.trials = 8;
+  plan.master_seed = 77;
+  plan.collect_registry = true;
+  const auto serial = run_trials(tpp, parallel::uniform_population(300), plan);
+  parallel::ThreadPool pool(4);
+  const auto pooled =
+      run_trials(tpp, parallel::uniform_population(300), plan, &pool);
+
+  const auto* hs = serial.registry.find_histogram("vector_bits_per_poll");
+  const auto* hp = pooled.registry.find_histogram("vector_bits_per_poll");
+  ASSERT_NE(hs, nullptr);
+  ASSERT_NE(hp, nullptr);
+  EXPECT_EQ(hs->count(), 8u * 300u);
+  EXPECT_EQ(hs->counts(), hp->counts());
+  EXPECT_DOUBLE_EQ(hs->sum(), hp->sum());
+  EXPECT_DOUBLE_EQ(hs->mean(), hp->mean());
+  EXPECT_EQ(serial.registry.counter_value("events.reply"),
+            pooled.registry.counter_value("events.reply"));
+
+  // Scalar totals aggregate through Metrics::merge under the same contract.
+  EXPECT_EQ(serial.totals.polls, pooled.totals.polls);
+  EXPECT_EQ(serial.totals.vector_bits, pooled.totals.vector_bits);
+  EXPECT_DOUBLE_EQ(serial.totals.time_us, pooled.totals.time_us);
+  EXPECT_EQ(serial.totals.polls, 8u * 300u);
+  // The merged histogram mean is the population-weighted avg_vector_bits.
+  EXPECT_NEAR(hs->mean(),
+              static_cast<double>(serial.totals.vector_bits) /
+                  static_cast<double>(serial.totals.polls),
+              1e-9);
+}
+
+TEST(TrialRunner, RegistryOffByDefault) {
+  protocols::Tpp tpp;
+  parallel::TrialPlan plan;
+  plan.trials = 2;
+  const auto series = run_trials(tpp, parallel::uniform_population(50), plan);
+  EXPECT_EQ(series.registry.histograms().size(), 0u);
+  EXPECT_EQ(series.totals.polls, 100u);  // totals always aggregate
+}
+
+// --- Strict numeric parsing (shared by the examples) ------------------------
+
+TEST(ParseArgs, ParseU64AcceptsOnlyCleanDigits) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("12x"));      // trailing garbage
+  EXPECT_FALSE(parse_u64(" 12"));      // leading space
+  EXPECT_FALSE(parse_u64("-3"));       // sign
+  EXPECT_FALSE(parse_u64("+3"));
+  EXPECT_FALSE(parse_u64("1e4"));      // no scientific notation
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // overflow
+  EXPECT_FALSE(parse_u64("99999999999999999999999"));
+}
+
+TEST(ParseArgs, ParseSizeArgRejectsZeroByDefault) {
+  EXPECT_EQ(parse_size_arg("2000"), 2000u);
+  EXPECT_FALSE(parse_size_arg("0"));
+  EXPECT_EQ(parse_size_arg("0", /*allow_zero=*/true), 0u);
+  EXPECT_FALSE(parse_size_arg("10 "));
+  EXPECT_FALSE(parse_size_arg("ten"));
+}
+
+}  // namespace
+}  // namespace rfid
