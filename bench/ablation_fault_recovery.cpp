@@ -1,0 +1,77 @@
+// Ablation (extension beyond the paper): burst loss x retry budget. The
+// link follows a Gilbert–Elliott burst-error process (scaled so its
+// stationary loss hits each target rate) and the reader runs the bounded
+// re-poll recovery policy. Small budgets trade undelivered tags for time;
+// generous budgets restore complete collection at a modest retry cost,
+// because short polling vectors keep each re-poll cheap.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "protocols/registry.hpp"
+
+int main() {
+  using namespace rfid;
+  const std::size_t trials = bench::runs(3);
+  const std::size_t n = std::min<std::size_t>(bench::max_n(100000), 5000);
+  bench::CsvSink csv("ablation_fault_recovery");
+  bench::preamble(
+      "Ablation (extension): burst loss x retry budget under recovery",
+      trials);
+
+  const std::vector<double> loss_rates = {0.05, 0.15, 0.30};
+  const std::vector<std::uint32_t> budgets = {2, 8, 32};
+
+  const std::vector<std::string> headers{"protocol", "loss", "budget",
+                                         "time (s)",  "retries/tag",
+                                         "undelivered/trial"};
+  TablePrinter table(headers);
+  csv.row(headers);
+
+  for (const auto kind :
+       {protocols::ProtocolKind::kHpp, protocols::ProtocolKind::kTpp}) {
+    const auto protocol = protocols::make_protocol(kind);
+    for (const double loss : loss_rates) {
+      for (const std::uint32_t budget : budgets) {
+        parallel::TrialPlan plan;
+        plan.trials = trials;
+        plan.master_seed = 2025;
+        plan.session.info_bits = 1;
+        // Bad state always garbles; the entry rate is scaled so the chain's
+        // stationary bad-state share — and hence its stationary loss —
+        // equals the target rate: pi_bad = p_gb / (p_gb + p_bg) = loss.
+        auto& ge = plan.session.fault.gilbert_elliott;
+        plan.session.fault.link = fault::LinkModel::kGilbertElliott;
+        ge.loss_good = 0.0;
+        ge.loss_bad = 1.0;
+        ge.p_bad_to_good = 0.4;
+        ge.p_good_to_bad = 0.4 * loss / (1.0 - loss);
+        plan.session.recovery.enabled = true;
+        plan.session.recovery.retry_budget = budget;
+        bench::RunManifest::instance().record(protocol->name(), n, 1, trials,
+                                              plan.master_seed);
+        const auto series = parallel::run_trials(
+            *protocol, parallel::uniform_population(n), plan);
+        const double per_trial = 1.0 / static_cast<double>(trials);
+        const std::vector<std::string> row{
+            std::string(protocol->name()),
+            TablePrinter::num(loss, 2),
+            std::to_string(budget),
+            bench::with_ci(series.time_s()),
+            TablePrinter::num(static_cast<double>(series.totals.retries) *
+                                  per_trial / static_cast<double>(n),
+                              3),
+            TablePrinter::num(
+                static_cast<double>(series.totals.undelivered) * per_trial,
+                2)};
+        table.add_row(row);
+        csv.row(row);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check (n = " << n
+            << "): undelivered/trial falls to 0 as the budget grows; time"
+               "\nrises with loss but stays within ~1/(1-loss) of the clean"
+               " run once\nthe budget is generous.\n";
+  return 0;
+}

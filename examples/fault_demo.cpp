@@ -1,0 +1,93 @@
+// Fault-injection walkthrough: what a polling reader does when the clean-
+// channel assumption breaks. Three acts over the same 1,000-tag workload:
+//
+//   1. clean channel          — the paper's setting, zero waste;
+//   2. burst loss, no policy  — a Gilbert–Elliott link garbles replies in
+//                               bursts; tags drift into later rounds;
+//   3. burst loss + churn + recovery — some tags leave mid-run (two return
+//                               later), the reader re-polls with a bounded
+//                               per-tag budget and reports exactly which
+//                               tags it gave up on.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/fault_demo
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "obs/phase_timer.hpp"
+#include "protocols/registry.hpp"
+#include "sim/verify.hpp"
+
+int main() {
+  using namespace rfid;
+
+  Xoshiro256ss rng(/*seed=*/7);
+  const tags::TagPopulation population =
+      tags::TagPopulation::uniform_random(1000, rng);
+  const auto protocol = protocols::make_protocol(protocols::ProtocolKind::kTpp);
+
+  // Act 1 — the paper's clean channel.
+  sim::SessionConfig clean;
+  clean.seed = 99;
+
+  // Act 2 — same workload over a bursty link (about 11% stationary loss in
+  // multi-reply fades), no recovery policy: garbled tags simply stay awake.
+  sim::SessionConfig bursty = clean;
+  bursty.fault.link = fault::LinkModel::kGilbertElliott;
+
+  // Act 3 — bursts plus churn plus the recovery policy. Five tags leave at
+  // round 2 (any collected in round 1 stay collected); two of them come
+  // back at round 5. Bounded re-polls (budget 6) collect everything present
+  // and name exactly the departed-and-never-read tags.
+  sim::SessionConfig recovered = bursty;
+  for (std::size_t i = 0; i < 5; ++i) {
+    recovered.fault.churn.push_back(
+        {2, population[i * 100].id(), fault::ChurnEvent::Kind::kDepart});
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    recovered.fault.churn.push_back(
+        {5, population[i * 100].id(), fault::ChurnEvent::Kind::kArrive});
+  }
+  recovered.recovery.enabled = true;
+  recovered.recovery.retry_budget = 6;
+
+  TablePrinter table({"scenario", "collected", "undelivered", "corrupted",
+                      "retries", "time (s)", "recovery (s)"});
+  table.set_title("TPP, 1000 tags: clean vs burst loss vs recovery");
+  const struct {
+    const char* name;
+    const sim::SessionConfig* config;
+  } acts[] = {{"clean channel", &clean},
+              {"burst loss", &bursty},
+              {"burst+churn+recovery", &recovered}};
+
+  sim::RunResult last;
+  for (const auto& act : acts) {
+    const sim::RunResult result = protocol->run(population, *act.config);
+    table.add_row(
+        {act.name, std::to_string(result.records.size()),
+         std::to_string(result.metrics.undelivered),
+         std::to_string(result.metrics.corrupted),
+         std::to_string(result.metrics.retries),
+         TablePrinter::num(result.exec_time_s()),
+         TablePrinter::num(
+             result.metrics.phases.get(obs::Phase::kRecovery) / 1e6)});
+    last = result;
+  }
+  table.print(std::cout);
+
+  // The recovery run must account for every tag: collected or undelivered.
+  const auto verify = sim::verify_complete_collection(population, last);
+  if (!verify.ok) {
+    std::cerr << "verification FAILED: " << verify.message << '\n';
+    return EXIT_FAILURE;
+  }
+  std::cout << "\nTags the reader gave up on (retry budget exhausted):\n";
+  for (const TagId& id : last.undelivered_ids)
+    std::cout << "  " << id.to_hex() << '\n';
+  std::cout << "\nEvery tag is accounted for: collected or undelivered, "
+               "never silently dropped.\n";
+  return EXIT_SUCCESS;
+}

@@ -61,7 +61,8 @@ int main() {
     std::string bits;
     for (unsigned b = 0; b < segment.length; ++b)
       bits += ((segment.bits >> (segment.length - 1 - b)) & 1u) ? '1' : '0';
-    const std::uint32_t keep = segment.length >= 3 ? 0u : (7u & (~0u << segment.length));
+    const std::uint32_t keep =
+        segment.length >= 3 ? 0u : (7u & (~0u << segment.length));
     reg = (reg & keep) | segment.bits;
     std::string reg_str;
     for (int b = 2; b >= 0; --b) reg_str += ((reg >> b) & 1u) ? '1' : '0';

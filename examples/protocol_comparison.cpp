@@ -2,18 +2,26 @@
 // protocols on a configurable workload.
 //
 //   protocol_comparison [n] [info_bits] [trials] [protocol...]
+//                       [--report-json PATH]
 //
 //   ./protocol_comparison                      # defaults: 10000 1 5, all
 //   ./protocol_comparison 50000 16 10 TPP MIC  # custom workload & subset
+//
+// RFID_THREADS=k runs the trials on a k-worker pool; results are
+// bit-identical to the serial run (the CI determinism gate relies on it).
 #include <cctype>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/env.hpp"
 #include "common/table.hpp"
 #include "core/polling.hpp"
+#include "parallel/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace rfid;
@@ -22,36 +30,54 @@ int main(int argc, char** argv) {
   std::size_t info_bits = 1;
   std::size_t trials = 5;
   std::vector<core::ProtocolKind> kinds;
+  std::string report_json_path;
 
   const auto usage = [&] {
     std::cerr << "usage: " << argv[0]
-              << " [n] [info_bits] [trials] [protocol...]\n  protocols: ";
+              << " [n] [info_bits] [trials] [protocol...]"
+                 " [--report-json PATH]\n  protocols: ";
     for (const auto kind : protocols::all_protocols())
       std::cerr << protocols::to_string(kind) << ' ';
     std::cerr << '\n';
     return EXIT_FAILURE;
   };
 
-  int arg = 1;
+  // Strip flag arguments first; the remaining ones keep their positional
+  // semantics.
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--report-json") {
+      if (i + 1 >= argc) {
+        std::cerr << "--report-json needs a path\n";
+        return usage();
+      }
+      report_json_path = argv[++i];
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
+
+  std::size_t arg = 0;
   // The three leading numeric arguments are positional; the first
   // non-numeric argument starts the protocol list. parse_size_arg is
   // strict: trailing garbage, overflow, and a zero workload are all
   // rejected instead of silently running a degenerate comparison.
   for (auto* slot : {&n, &info_bits, &trials}) {
-    if (arg < argc && std::isdigit(static_cast<unsigned char>(*argv[arg]))) {
-      const auto parsed = parse_size_arg(argv[arg]);
+    if (arg < positional.size() &&
+        std::isdigit(static_cast<unsigned char>(*positional[arg]))) {
+      const auto parsed = parse_size_arg(positional[arg]);
       if (!parsed) {
-        std::cerr << "bad numeric argument: " << argv[arg] << '\n';
+        std::cerr << "bad numeric argument: " << positional[arg] << '\n';
         return usage();
       }
       *slot = *parsed;
       ++arg;
     }
   }
-  for (; arg < argc; ++arg) {
-    const auto kind = protocols::parse_protocol(argv[arg]);
+  for (; arg < positional.size(); ++arg) {
+    const auto kind = protocols::parse_protocol(positional[arg]);
     if (!kind) {
-      std::cerr << "unknown protocol: " << argv[arg] << '\n';
+      std::cerr << "unknown protocol: " << positional[arg] << '\n';
       return usage();
     }
     kinds.push_back(*kind);
@@ -64,7 +90,29 @@ int main(int argc, char** argv) {
             << ", info bits = " << info_bits << ", trials = " << trials
             << "\n\n";
 
-  const auto rows = core::compare_protocols(kinds, n, info_bits, trials);
+  // RFID_THREADS=k fans the trials out over a k-worker pool; unset or 0
+  // runs serially. Either way the rows are bit-identical (seed-derived
+  // per-trial RNG streams), which the CI determinism gate verifies.
+  const std::uint64_t threads = env_u64("RFID_THREADS", 0);
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 0)
+    pool = std::make_unique<parallel::ThreadPool>(
+        static_cast<unsigned>(threads));
+
+  constexpr std::uint64_t kMasterSeed = 42;
+  const auto rows = core::compare_protocols(kinds, n, info_bits, trials,
+                                            kMasterSeed, pool.get());
+
+  if (!report_json_path.empty()) {
+    std::ofstream out(report_json_path);
+    if (!out) {
+      std::cerr << "cannot open " << report_json_path << " for writing\n";
+      return EXIT_FAILURE;
+    }
+    core::write_comparison_json(out, rows,
+                                {n, info_bits, trials, kMasterSeed});
+  }
+
   TablePrinter table({"protocol", "avg vector bits", "time (s)",
                       "95% CI (s)", "x lower bound"});
   const double bound = rows.back().avg_time_s;

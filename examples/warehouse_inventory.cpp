@@ -62,8 +62,8 @@ int main() {
   const auto tpp_report =
       core::find_missing_tags(core::ProtocolKind::kTpp, expected, present,
                               config);
-  for (std::size_t i = 0; i < std::min<std::size_t>(5, tpp_report.missing.size());
-       ++i)
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(5, tpp_report.missing.size()); ++i)
     std::cout << "  " << tpp_report.missing[i].to_hex() << '\n';
   std::cout << "\nTPP sweeps the whole warehouse ~8x faster than"
                " conventional polling\nwhile identifying exactly the same"

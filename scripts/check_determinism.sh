@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Determinism gate: protocol_comparison must produce byte-identical output —
+# the human-readable table AND the machine-readable JSON report — whether
+# the trials run serially or across a worker pool. This is the repo's
+# seed-determinism contract (per-trial seed-derived RNG streams, trial-order
+# reductions); any nondeterministic merge or shared RNG shows up here as a
+# byte diff. Wired into ctest with label `integration`; run standalone as
+#
+#   scripts/check_determinism.sh [BIN_DIR]
+#
+# where BIN_DIR is the CMake binary dir holding examples/ (default: build).
+set -euo pipefail
+
+bin_dir="${1:-build}"
+cmp_bin="$bin_dir/examples/protocol_comparison"
+if [ ! -x "$cmp_bin" ]; then
+  echo "check_determinism: missing $cmp_bin (build with RFID_BUILD_EXAMPLES=ON)" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+args=(800 4 3 HPP TPP)
+RFID_THREADS=0 "$cmp_bin" "${args[@]}" \
+  --report-json "$workdir/serial.json" > "$workdir/serial.txt"
+RFID_THREADS=4 "$cmp_bin" "${args[@]}" \
+  --report-json "$workdir/pooled.json" > "$workdir/pooled.txt"
+
+status=0
+for ext in json txt; do
+  if ! cmp -s "$workdir/serial.$ext" "$workdir/pooled.$ext"; then
+    echo "check_determinism: serial and pooled .$ext outputs differ:" >&2
+    diff "$workdir/serial.$ext" "$workdir/pooled.$ext" >&2 || true
+    status=1
+  fi
+done
+[ "$status" -eq 0 ] || exit "$status"
+
+echo "check_determinism: OK (serial == RFID_THREADS=4, byte-identical)"

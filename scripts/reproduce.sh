@@ -6,12 +6,37 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
+# Respect an already-configured build tree (whatever its generator); only a
+# fresh configure picks Ninja, and only when Ninja is actually installed.
+if [ ! -f build/CMakeCache.txt ]; then
+  if command -v ninja > /dev/null 2>&1; then
+    cmake -B build -G Ninja
+  else
+    cmake -B build
+  fi
+fi
+cmake --build build --parallel
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+# Fail loudly when the build produced no bench binaries: an empty
+# bench_output.txt used to pass silently and hide a misconfigured build.
+shopt -s nullglob
+runnable=()
 for b in build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
-  echo; echo "##### $(basename "$b")"; "$b"
-done 2>&1 | tee bench_output.txt
+  [ -f "$b" ] && [ -x "$b" ] && runnable+=("$b")
+done
+if [ "${#runnable[@]}" -eq 0 ]; then
+  echo "reproduce: no bench binaries under build/bench" \
+       "(build failed or RFID_BUILD_BENCH=OFF)" >&2
+  exit 1
+fi
+{
+  for b in "${runnable[@]}"; do
+    echo
+    echo "##### $(basename "$b")"
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
 echo
 echo "Done. See EXPERIMENTS.md for paper-vs-measured commentary."

@@ -42,9 +42,11 @@ else
   echo "smoke_telemetry: python3 not found, skipping JSON validation" >&2
 fi
 
-# 3. The trace must carry the schema header and per-event lines.
+# 3. The trace must carry the schema header and per-event lines. grep -c
+# exits nonzero on zero matches, which set -e would turn into a silent
+# death; catch it so the count check below reports the failure loudly.
 head -n 1 "$workdir/trace.jsonl" | grep -q '"schema":"rfid-trace"'
-events=$(grep -c '"type":"event"' "$workdir/trace.jsonl")
+events=$(grep -c '"type":"event"' "$workdir/trace.jsonl" || true)
 if [ "$events" -lt 500 ]; then
   echo "smoke_telemetry: expected >= 500 events, got $events" >&2
   exit 1

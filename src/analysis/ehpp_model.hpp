@@ -25,8 +25,8 @@ namespace rfid::analysis {
 [[nodiscard]] double ehpp_subset_upper_bound(double l_c) noexcept;
 
 /// Numerically optimal subset size n* for a given circle-command length.
-[[nodiscard]] std::size_t ehpp_optimal_subset_size(double l_c,
-                                                   double round_init_bits = 0.0);
+[[nodiscard]] std::size_t ehpp_optimal_subset_size(
+    double l_c, double round_init_bits = 0.0);
 
 /// Predicted session-average vector length for n tags: full circles of n*
 /// plus one remainder circle (run as plain HPP when the remainder fits).

@@ -20,7 +20,8 @@ namespace rfid::analysis {
                                       bool query_rep_prefix = true) noexcept;
 
 /// The paper's protocol-independent lower bound in seconds.
-[[nodiscard]] double lower_bound_time_s(std::size_t n, std::size_t l_bits,
-                                        const phy::C1G2Timing& timing = {}) noexcept;
+[[nodiscard]] double lower_bound_time_s(
+    std::size_t n, std::size_t l_bits,
+    const phy::C1G2Timing& timing = {}) noexcept;
 
 }  // namespace rfid::analysis

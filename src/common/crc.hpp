@@ -13,13 +13,15 @@
 namespace rfid {
 
 /// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection, no xorout).
-[[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::uint8_t> bytes) noexcept;
+[[nodiscard]] std::uint16_t crc16_ccitt(
+    std::span<const std::uint8_t> bytes) noexcept;
 
 /// CRC-16 over the 12 bytes of a 96-bit tag ID (big-endian word order).
 [[nodiscard]] std::uint16_t crc16_of_id(const TagId& id) noexcept;
 
 /// CRC-5 as specified by C1G2 (poly x^5+x^3+1 = 0x09, init 0b01001),
 /// computed over the lowest `nbits` bits of `value` (MSB first).
-[[nodiscard]] std::uint8_t crc5_c1g2(std::uint32_t value, unsigned nbits) noexcept;
+[[nodiscard]] std::uint8_t crc5_c1g2(std::uint32_t value,
+                                     unsigned nbits) noexcept;
 
 }  // namespace rfid

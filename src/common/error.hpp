@@ -14,7 +14,8 @@ namespace rfid {
 /// Error thrown when a precondition or invariant of the simulator is violated.
 class ContractViolation final : public std::logic_error {
  public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
 };
 
 /// Error thrown when a protocol observes physically impossible channel

@@ -24,7 +24,8 @@ namespace rfid {
 }
 
 /// H(r, id): the seeded hash over the full 96-bit identifier.
-[[nodiscard]] std::uint64_t tag_hash(std::uint64_t seed, const TagId& id) noexcept;
+[[nodiscard]] std::uint64_t tag_hash(std::uint64_t seed,
+                                     const TagId& id) noexcept;
 
 /// H(r, id) mod 2^h — the h-bit index a tag picks in HPP/TPP rounds.
 /// h == 0 yields index 0 (a single remaining tag needs no vector bits).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace rfid {
 
@@ -58,6 +59,25 @@ double chi_square_uniform(std::span<const std::size_t> observed) {
   double chi2 = 0.0;
   for (const std::size_t c : observed) {
     const double diff = static_cast<double>(c) - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+double chi_square_expected(std::span<const std::size_t> observed,
+                           std::span<const double> probabilities) {
+  if (observed.empty() || observed.size() != probabilities.size()) return 0.0;
+  std::size_t total = 0;
+  for (const std::size_t c : observed) total += c;
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = static_cast<double>(total) * probabilities[i];
+    const double diff = static_cast<double>(observed[i]) - expected;
+    if (expected <= 0.0) {
+      if (observed[i] != 0)
+        chi2 = std::numeric_limits<double>::infinity();
+      continue;
+    }
     chi2 += diff * diff / expected;
   }
   return chi2;

@@ -44,6 +44,14 @@ class RunningStats final {
 /// Used by the hash-quality tests.
 [[nodiscard]] double chi_square_uniform(std::span<const std::size_t> observed);
 
+/// Pearson chi-square statistic for observed counts vs arbitrary category
+/// probabilities (which must sum to ~1). Cells whose expected count is zero
+/// contribute nothing when observed is also zero and +inf otherwise. Used by
+/// the fault-model tests to compare empirical loss against closed forms.
+[[nodiscard]] double chi_square_expected(
+    std::span<const std::size_t> observed,
+    std::span<const double> probabilities);
+
 /// 99% critical value of the chi-square distribution with `dof` degrees of
 /// freedom (Wilson–Hilferty approximation; adequate for dof >= 10).
 [[nodiscard]] double chi_square_critical_99(std::size_t dof);

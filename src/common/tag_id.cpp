@@ -32,8 +32,9 @@ std::string TagId::to_hex() const {
 
 TagId TagId::from_hex(const std::string& hex) {
   if (hex.size() != 24)
-    throw std::invalid_argument("TagId::from_hex: expected 24 hex digits, got " +
-                                std::to_string(hex.size()));
+    throw std::invalid_argument(
+        "TagId::from_hex: expected 24 hex digits, got " +
+        std::to_string(hex.size()));
   TagId id;
   for (std::size_t i = 0; i < 24; ++i) {
     const char c = hex[i];

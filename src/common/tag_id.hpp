@@ -42,12 +42,14 @@ struct TagId final {
   /// XOR of two IDs; used by the coded-polling baseline.
   [[nodiscard]] constexpr TagId operator^(const TagId& other) const noexcept {
     TagId out;
-    for (std::size_t i = 0; i < 3; ++i) out.words[i] = words[i] ^ other.words[i];
+    for (std::size_t i = 0; i < 3; ++i)
+      out.words[i] = words[i] ^ other.words[i];
     return out;
   }
 
   /// Length of the common most-significant-bit prefix shared with `other`.
-  [[nodiscard]] std::size_t common_prefix_length(const TagId& other) const noexcept;
+  [[nodiscard]] std::size_t common_prefix_length(
+      const TagId& other) const noexcept;
 
   /// 24-hex-digit canonical rendering (EPC style).
   [[nodiscard]] std::string to_hex() const;

@@ -1,6 +1,8 @@
 #include "core/polling.hpp"
 
 #include <algorithm>
+#include <ostream>
+#include <sstream>
 
 #include "analysis/timing_model.hpp"
 #include "common/error.hpp"
@@ -65,6 +67,8 @@ std::vector<ComparisonRow> compare_protocols(
     row.avg_vector_bits = series.vector_bits().mean();
     row.avg_time_s = series.time_s().mean();
     row.ci95_time_s = series.time_s().ci95_half_width();
+    row.totals = series.totals;
+    row.trials = trials;
     rows.push_back(std::move(row));
   }
 
@@ -74,6 +78,59 @@ std::vector<ComparisonRow> compare_protocols(
   bound.avg_time_s = analysis::lower_bound_time_s(n, info_bits);
   rows.push_back(std::move(bound));
   return rows;
+}
+
+namespace {
+
+std::string num(double value) {
+  std::ostringstream oss;
+  oss.precision(12);
+  oss << value;
+  return oss.str();
+}
+
+}  // namespace
+
+void write_comparison_json(std::ostream& os,
+                           std::span<const ComparisonRow> rows,
+                           const ComparisonMeta& meta) {
+  // Fixed key order and formatting: identical inputs must serialise to
+  // identical bytes regardless of thread count (CI diffs this output).
+  os << "{\n";
+  os << "  \"n\": " << meta.n << ",\n";
+  os << "  \"info_bits\": " << meta.info_bits << ",\n";
+  os << "  \"trials\": " << meta.trials << ",\n";
+  os << "  \"master_seed\": " << meta.master_seed << ",\n";
+  os << "  \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ComparisonRow& row = rows[i];
+    const sim::Metrics& t = row.totals;
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"protocol\": \"" << row.protocol << "\",\n";
+    os << "      \"avg_vector_bits\": " << num(row.avg_vector_bits) << ",\n";
+    os << "      \"avg_time_s\": " << num(row.avg_time_s) << ",\n";
+    os << "      \"ci95_time_s\": " << num(row.ci95_time_s) << ",\n";
+    os << "      \"trials\": " << row.trials << ",\n";
+    os << "      \"totals\": {\n";
+    os << "        \"polls\": " << t.polls << ",\n";
+    os << "        \"missing\": " << t.missing << ",\n";
+    os << "        \"corrupted\": " << t.corrupted << ",\n";
+    os << "        \"retries\": " << t.retries << ",\n";
+    os << "        \"undelivered\": " << t.undelivered << ",\n";
+    os << "        \"rounds\": " << t.rounds << ",\n";
+    os << "        \"circles\": " << t.circles << ",\n";
+    os << "        \"slots_total\": " << t.slots_total << ",\n";
+    os << "        \"slots_useful\": " << t.slots_useful << ",\n";
+    os << "        \"slots_wasted\": " << t.slots_wasted << ",\n";
+    os << "        \"vector_bits\": " << t.vector_bits << ",\n";
+    os << "        \"command_bits\": " << t.command_bits << ",\n";
+    os << "        \"tag_bits\": " << t.tag_bits << ",\n";
+    os << "        \"time_us\": " << num(t.time_us) << "\n";
+    os << "      }\n";
+    os << "    }";
+  }
+  os << "\n  ]\n}\n";
 }
 
 }  // namespace rfid::core

@@ -11,6 +11,7 @@
 // remains available through the underlying modules.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -58,6 +59,11 @@ struct ComparisonRow final {
   double avg_vector_bits = 0.0;
   double avg_time_s = 0.0;
   double ci95_time_s = 0.0;
+  /// Metrics summed over all trials (sim::Metrics::merge in trial order, so
+  /// serial and pooled comparisons agree bitwise). Zero for the synthetic
+  /// LowerBound row.
+  sim::Metrics totals{};
+  std::size_t trials = 0;  ///< trials behind `totals`; 0 for LowerBound
 };
 
 /// Runs every requested protocol over `trials` fresh n-tag populations and
@@ -66,5 +72,20 @@ struct ComparisonRow final {
     std::span<const ProtocolKind> kinds, std::size_t n, std::size_t info_bits,
     std::size_t trials = 10, std::uint64_t master_seed = 42,
     parallel::ThreadPool* pool = nullptr);
+
+/// Workload description echoed into a comparison JSON report.
+struct ComparisonMeta final {
+  std::size_t n = 0;
+  std::size_t info_bits = 0;
+  std::size_t trials = 0;
+  std::uint64_t master_seed = 42;
+};
+
+/// Serialises a comparison as deterministic JSON (fixed key order, 12
+/// significant digits): identical rows produce identical bytes, which is
+/// what the CI determinism gate diffs between serial and pooled runs.
+void write_comparison_json(std::ostream& os,
+                           std::span<const ComparisonRow> rows,
+                           const ComparisonMeta& meta);
 
 }  // namespace rfid::core

@@ -1,0 +1,28 @@
+#include "fault/fault_model.hpp"
+
+namespace rfid::fault {
+
+const char* to_string(LinkModel model) noexcept {
+  switch (model) {
+    case LinkModel::kNone:
+      return "none";
+    case LinkModel::kBernoulli:
+      return "bernoulli";
+    case LinkModel::kGilbertElliott:
+      return "gilbert_elliott";
+  }
+  return "unknown";
+}
+
+double GilbertElliottParams::stationary_bad() const noexcept {
+  const double denom = p_good_to_bad + p_bad_to_good;
+  if (denom <= 0.0) return 0.0;  // absorbing chain: stays in the good state
+  return p_good_to_bad / denom;
+}
+
+double GilbertElliottParams::stationary_loss() const noexcept {
+  const double pi_bad = stationary_bad();
+  return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
+}
+
+}  // namespace rfid::fault

@@ -1,0 +1,58 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rfid::fault {
+
+FaultInjector::FaultInjector(FaultConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  // Stable sort keeps same-round events in schedule order, so "depart at 5,
+  // re-arrive at 5" behaves as written.
+  std::stable_sort(config_.churn.begin(), config_.churn.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.round < b.round;
+                   });
+  // A tag whose first scheduled event is an arrival starts outside the
+  // field; one that departs first starts inside it.
+  std::unordered_map<TagId, ChurnEvent::Kind, TagIdHash> first_event;
+  for (const ChurnEvent& event : config_.churn)
+    first_event.try_emplace(event.id, event.kind);
+  for (const auto& [id, kind] : first_event)
+    if (kind == ChurnEvent::Kind::kArrive) absent_.insert(id);
+}
+
+bool FaultInjector::corrupt_reply() noexcept {
+  switch (config_.link) {
+    case LinkModel::kNone:
+      return false;
+    case LinkModel::kBernoulli:
+      return config_.bernoulli_loss > 0.0 &&
+             rng_.bernoulli(config_.bernoulli_loss);
+    case LinkModel::kGilbertElliott: {
+      const GilbertElliottParams& ge = config_.gilbert_elliott;
+      // The current state decides this reply's fate; then the chain steps,
+      // so burst lengths are geometric in decode attempts.
+      const double loss = bad_state_ ? ge.loss_bad : ge.loss_good;
+      const bool lost = loss > 0.0 && rng_.bernoulli(loss);
+      const double flip = bad_state_ ? ge.p_bad_to_good : ge.p_good_to_bad;
+      if (flip > 0.0 && rng_.bernoulli(flip)) bad_state_ = !bad_state_;
+      return lost;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::advance_to_round(std::uint64_t round) {
+  while (next_event_ < config_.churn.size() &&
+         config_.churn[next_event_].round <= round) {
+    const ChurnEvent& event = config_.churn[next_event_];
+    if (event.kind == ChurnEvent::Kind::kDepart)
+      absent_.insert(event.id);
+    else
+      absent_.erase(event.id);
+    ++next_event_;
+  }
+}
+
+}  // namespace rfid::fault

@@ -1,0 +1,63 @@
+// Deterministic executor of a FaultConfig.
+//
+// The injector sits between the channel and the session: the session asks it
+// two questions — "is this reply garbled?" (once per decode attempt) and
+// "is this tag currently in the field?" (once per presence check) — and
+// advances it at round boundaries so scheduled churn takes effect. All
+// randomness comes from a private xoshiro stream derived from the session
+// seed, never from the session's own stream; a disabled injector draws
+// nothing, which is what keeps zero-fault runs byte-identical to builds
+// without the fault layer.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/tag_id.hpp"
+#include "fault/fault_model.hpp"
+
+namespace rfid::fault {
+
+class FaultInjector final {
+ public:
+  /// Disabled injector: never corrupts, never hides a tag, draws nothing.
+  FaultInjector() = default;
+
+  /// Builds the injector for `config`, seeding its private RNG stream with
+  /// `seed` (callers derive it from the session seed; see derive_seed).
+  FaultInjector(FaultConfig config, std::uint64_t seed);
+
+  [[nodiscard]] bool link_active() const noexcept {
+    return config_.link_enabled();
+  }
+  [[nodiscard]] bool churn_active() const noexcept {
+    return config_.churn_enabled();
+  }
+
+  /// One decode attempt: samples the configured link model (stepping the
+  /// Gilbert–Elliott chain) and returns true when the reply is garbled.
+  [[nodiscard]] bool corrupt_reply() noexcept;
+
+  /// Applies every churn event scheduled at or before `round` (1-based
+  /// session rounds; the session calls this from begin_round).
+  void advance_to_round(std::uint64_t round);
+
+  /// False while churn currently has the tag outside the field. Tags whose
+  /// first scheduled event is an arrival start absent.
+  [[nodiscard]] bool present(const TagId& id) const {
+    return !churn_active() || !absent_.contains(id);
+  }
+
+  /// Current Gilbert–Elliott state (tests/diagnostics).
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_state_; }
+
+ private:
+  FaultConfig config_{};  ///< churn sorted by round (stable) at construction
+  Xoshiro256ss rng_{0};
+  bool bad_state_ = false;  ///< Gilbert–Elliott chain starts good
+  std::size_t next_event_ = 0;
+  std::unordered_set<TagId, TagIdHash> absent_;
+};
+
+}  // namespace rfid::fault

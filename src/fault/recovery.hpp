@@ -1,0 +1,53 @@
+// Per-tag retry bookkeeping for reader-side recovery.
+//
+// The recovery policy itself (when to re-poll, how the airtime is charged)
+// lives in the protocols and the session; this tracker answers the one
+// stateful question they share: "may this tag be retried again, and if not,
+// who ran out of budget?". Attempts are counted per tag over the whole run,
+// so a tag that fails across several rounds exhausts the same budget a
+// tag failing repeatedly within one mop-up would.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/tag_id.hpp"
+#include "fault/fault_model.hpp"
+
+namespace rfid::fault {
+
+class RecoveryTracker final {
+ public:
+  explicit RecoveryTracker(const RecoveryConfig& config) : config_(config) {}
+
+  [[nodiscard]] bool active() const noexcept { return config_.enabled; }
+  [[nodiscard]] const RecoveryConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Consumes one retry attempt for `id`. Returns true while the tag's
+  /// budget allows another re-poll; false once it is exhausted (the caller
+  /// must then report the tag undelivered).
+  [[nodiscard]] bool take_attempt(const TagId& id) {
+    std::uint32_t& used = attempts_[id];
+    if (used >= config_.retry_budget) return false;
+    ++used;
+    return true;
+  }
+
+  /// Recovery attempts consumed by `id` so far.
+  [[nodiscard]] std::uint32_t attempts(const TagId& id) const {
+    const auto it = attempts_.find(id);
+    return it == attempts_.end() ? 0u : it->second;
+  }
+
+  [[nodiscard]] bool exhausted(const TagId& id) const {
+    return attempts(id) >= config_.retry_budget;
+  }
+
+ private:
+  RecoveryConfig config_;
+  std::unordered_map<TagId, std::uint32_t, TagIdHash> attempts_;
+};
+
+}  // namespace rfid::fault

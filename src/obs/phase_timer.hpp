@@ -12,12 +12,17 @@
 //   kTagReply     — tags transmitting decoded payloads
 //   kWastedSlot   — airtime that produced nothing: timeouts on absent tags,
 //                   garbled replies, empty and collision slots
+//   kRecovery     — every microsecond spent inside a reader-side recovery
+//                   re-poll (vector, turn-arounds, reply or timeout alike);
+//                   zero unless a session runs with fault recovery enabled
 //
-// The five phases partition sim::Metrics::time_us up to floating-point
+// The phases partition sim::Metrics::time_us up to floating-point
 // association (each increment is split into components before summation);
 // tests assert agreement to 1e-9 relative. The struct is a plain value —
 // merge() is memberwise addition, so it aggregates across trials exactly
-// like the scalar metrics do.
+// like the scalar metrics do. kRecovery must stay the last entry: report
+// and trace writers omit the trailing column for runs without a fault
+// layer so zero-fault output stays byte-identical to older builds.
 #pragma once
 
 #include <array>
@@ -32,13 +37,15 @@ enum class Phase : std::size_t {
   kTurnaround = 2,
   kTagReply = 3,
   kWastedSlot = 4,
+  kRecovery = 5,
 };
 
-inline constexpr std::size_t kPhaseCount = 5;
+inline constexpr std::size_t kPhaseCount = 6;
 
 [[nodiscard]] constexpr std::string_view to_string(Phase phase) noexcept {
   constexpr std::array<std::string_view, kPhaseCount> names{
-      "reader_vector", "command", "turnaround", "tag_reply", "wasted_slot"};
+      "reader_vector", "command",     "turnaround",
+      "tag_reply",     "wasted_slot", "recovery"};
   return names[static_cast<std::size_t>(phase)];
 }
 

@@ -58,7 +58,8 @@ struct C1G2Timing final {
 
   /// A frame slot whose reply is garbled by collision: the reply airtime is
   /// spent but nothing is decoded.
-  [[nodiscard]] double collision_slot_us(std::size_t reply_bits) const noexcept {
+  [[nodiscard]] double collision_slot_us(
+      std::size_t reply_bits) const noexcept {
     return poll_us(0, reply_bits);
   }
 

@@ -50,7 +50,7 @@ namespace rfid::phy {
 [[nodiscard]] std::optional<BitVec> miller_decode(
     const std::vector<bool>& levels, unsigned m);
 
-// --- Rate arithmetic ----------------------------------------------------------
+// --- Rate arithmetic --------------------------------------------------------
 
 /// Average PIE forward-link bit time for a balanced bit mix:
 /// (Tari + data1_taris * Tari) / 2.

@@ -5,6 +5,7 @@
 #include "analysis/ehpp_model.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "fault/recovery.hpp"
 #include "protocols/hash_polling.hpp"
 
 namespace rfid::protocols {
@@ -26,6 +27,9 @@ sim::RunResult Ehpp::run(const tags::TagPopulation& population,
                                     /*count_init_in_w=*/true};
 
   std::vector<HashDevice> active = make_devices(session);
+  // One tracker spans every circle: a tag's retry budget is a per-run
+  // quantity no matter which subset it happens to land in.
+  fault::RecoveryTracker recovery(config.recovery);
 
   std::vector<HashDevice> joined;
   while (!active.empty()) {
@@ -33,7 +37,7 @@ sim::RunResult Ehpp::run(const tags::TagPopulation& population,
     if (active.size() <= subset_target) {
       // Small remainders skip the circle machinery: plain HPP (this is why
       // EHPP matches HPP exactly at n = 100 in the paper's tables).
-      run_hpp_rounds(session, active, round_config);
+      run_hpp_rounds(session, active, round_config, &recovery);
       break;
     }
 
@@ -67,7 +71,7 @@ sim::RunResult Ehpp::run(const tags::TagPopulation& population,
 
     // Query the subset to exhaustion; unselected tags wait for later
     // circles. An unlucky empty subset just costs the circle command.
-    run_hpp_rounds(session, joined, round_config);
+    run_hpp_rounds(session, joined, round_config, &recovery);
   }
   return session.finish(std::string(name()));
 }

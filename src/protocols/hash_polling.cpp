@@ -16,10 +16,53 @@ std::vector<HashDevice> make_devices(const sim::Session& session) {
   return devices;
 }
 
+void run_recovery_mop_up(sim::Session& session,
+                         const std::vector<HashDevice>& active,
+                         std::vector<char>& done,
+                         std::vector<std::size_t>& pending,
+                         fault::RecoveryTracker& recovery,
+                         std::size_t vector_bits) {
+  if (pending.empty()) return;
+  const fault::RecoveryConfig& policy = session.config().recovery;
+  sim::Session::RecoveryScope scope(session);
+  std::vector<std::size_t> still;
+  for (std::uint32_t pass = 0;
+       pass < policy.mop_up_passes && !pending.empty(); ++pass) {
+    still.clear();
+    for (const std::size_t i : pending) {
+      const HashDevice& device = active[i];
+      if (!recovery.take_attempt(device.tag->id())) {
+        session.mark_undelivered(device.tag->id());
+        done[i] = 1;
+        continue;
+      }
+      const bool here = session.is_present(device.tag->id());
+      const tags::Tag* responder = device.tag;
+      const tags::Tag* read =
+          session.poll({&responder, here ? 1u : 0u}, device.tag, vector_bits);
+      if (read != nullptr)
+        done[i] = 1;
+      else
+        still.push_back(i);
+    }
+    pending.swap(still);
+  }
+  // A tag that burned its last attempt on the final pass has no budget left
+  // for future rounds: give up now rather than keep scheduling it.
+  for (const std::size_t i : pending) {
+    if (!recovery.exhausted(active[i].tag->id())) continue;
+    session.mark_undelivered(active[i].tag->id());
+    done[i] = 1;
+  }
+}
+
 void run_hpp_rounds(sim::Session& session, std::vector<HashDevice>& active,
-                    const HppRoundConfig& config) {
+                    const HppRoundConfig& config,
+                    fault::RecoveryTracker* recovery) {
+  const bool recovering = recovery != nullptr && recovery->active();
   std::vector<std::uint32_t> counts;
   std::vector<std::size_t> occupant;
+  std::vector<std::size_t> pending;
   while (!active.empty()) {
     session.begin_round();
     session.check_round_budget();
@@ -55,16 +98,27 @@ void run_hpp_rounds(sim::Session& session, std::vector<HashDevice>& active,
     // Broadcast singleton indices in ascending order; each poll must elicit
     // exactly one reply (the channel enforces it). A device is done when it
     // was read or detected missing; a noise-garbled reply leaves it awake.
+    // Under a recovery policy failed polls are parked for the mop-up
+    // instead — including timeouts, since a churned-out tag may return.
     std::vector<char> done(active.size(), 0);
+    pending.clear();
     for (std::size_t idx = 0; idx < f; ++idx) {
       if (counts[idx] != 1) continue;
       const std::size_t i = occupant[idx];
       const HashDevice& device = active[i];
+      const bool here = session.is_present(device.tag->id());
       const tags::Tag* responder = device.tag;
       const tags::Tag* read =
-          session.poll({&responder, device.present ? 1u : 0u}, device.tag, h);
-      done[i] = (read != nullptr || !device.present) ? 1 : 0;
+          session.poll({&responder, here ? 1u : 0u}, device.tag, h);
+      if (read != nullptr)
+        done[i] = 1;
+      else if (recovering)
+        pending.push_back(i);
+      else
+        done[i] = here ? 0 : 1;
     }
+    if (recovering)
+      run_recovery_mop_up(session, active, done, pending, *recovery, h);
 
     // Finished tags sleep; collision-index and garbled tags stay active.
     std::size_t write = 0;
@@ -81,7 +135,8 @@ sim::RunResult Hpp::run(const tags::TagPopulation& population,
                         const sim::SessionConfig& config) const {
   sim::Session session(population, config);
   std::vector<HashDevice> active = make_devices(session);
-  run_hpp_rounds(session, active, config_);
+  fault::RecoveryTracker recovery(config.recovery);
+  run_hpp_rounds(session, active, config_, &recovery);
   return session.finish(std::string(name()));
 }
 

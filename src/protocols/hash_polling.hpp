@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "fault/recovery.hpp"
 #include "phy/commands.hpp"
 #include "protocols/protocol.hpp"
 
@@ -25,8 +26,11 @@ namespace rfid::protocols {
 struct HashDevice final {
   const tags::Tag* tag = nullptr;
   std::uint32_t index = 0;
-  /// False when the tag is physically absent (missing-tag scenarios): the
-  /// reader still schedules it, but it can never respond.
+  /// Presence snapshot taken at construction (missing-tag scenarios): an
+  /// absent tag is still scheduled, but it can never respond. The polling
+  /// loops re-evaluate sim::Session::is_present per poll so a churn
+  /// schedule is honoured live; without churn the live value equals this
+  /// snapshot.
   bool present = true;
 };
 
@@ -42,9 +46,31 @@ struct HppRoundConfig final {
 };
 
 /// Runs HPP rounds over `active` until every device is interrogated.
-/// Devices are erased from `active` as they are read.
+/// Devices are erased from `active` as they are read. With an active
+/// `recovery` tracker, failed polls (garbled reply or timeout) are parked
+/// and retried in an end-of-round mop-up instead of being rescheduled
+/// silently; budget-exhausted tags are reported undelivered.
 void run_hpp_rounds(sim::Session& session, std::vector<HashDevice>& active,
-                    const HppRoundConfig& config);
+                    const HppRoundConfig& config,
+                    fault::RecoveryTracker* recovery = nullptr);
+
+/// End-of-round recovery mop-up, shared by the hash-polling family
+/// (HPP/EHPP rounds and TPP's tree rounds). Re-polls the devices whose
+/// indices are listed in `pending` for up to
+/// session.config().recovery.mop_up_passes sweeps inside a recovery scope
+/// (airtime lands in obs::Phase::kRecovery); every re-poll first consumes
+/// one unit of the tag's retry budget, and a tag that runs out is reported
+/// via sim::Session::mark_undelivered and marked done. `vector_bits` is the
+/// re-poll vector length — the full h-bit index, since differential
+/// encodings (TPP) cannot address an out-of-order retry. On return
+/// `pending` holds the tags still failed but within budget; they stay
+/// active for the next round.
+void run_recovery_mop_up(sim::Session& session,
+                         const std::vector<HashDevice>& active,
+                         std::vector<char>& done,
+                         std::vector<std::size_t>& pending,
+                         fault::RecoveryTracker& recovery,
+                         std::size_t vector_bits);
 
 class Hpp final : public PollingProtocol {
  public:

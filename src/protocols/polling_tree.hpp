@@ -24,7 +24,8 @@ namespace rfid::protocols {
 struct TreeSegment final {
   std::uint32_t bits = 0;            ///< segment payload, MSB-first in `length`
   unsigned length = 0;               ///< k: number of bits in this segment
-  std::uint32_t completed_index = 0; ///< the singleton index the segment completes
+  /// The singleton index the segment completes.
+  std::uint32_t completed_index = 0;
 };
 
 /// Explicit node-based binary trie over fixed-length indices.

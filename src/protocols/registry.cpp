@@ -34,7 +34,8 @@ std::optional<ProtocolKind> parse_protocol(std::string_view name) noexcept {
   std::string lower;
   lower.reserve(name.size());
   for (const char c : name)
-    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
   for (const ProtocolKind kind : all_protocols()) {
     std::string candidate;
     for (const char c : to_string(kind))

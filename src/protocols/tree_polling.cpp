@@ -6,6 +6,7 @@
 #include "analysis/tpp_model.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "fault/recovery.hpp"
 #include "common/math_util.hpp"
 #include "protocols/hash_polling.hpp"
 #include "protocols/polling_tree.hpp"
@@ -17,10 +18,13 @@ sim::RunResult Tpp::run(const tags::TagPopulation& population,
   sim::Session session(population, config);
 
   std::vector<HashDevice> active = make_devices(session);
+  fault::RecoveryTracker recovery(config.recovery);
+  const bool recovering = recovery.active();
 
   std::vector<std::uint32_t> counts;
   std::vector<std::size_t> occupant;
   std::vector<std::uint32_t> singleton_indices;
+  std::vector<std::size_t> pending;
 
   while (!active.empty()) {
     session.begin_round();
@@ -78,6 +82,7 @@ sim::RunResult Tpp::run(const tags::TagPopulation& population,
     // the updates are broadcast.
     std::uint32_t reg = 0;
     std::vector<char> done(active.size(), 0);
+    pending.clear();
     for (const TreeSegment& segment : segments) {
       const std::uint32_t keep_mask =
           (segment.length >= 32) ? 0u : (~0u << segment.length);
@@ -91,11 +96,22 @@ sim::RunResult Tpp::run(const tags::TagPopulation& population,
       // leaves), so the responder set is the singleton occupant.
       const std::size_t i = occupant[reg];
       const HashDevice& device = active[i];
+      const bool here = session.is_present(device.tag->id());
       const tags::Tag* responder = device.tag;
       const tags::Tag* read = session.poll(
-          {&responder, device.present ? 1u : 0u}, device.tag, segment.length);
-      done[i] = (read != nullptr || !device.present) ? 1 : 0;
+          {&responder, here ? 1u : 0u}, device.tag, segment.length);
+      if (read != nullptr)
+        done[i] = 1;
+      else if (recovering)
+        pending.push_back(i);
+      else
+        done[i] = here ? 0 : 1;
     }
+    // Mop-up re-polls carry the full h-bit index: the differential segment
+    // encoding only addresses tags in sorted-index order, which a retry
+    // breaks, so the reader falls back to absolute addressing.
+    if (recovering)
+      run_recovery_mop_up(session, active, done, pending, recovery, h);
 
     std::size_t write = 0;
     for (std::size_t i = 0; i < active.size(); ++i) {

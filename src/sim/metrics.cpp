@@ -6,6 +6,8 @@ void Metrics::merge(const Metrics& other) noexcept {
   polls += other.polls;
   missing += other.missing;
   corrupted += other.corrupted;
+  retries += other.retries;
+  undelivered += other.undelivered;
   rounds += other.rounds;
   circles += other.circles;
   slots_total += other.slots_total;

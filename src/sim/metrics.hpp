@@ -26,6 +26,8 @@ struct Metrics final {
   std::uint64_t polls = 0;    ///< successful singleton interrogations
   std::uint64_t missing = 0;    ///< polls that timed out on an absent tag
   std::uint64_t corrupted = 0;  ///< replies garbled by channel noise
+  std::uint64_t retries = 0;  ///< recovery re-polls issued (fault layer)
+  std::uint64_t undelivered = 0;  ///< tags abandoned after budget exhaustion
   std::uint64_t rounds = 0;   ///< inventory rounds (HPP/TPP) or frames
   std::uint64_t circles = 0;  ///< EHPP subset-query circles
 
@@ -39,8 +41,8 @@ struct Metrics final {
 
   double time_us = 0.0;  ///< wall-clock time under the C1G2 model
 
-  /// time_us attributed by air-interface phase; the five entries partition
-  /// the clock up to floating-point association (~1e-9 relative).
+  /// time_us attributed by air-interface phase; the entries partition the
+  /// clock up to floating-point association (~1e-9 relative).
   obs::PhaseBreakdown phases{};
 
   /// Average polling-vector length: w-counted bits per interrogated tag.

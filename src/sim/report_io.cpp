@@ -115,11 +115,19 @@ void write_json(std::ostream& os, const RunResult& result,
   json.key_value("avg_vector_bits", num(result.avg_vector_bits()));
   json.key_value("exec_time_s", num(result.exec_time_s()));
 
+  // Fault-layer fields (retries, undelivered, the recovery phase and the
+  // undelivered_ids array) are emitted only for runs configured with a
+  // fault plan or recovery policy, so zero-fault reports stay byte-identical
+  // to builds without the fault layer.
   const Metrics& m = result.metrics;
   json.begin_object("metrics");
   json.key_value("polls", u64(m.polls));
   json.key_value("missing", u64(m.missing));
   json.key_value("corrupted", u64(m.corrupted));
+  if (result.fault_layer) {
+    json.key_value("retries", u64(m.retries));
+    json.key_value("undelivered", u64(m.undelivered));
+  }
   json.key_value("rounds", u64(m.rounds));
   json.key_value("circles", u64(m.circles));
   json.key_value("slots_total", u64(m.slots_total));
@@ -129,8 +137,13 @@ void write_json(std::ostream& os, const RunResult& result,
   json.key_value("command_bits", u64(m.command_bits));
   json.key_value("tag_bits", u64(m.tag_bits));
   json.key_value("time_us", num(m.time_us));
+  static_assert(static_cast<std::size_t>(obs::Phase::kRecovery) ==
+                    obs::kPhaseCount - 1,
+                "the recovery phase must stay last so it can be elided");
+  const std::size_t phase_count =
+      result.fault_layer ? obs::kPhaseCount : obs::kPhaseCount - 1;
   json.begin_object("phase_us");
-  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+  for (std::size_t p = 0; p < phase_count; ++p) {
     const auto phase = static_cast<obs::Phase>(p);
     json.key_value(std::string(obs::to_string(phase)),
                    num(m.phases.get(phase)));
@@ -147,6 +160,13 @@ void write_json(std::ostream& os, const RunResult& result,
   json.begin_array("missing_ids");
   for (const TagId& id : result.missing_ids) json.array_string(id.to_hex());
   json.end_array();
+
+  if (result.fault_layer) {
+    json.begin_array("undelivered_ids");
+    for (const TagId& id : result.undelivered_ids)
+      json.array_string(id.to_hex());
+    json.end_array();
+  }
 
   if (options.include_records) {
     json.begin_array("records");
@@ -167,7 +187,7 @@ void write_json(std::ostream& os, const RunResult& result,
       json.key_value("polls", u64(snapshot.polls_so_far));
       json.key_value("vector_bits", u64(snapshot.vector_bits_so_far));
       json.key_value("time_us", num(snapshot.time_us_so_far));
-      for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+      for (std::size_t p = 0; p < phase_count; ++p) {
         const auto phase = static_cast<obs::Phase>(p);
         json.key_value(std::string(obs::to_string(phase)) + "_us",
                        num(snapshot.phases_so_far.get(phase)));

@@ -12,8 +12,22 @@ namespace rfid::sim {
 // whose duration_us is that same double. A trace therefore replays into the
 // Metrics totals exactly (see docs/observability.md).
 
+namespace {
+/// Domain-separation index for the fault injector's RNG stream: far outside
+/// any realistic trial index, so the injector's stream never collides with
+/// the per-trial seeds derive_seed hands out.
+constexpr std::uint64_t kFaultStreamIndex = 0xFA17'0000'0000'0001ull;
+}  // namespace
+
 Session::Session(const tags::TagPopulation& population, SessionConfig config)
-    : population_(&population), config_(config), rng_(config.seed) {
+    : population_(&population),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      injector_(config_.fault, derive_seed(config_.seed, kFaultStreamIndex)) {
+  // A recovery policy with no mop-up passes can never consume any retry
+  // budget, so an absent tag would be rescheduled forever; reject the
+  // configuration up front instead of spinning until the round cap trips.
+  RFID_EXPECTS(!config_.recovery.enabled || config_.recovery.mop_up_passes > 0);
   if (config_.keep_records) records_.reserve(population.size());
 }
 
@@ -39,7 +53,7 @@ void Session::broadcast_vector_bits(std::size_t bits) {
   const double dt = config_.timing.reader_tx_us(bits);
   metrics_.vector_bits += bits;
   metrics_.time_us += dt;
-  metrics_.phases.add(obs::Phase::kReaderVector, dt);
+  add_phase(obs::Phase::kReaderVector, dt);
   if (config_.tracer != nullptr)
     trace_event(obs::EventKind::kReaderBroadcast, dt, bits, 0, 0, dt, 0.0);
 }
@@ -48,31 +62,37 @@ void Session::broadcast_command_bits(std::size_t bits) {
   const double dt = config_.timing.reader_tx_us(bits);
   metrics_.command_bits += bits;
   metrics_.time_us += dt;
-  metrics_.phases.add(obs::Phase::kCommand, dt);
+  add_phase(obs::Phase::kCommand, dt);
   if (config_.tracer != nullptr)
     trace_event(obs::EventKind::kReaderBroadcast, dt, 0, bits, 0, dt, 0.0);
 }
 
 bool Session::is_present(const TagId& id) const noexcept {
-  return config_.present == nullptr || config_.present->contains(id);
+  return (config_.present == nullptr || config_.present->contains(id)) &&
+         injector_.present(id);
 }
 
 const tags::Tag* Session::complete_reply(
     std::span<const tags::Tag* const> responders, const tags::Tag* expected,
     double reader_time_us) {
+  if (in_recovery_) ++metrics_.retries;
   const air::SlotResult slot = channel_.arbitrate(responders);
   if (slot.outcome == air::SlotOutcome::kEmpty && expected != nullptr &&
       !is_present(expected->id())) {
     // The addressed tag is physically absent: the reader waits out the
-    // turn-arounds, decodes nothing, and flags the tag missing.
+    // turn-arounds, decodes nothing, and flags the tag missing. Under a
+    // recovery policy the verdict is deferred — the tag may churn back into
+    // the field — so the per-poll missing record is suppressed and the
+    // protocol's tracker decides between re-poll and undelivered.
     const double dt =
         reader_time_us + config_.timing.t1_us + config_.timing.t2_us;
     metrics_.time_us += dt;
-    metrics_.phases.add(obs::Phase::kWastedSlot, dt);
+    add_phase(obs::Phase::kWastedSlot, dt);
     ++metrics_.missing;
     ++metrics_.slots_total;
     ++metrics_.slots_wasted;
-    if (config_.keep_records) missing_ids_.push_back(expected->id());
+    if (config_.keep_records && !config_.recovery.enabled)
+      missing_ids_.push_back(expected->id());
     if (config_.tracer != nullptr)
       trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_time_us, 0.0);
     return nullptr;
@@ -88,8 +108,14 @@ const tags::Tag* Session::complete_reply(
                         expected->id().to_hex());
   }
   const double tag_us = config_.timing.tag_tx_us(config_.info_bits);
-  if (config_.reply_error_rate > 0.0 &&
-      rng_.bernoulli(config_.reply_error_rate)) {
+  // Decode-error decision. The legacy Bernoulli knob draws from the session
+  // stream exactly as it always has; the structured link models draw from
+  // the injector's private stream, so enabling them (or leaving everything
+  // off) does not perturb the session's own sequence of draws.
+  bool garbled = config_.reply_error_rate > 0.0 &&
+                 rng_.bernoulli(config_.reply_error_rate);
+  if (!garbled && injector_.link_active()) garbled = injector_.corrupt_reply();
+  if (garbled) {
     // Reply garbled in flight: the full interaction airtime is spent, the
     // PHY CRC rejects the decode, and with no ACK the tag stays awake for
     // a later round.
@@ -97,7 +123,7 @@ const tags::Tag* Session::complete_reply(
                       config_.timing.tag_tx_us(config_.info_bits) +
                       config_.timing.t2_us;
     metrics_.time_us += dt;
-    metrics_.phases.add(obs::Phase::kWastedSlot, dt);
+    add_phase(obs::Phase::kWastedSlot, dt);
     ++metrics_.corrupted;
     ++metrics_.slots_total;
     ++metrics_.slots_wasted;
@@ -110,17 +136,18 @@ const tags::Tag* Session::complete_reply(
                     config_.timing.tag_tx_us(config_.info_bits) +
                     config_.timing.t2_us;
   metrics_.time_us += dt;
-  metrics_.phases.add(obs::Phase::kReaderVector, reader_time_us);
-  metrics_.phases.add(obs::Phase::kTurnaround,
-                      config_.timing.t1_us + config_.timing.t2_us);
-  metrics_.phases.add(obs::Phase::kTagReply, tag_us);
+  add_phase(obs::Phase::kReaderVector, reader_time_us);
+  add_phase(obs::Phase::kTurnaround,
+            config_.timing.t1_us + config_.timing.t2_us);
+  add_phase(obs::Phase::kTagReply, tag_us);
   metrics_.tag_bits += config_.info_bits;
   ++metrics_.polls;
   ++metrics_.slots_total;
   ++metrics_.slots_useful;
   if (config_.keep_records) {
-    records_.push_back(CollectedRecord{
-        slot.responder->id(), slot.responder->reply_payload(config_.info_bits)});
+    records_.push_back(
+        CollectedRecord{slot.responder->id(),
+                        slot.responder->reply_payload(config_.info_bits)});
   }
   if (config_.tracer != nullptr)
     trace_event(obs::EventKind::kReply, dt, 0, 0, config_.info_bits,
@@ -174,7 +201,7 @@ void Session::expect_empty_slot(
                         ? config_.timing.poll_us(0, config_.info_bits)
                         : config_.timing.idle_slot_us();
   metrics_.time_us += dt;
-  metrics_.phases.add(obs::Phase::kWastedSlot, dt);
+  add_phase(obs::Phase::kWastedSlot, dt);
   ++metrics_.slots_total;
   ++metrics_.slots_wasted;
   if (config_.tracer != nullptr)
@@ -193,14 +220,19 @@ air::SlotResult Session::frame_slot_aloha(
     slot.outcome = air::SlotOutcome::kSingleton;
     slot.responder = responders[rng_.below(responders.size())];
   }
-  if (slot.outcome == air::SlotOutcome::kSingleton &&
-      config_.reply_error_rate > 0.0 &&
-      rng_.bernoulli(config_.reply_error_rate)) {
+  bool slot_garbled = false;
+  if (slot.outcome == air::SlotOutcome::kSingleton) {
+    slot_garbled = config_.reply_error_rate > 0.0 &&
+                   rng_.bernoulli(config_.reply_error_rate);
+    if (!slot_garbled && injector_.link_active())
+      slot_garbled = injector_.corrupt_reply();
+  }
+  if (slot_garbled) {
     // A garbled singleton wastes the slot exactly like a collision.
     slot.decoded = false;
     const double dt = config_.timing.collision_slot_us(config_.info_bits);
     metrics_.time_us += dt;
-    metrics_.phases.add(obs::Phase::kWastedSlot, dt);
+    add_phase(obs::Phase::kWastedSlot, dt);
     ++metrics_.corrupted;
     ++metrics_.slots_total;
     ++metrics_.slots_wasted;
@@ -213,7 +245,7 @@ air::SlotResult Session::frame_slot_aloha(
     case air::SlotOutcome::kEmpty: {
       const double dt = config_.timing.idle_slot_us();
       metrics_.time_us += dt;
-      metrics_.phases.add(obs::Phase::kWastedSlot, dt);
+      add_phase(obs::Phase::kWastedSlot, dt);
       ++metrics_.slots_total;
       ++metrics_.slots_wasted;
       if (config_.tracer != nullptr)
@@ -224,7 +256,7 @@ air::SlotResult Session::frame_slot_aloha(
       const double dt =
           config_.timing.collision_slot_us(config_.info_bits);
       metrics_.time_us += dt;
-      metrics_.phases.add(obs::Phase::kWastedSlot, dt);
+      add_phase(obs::Phase::kWastedSlot, dt);
       ++metrics_.slots_total;
       ++metrics_.slots_wasted;
       if (config_.tracer != nullptr)
@@ -237,10 +269,10 @@ air::SlotResult Session::frame_slot_aloha(
           config_.timing.reader_tx_us(config_.timing.query_rep_bits);
       const double tag_us = config_.timing.tag_tx_us(config_.info_bits);
       metrics_.time_us += dt;
-      metrics_.phases.add(obs::Phase::kReaderVector, reader_us);
-      metrics_.phases.add(obs::Phase::kTurnaround,
-                          config_.timing.t1_us + config_.timing.t2_us);
-      metrics_.phases.add(obs::Phase::kTagReply, tag_us);
+      add_phase(obs::Phase::kReaderVector, reader_us);
+      add_phase(obs::Phase::kTurnaround,
+                config_.timing.t1_us + config_.timing.t2_us);
+      add_phase(obs::Phase::kTagReply, tag_us);
       metrics_.tag_bits += config_.info_bits;
       ++metrics_.polls;
       ++metrics_.slots_total;
@@ -261,6 +293,7 @@ air::SlotResult Session::frame_slot_aloha(
 
 void Session::begin_round() {
   ++metrics_.rounds;
+  if (injector_.churn_active()) injector_.advance_to_round(metrics_.rounds);
   if (config_.keep_trace) {
     trace_.push_back(RoundSnapshot{metrics_.rounds, metrics_.polls,
                                    metrics_.vector_bits, metrics_.time_us,
@@ -290,13 +323,13 @@ bool Session::presence_slot(std::span<const tags::Tag* const> responders) {
       config_.timing.t2_us;
   metrics_.time_us += dt;
   if (busy) {
-    metrics_.phases.add(obs::Phase::kReaderVector, reader_us);
-    metrics_.phases.add(obs::Phase::kTurnaround,
-                        config_.timing.t1_us + config_.timing.t2_us);
-    metrics_.phases.add(obs::Phase::kTagReply, config_.timing.tag_tx_us(1));
+    add_phase(obs::Phase::kReaderVector, reader_us);
+    add_phase(obs::Phase::kTurnaround,
+              config_.timing.t1_us + config_.timing.t2_us);
+    add_phase(obs::Phase::kTagReply, config_.timing.tag_tx_us(1));
     metrics_.tag_bits += slot.responder_count;
   } else {
-    metrics_.phases.add(obs::Phase::kWastedSlot, dt);
+    add_phase(obs::Phase::kWastedSlot, dt);
   }
   ++metrics_.slots_total;
   if (config_.tracer != nullptr) {
@@ -307,6 +340,11 @@ bool Session::presence_slot(std::span<const tags::Tag* const> responders) {
       trace_event(obs::EventKind::kSlotEmpty, dt, 0, 0, 0, reader_us, 0.0);
   }
   return busy;
+}
+
+void Session::mark_undelivered(const TagId& id) {
+  ++metrics_.undelivered;
+  if (config_.keep_records) undelivered_ids_.push_back(id);
 }
 
 void Session::check_round_budget() const {
@@ -326,7 +364,9 @@ RunResult Session::finish(std::string protocol_name) {
   result.channel = channel_.stats();
   result.records = std::move(records_);
   result.missing_ids = std::move(missing_ids_);
+  result.undelivered_ids = std::move(undelivered_ids_);
   result.trace = std::move(trace_);
+  result.fault_layer = config_.fault.enabled() || config_.recovery.enabled;
   return result;
 }
 

@@ -16,6 +16,8 @@
 #include "air/channel.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 #include "phy/c1g2.hpp"
 #include "sim/metrics.hpp"
@@ -52,6 +54,17 @@ struct SessionConfig final {
   /// entirely — the hot-path cost is a single branch on this pointer, and
   /// seeded runs stay byte-identical with or without it.
   obs::Tracer* tracer = nullptr;
+  /// Structured fault plan (burst-error link model, tag-churn schedule).
+  /// Executed by a fault::FaultInjector on a dedicated RNG stream derived
+  /// from `seed`; the default (disabled) plan draws nothing and leaves
+  /// seeded runs byte-identical to builds without the fault layer. See
+  /// docs/fault_injection.md.
+  fault::FaultConfig fault{};
+  /// Reader-side recovery policy (bounded re-polls, end-of-round mop-up).
+  /// Honoured by the hash-polling family (HPP/EHPP/TPP); retry airtime is
+  /// charged to obs::Phase::kRecovery and budget-exhausted tags land in
+  /// RunResult::undelivered_ids instead of missing_ids.
+  fault::RecoveryConfig recovery{};
 };
 
 /// Cumulative snapshot taken at the start of each round/frame.
@@ -78,7 +91,14 @@ struct RunResult final {
   air::ChannelStats channel{};
   std::vector<CollectedRecord> records;
   std::vector<TagId> missing_ids;  ///< expected tags that never replied
+  /// Tags the recovery policy gave up on (retry budget exhausted), in the
+  /// order they were abandoned. Disjoint from records and missing_ids.
+  std::vector<TagId> undelivered_ids;
   std::vector<RoundSnapshot> trace;  ///< filled when keep_trace is set
+  /// True when the run was configured with a fault plan or recovery policy;
+  /// report/trace writers emit the extra fault columns only in that case,
+  /// keeping zero-fault output byte-identical to older builds.
+  bool fault_layer = false;
 
   [[nodiscard]] double avg_vector_bits() const noexcept {
     return metrics.avg_vector_bits();
@@ -111,7 +131,9 @@ class Session final {
 
   // --- Poll interactions ----------------------------------------------------
 
-  /// True unless a `present` filter is configured and excludes `id`.
+  /// True unless a `present` filter excludes `id` or the fault plan's churn
+  /// schedule currently has it outside the field. Protocols that support
+  /// churn re-evaluate this per poll rather than snapshotting it.
   [[nodiscard]] bool is_present(const TagId& id) const noexcept;
 
   /// One complete poll: QueryRep + `vector_bits` vector, turn-arounds, reply.
@@ -164,6 +186,33 @@ class Session final {
   /// replies and equally useful. No payload is collected.
   bool presence_slot(std::span<const tags::Tag* const> responders);
 
+  // --- Fault recovery -------------------------------------------------------
+
+  [[nodiscard]] bool recovery_enabled() const noexcept {
+    return config_.recovery.enabled;
+  }
+
+  /// While a recovery scope is open every phase increment — vector,
+  /// turn-around, reply, timeout — is attributed to obs::Phase::kRecovery
+  /// and every poll counts as a retry; the clock itself advances exactly as
+  /// it would outside the scope. Protocols open one scope around each
+  /// mop-up pass. Scopes must not nest.
+  class RecoveryScope final {
+   public:
+    explicit RecoveryScope(Session& session) noexcept : session_(session) {
+      session_.in_recovery_ = true;
+    }
+    ~RecoveryScope() { session_.in_recovery_ = false; }
+    RecoveryScope(const RecoveryScope&) = delete;
+    RecoveryScope& operator=(const RecoveryScope&) = delete;
+
+   private:
+    Session& session_;
+  };
+
+  /// Records that the recovery policy abandoned `id` (budget exhausted).
+  void mark_undelivered(const TagId& id);
+
   // --- Round/circle bookkeeping ---------------------------------------------
 
   void begin_round();
@@ -180,6 +229,13 @@ class Session final {
       std::span<const tags::Tag* const> responders, const tags::Tag* expected,
       double reader_time_us);
 
+  /// Phase attribution honouring an open recovery scope: inside one, the
+  /// whole increment lands in kRecovery regardless of `phase`.
+  void add_phase(obs::Phase phase, double delta_us) noexcept {
+    metrics_.phases.add(in_recovery_ ? obs::Phase::kRecovery : phase,
+                        delta_us);
+  }
+
   /// Builds and emits one trace event stamped with the current clock and
   /// round/circle counters. Callers must have applied the metric updates
   /// first and must guard on config_.tracer themselves (keeps the disabled
@@ -192,10 +248,13 @@ class Session final {
   SessionConfig config_;
   Xoshiro256ss rng_;
   air::Channel channel_;
+  fault::FaultInjector injector_;
   Metrics metrics_{};
   std::vector<CollectedRecord> records_;
   std::vector<TagId> missing_ids_;
+  std::vector<TagId> undelivered_ids_;
   std::vector<RoundSnapshot> trace_;
+  bool in_recovery_ = false;
 };
 
 }  // namespace rfid::sim

@@ -8,9 +8,14 @@ namespace rfid::sim {
 
 void write_trace_csv(const RunResult& result, const std::string& path) {
   CsvWriter csv(path);
+  // The trailing recovery_us column appears only for runs configured with a
+  // fault plan or recovery policy; zero-fault CSVs keep the historical
+  // column set byte for byte (kRecovery is guaranteed to be the last phase).
+  const std::size_t phase_count =
+      result.fault_layer ? obs::kPhaseCount : obs::kPhaseCount - 1;
   std::vector<std::string> header{"round", "polls_so_far",
                                   "vector_bits_so_far", "time_us_so_far"};
-  for (std::size_t p = 0; p < obs::kPhaseCount; ++p)
+  for (std::size_t p = 0; p < phase_count; ++p)
     header.push_back(
         std::string(obs::to_string(static_cast<obs::Phase>(p))) +
         "_us_so_far");
@@ -22,7 +27,7 @@ void write_trace_csv(const RunResult& result, const std::string& path) {
                                  std::to_string(snapshot.polls_so_far),
                                  std::to_string(snapshot.vector_bits_so_far),
                                  TablePrinter::num(snapshot.time_us_so_far, 2)};
-    for (std::size_t p = 0; p < obs::kPhaseCount; ++p)
+    for (std::size_t p = 0; p < phase_count; ++p)
       row.push_back(TablePrinter::num(
           snapshot.phases_so_far.get(static_cast<obs::Phase>(p)), 2));
     csv.write_row(row);

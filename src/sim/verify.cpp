@@ -13,9 +13,19 @@ VerifyReport verify_complete_collection(const tags::TagPopulation& population,
     return report;
   };
 
-  if (result.records.size() != population.size()) {
-    return fail("collected " + std::to_string(result.records.size()) +
-                " records for " + std::to_string(population.size()) + " tags");
+  // Every population tag must be accounted for exactly once: collected,
+  // reported missing (absent from the field), or explicitly given up on by
+  // the recovery policy (undelivered). A clean-channel run degenerates to
+  // the original contract — records only, one per tag.
+  const std::size_t accounted = result.records.size() +
+                                result.missing_ids.size() +
+                                result.undelivered_ids.size();
+  if (accounted != population.size()) {
+    return fail("accounted for " + std::to_string(accounted) + " tags (" +
+                std::to_string(result.records.size()) + " collected, " +
+                std::to_string(result.missing_ids.size()) + " missing, " +
+                std::to_string(result.undelivered_ids.size()) +
+                " undelivered) out of " + std::to_string(population.size()));
   }
 
   std::unordered_map<TagId, const tags::Tag*, TagIdHash> by_id;
@@ -23,18 +33,28 @@ VerifyReport verify_complete_collection(const tags::TagPopulation& population,
   for (const tags::Tag& tag : population) by_id.emplace(tag.id(), &tag);
 
   std::unordered_map<TagId, std::size_t, TagIdHash> seen;
-  seen.reserve(result.records.size());
+  seen.reserve(accounted);
+  const auto account_once = [&](const TagId& id, const char* what) {
+    if (!by_id.contains(id)) return what + (" of unknown tag " + id.to_hex());
+    if (++seen[id] > 1)
+      return what + (" of tag " + id.to_hex() + " accounted for twice");
+    return std::string();
+  };
+
   for (const CollectedRecord& record : result.records) {
-    const auto it = by_id.find(record.id);
-    if (it == by_id.end())
-      return fail("collected unknown tag " + record.id.to_hex());
-    if (++seen[record.id] > 1)
-      return fail("tag " + record.id.to_hex() + " interrogated twice");
+    if (auto msg = account_once(record.id, "collection"); !msg.empty())
+      return fail(std::move(msg));
     const BitVec expected =
-        it->second->reply_payload(record.payload.size());
+        by_id.at(record.id)->reply_payload(record.payload.size());
     if (!(expected == record.payload))
       return fail("payload mismatch for tag " + record.id.to_hex());
   }
+  for (const TagId& id : result.missing_ids)
+    if (auto msg = account_once(id, "missing report"); !msg.empty())
+      return fail(std::move(msg));
+  for (const TagId& id : result.undelivered_ids)
+    if (auto msg = account_once(id, "undelivered report"); !msg.empty())
+      return fail(std::move(msg));
   return report;
 }
 

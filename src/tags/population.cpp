@@ -63,7 +63,8 @@ TagPopulation TagPopulation::prefix_clustered(std::size_t n,
   // One random prefix per category; suffixes random, deduplicated.
   std::vector<TagId> prefixes;
   prefixes.reserve(categories);
-  for (std::size_t c = 0; c < categories; ++c) prefixes.push_back(random_id(rng));
+  for (std::size_t c = 0; c < categories; ++c)
+    prefixes.push_back(random_id(rng));
 
   std::unordered_set<TagId, TagIdHash> seen;
   seen.reserve(n);

@@ -22,7 +22,8 @@ bool TagStateMachine::power_cycle() noexcept {
   return true;
 }
 
-bool TagStateMachine::on_query(SessionFlag target, std::uint16_t slot) noexcept {
+bool TagStateMachine::on_query(SessionFlag target,
+                               std::uint16_t slot) noexcept {
   if (state_ == TagState::kKilled) return false;
   if (state_ != TagState::kReady) return illegal();
   if (flag_ != target) return true;  // legally sits the round out

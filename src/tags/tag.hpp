@@ -23,7 +23,9 @@ class Tag final {
 
   /// Raw stored payload (may be empty if the population was created without
   /// sensor data).
-  [[nodiscard]] const BitVec& stored_payload() const noexcept { return payload_; }
+  [[nodiscard]] const BitVec& stored_payload() const noexcept {
+    return payload_;
+  }
 
   void set_payload(BitVec payload) { payload_ = std::move(payload); }
 

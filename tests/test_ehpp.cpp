@@ -75,9 +75,11 @@ TEST(Ehpp, BeatsHppAtScale) {
 TEST(Ehpp, LongerCircleCommandRaisesVector) {
   // Fig. 5: w increases with l_c.
   const double w_100 =
-      run_ehpp(20000, 7, Ehpp::Config{.circle_command_bits = 100}).avg_vector_bits();
+      run_ehpp(20000, 7, Ehpp::Config{.circle_command_bits = 100})
+          .avg_vector_bits();
   const double w_400 =
-      run_ehpp(20000, 8, Ehpp::Config{.circle_command_bits = 400}).avg_vector_bits();
+      run_ehpp(20000, 8, Ehpp::Config{.circle_command_bits = 400})
+          .avg_vector_bits();
   EXPECT_LT(w_100, w_400);
 }
 
@@ -107,9 +109,11 @@ TEST(Ehpp, OptimalSubsetBeatsNeighbours) {
   const std::size_t star = Ehpp().effective_subset_size();
   const double w_star = run_ehpp(20000, 12).avg_vector_bits();
   const double w_small =
-      run_ehpp(20000, 12, Ehpp::Config{.subset_size = star / 4}).avg_vector_bits();
+      run_ehpp(20000, 12, Ehpp::Config{.subset_size = star / 4})
+          .avg_vector_bits();
   const double w_big =
-      run_ehpp(20000, 12, Ehpp::Config{.subset_size = star * 4}).avg_vector_bits();
+      run_ehpp(20000, 12, Ehpp::Config{.subset_size = star * 4})
+          .avg_vector_bits();
   EXPECT_LT(w_star, w_small);
   EXPECT_LT(w_star, w_big);
 }

@@ -68,7 +68,8 @@ TEST(TagIndexPow2, UniformAcrossIndices) {
   constexpr unsigned h = 6;  // 64 buckets, ~500 expected each
   std::vector<std::size_t> counts(1u << h, 0);
   for (const tags::Tag& tag : pop) ++counts[tag_index_pow2(5, tag.id(), h)];
-  EXPECT_LT(chi_square_uniform(counts), chi_square_critical_99(counts.size() - 1));
+  EXPECT_LT(chi_square_uniform(counts),
+            chi_square_critical_99(counts.size() - 1));
 }
 
 TEST(TagIndexPow2, SeedsDecorrelate) {

@@ -126,8 +126,10 @@ TEST(Noise, TppStillBeatsCppUnderHeavyNoise) {
   sim::SessionConfig config;
   config.seed = 12;
   config.reply_error_rate = 0.25;
-  const auto tpp = protocols::make_protocol(ProtocolKind::kTpp)->run(pop, config);
-  const auto cpp = protocols::make_protocol(ProtocolKind::kCpp)->run(pop, config);
+  const auto tpp =
+      protocols::make_protocol(ProtocolKind::kTpp)->run(pop, config);
+  const auto cpp =
+      protocols::make_protocol(ProtocolKind::kCpp)->run(pop, config);
   EXPECT_LT(tpp.exec_time_s() * 3, cpp.exec_time_s());
 }
 

@@ -31,7 +31,8 @@ Scenario make_scenario(std::size_t n, std::size_t missing_every,
 }
 
 TEST(TrustedReaderDetection, PlannedFramesGrowWithConfidence) {
-  TrustedReaderDetection loose(TrustedReaderDetection::Config{.confidence = 0.9});
+  TrustedReaderDetection loose(
+      TrustedReaderDetection::Config{.confidence = 0.9});
   TrustedReaderDetection tight(
       TrustedReaderDetection::Config{.confidence = 0.999});
   EXPECT_LT(loose.planned_frames(), tight.planned_frames());

@@ -65,7 +65,8 @@ TEST(Projection, UnmodeledProtocolsReturnNullopt) {
 TEST(Projection, OrderingMatchesPaper) {
   const std::size_t n = 10000;
   const double cpp = *projected_protocol_time_s(ProtocolKind::kCpp, n, 1);
-  const double cp = *projected_protocol_time_s(ProtocolKind::kCodedPolling, n, 1);
+  const double cp =
+      *projected_protocol_time_s(ProtocolKind::kCodedPolling, n, 1);
   const double hpp = *projected_protocol_time_s(ProtocolKind::kHpp, n, 1);
   const double ehpp = *projected_protocol_time_s(ProtocolKind::kEhpp, n, 1);
   const double tpp = *projected_protocol_time_s(ProtocolKind::kTpp, n, 1);

@@ -25,7 +25,8 @@ TEST(TagId, FromHexAcceptsUppercase) {
 
 TEST(TagId, FromHexRejectsBadLength) {
   EXPECT_THROW((void)TagId::from_hex("abc"), std::invalid_argument);
-  EXPECT_THROW((void)TagId::from_hex(std::string(25, '0')), std::invalid_argument);
+  EXPECT_THROW((void)TagId::from_hex(std::string(25, '0')),
+               std::invalid_argument);
 }
 
 TEST(TagId, FromHexRejectsNonHex) {

@@ -78,9 +78,11 @@ TEST(Tpp, OptimalIndexLengthBeatsOffsets) {
   // Eq. (15) ablation: shifting h away from the optimum must cost bits.
   const double w_opt = run_tpp(10000, 7).avg_vector_bits();
   const double w_minus =
-      run_tpp(10000, 7, Tpp::Config{.index_length_offset = -2}).avg_vector_bits();
+      run_tpp(10000, 7, Tpp::Config{.index_length_offset = -2})
+          .avg_vector_bits();
   const double w_plus =
-      run_tpp(10000, 7, Tpp::Config{.index_length_offset = 2}).avg_vector_bits();
+      run_tpp(10000, 7, Tpp::Config{.index_length_offset = 2})
+          .avg_vector_bits();
   EXPECT_LT(w_opt, w_minus);
   EXPECT_LT(w_opt, w_plus);
 }
