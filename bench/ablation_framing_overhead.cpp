@@ -1,0 +1,97 @@
+// Ablation (extension beyond the paper): downlink BER x segment size x
+// protocol under CRC-framed segmented broadcast. Each 20-bit frame header
+// (4-bit sequence + 16-bit CRC) buys corruption detection; retransmission
+// with bounded backoff buys delivery. The sweep shows the three regimes:
+//   * clean channel   — framing costs pure overhead (20/S extra bits per
+//                       payload bit), so large segments win;
+//   * moderate BER    — small segments win: a flip throws away less payload
+//                       and the per-frame clean probability (1-ber)^bits
+//                       stays workable;
+//   * heavy BER       — static TPP drowns in retransmissions of its long
+//                       vector; ADAPT downgrades towards HPP's short
+//                       per-tag segments and finishes sooner.
+// The "w bits/tag" column is the paper's polling-vector metric; TPP's
+// clean-channel value sits near the 3.44 bits/tag bound of Eq. (16), and
+// the overhead column shows exactly what framing adds on top.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "protocols/registry.hpp"
+
+int main() {
+  using namespace rfid;
+  const std::size_t trials = bench::runs(3);
+  const std::size_t n = std::min<std::size_t>(bench::max_n(100000), 2000);
+  bench::CsvSink csv("ablation_framing_overhead");
+  bench::preamble(
+      "Ablation (extension): downlink BER x segment size under CRC framing",
+      trials);
+
+  // 0.07 sits just past the TPP->HPP cost crossover for 32-bit segments
+  // (TPP loses once its per-delivery retransmission factor exceeds the
+  // HPP/TPP vector-length ratio of ~4x), so the adaptive row visibly
+  // diverges from static TPP there.
+  const std::vector<double> bers = {0.0, 0.001, 0.01, 0.05, 0.07, 0.1};
+  const std::vector<unsigned> segment_bits = {16, 32, 64};
+
+  const std::vector<std::string> headers{
+      "protocol", "ber",          "seg bits",          "time (s)",
+      "w/tag",    "overhead/tag", "undelivered/trial"};
+  TablePrinter table(headers);
+  csv.row(headers);
+
+  for (const auto kind :
+       {protocols::ProtocolKind::kHpp, protocols::ProtocolKind::kTpp,
+        protocols::ProtocolKind::kAdaptive}) {
+    const auto protocol = protocols::make_protocol(kind);
+    for (const double ber : bers) {
+      for (const unsigned seg : segment_bits) {
+        parallel::TrialPlan plan;
+        plan.trials = trials;
+        plan.master_seed = 2025;
+        plan.session.info_bits = 1;
+        plan.session.fault.downlink_ber = ber;
+        plan.session.framing.enabled = true;
+        plan.session.framing.segment_payload_bits = seg;
+        // A deep retransmission ladder keeps the moderate-BER cells
+        // deliverable, so the undelivered column isolates the truly
+        // hopeless (heavy-BER, long-frame) corner.
+        plan.session.framing.max_retransmissions = 16;
+        plan.session.recovery.enabled = true;
+        plan.session.recovery.retry_budget = 12;
+        bench::RunManifest::instance().record(protocol->name(), n, 1, trials,
+                                              plan.master_seed);
+        const auto series = parallel::run_trials(
+            *protocol, parallel::uniform_population(n), plan);
+        const double per_tag =
+            1.0 / (static_cast<double>(trials) * static_cast<double>(n));
+        const std::vector<std::string> row{
+            std::string(protocol->name()),
+            TablePrinter::num(ber, 3),
+            std::to_string(seg),
+            bench::with_ci(series.time_s()),
+            TablePrinter::num(series.vector_bits().mean(), 2),
+            TablePrinter::num(
+                static_cast<double>(series.totals.framing_overhead_bits) *
+                    per_tag,
+                2),
+            TablePrinter::num(
+                static_cast<double>(series.totals.undelivered) /
+                    static_cast<double>(trials),
+                1)};
+        table.add_row(row);
+        csv.row(row);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nShape check (n = " << n
+      << "): TPP's clean-channel w/tag approaches the paper's 3.44-bit"
+         "\nbound (Eq. 16) and framing adds ~20/S bits of overhead per"
+         " payload bit.\nAt BER 0 ADAPT matches TPP exactly. Past the"
+         " crossover (BER ~0.05-0.07,\nlarge segments) ADAPT downgrades"
+         " (TPP->EHPP->HPP) and beats static TPP\nin air time; at BER 0.1"
+         " it trades time for far fewer stranded tags.\n";
+  return 0;
+}

@@ -2,10 +2,13 @@
 // protocols on a configurable workload.
 //
 //   protocol_comparison [n] [info_bits] [trials] [protocol...]
-//                       [--report-json PATH]
+//                       [--report-json PATH] [--fault]
 //
 //   ./protocol_comparison                      # defaults: 10000 1 5, all
 //   ./protocol_comparison 50000 16 10 TPP MIC  # custom workload & subset
+//   ./protocol_comparison --fault              # canned corrupt channel:
+//     Gilbert–Elliott reply loss + downlink BER 0.005 + CRC framing +
+//     bounded recovery, over the hash-polling family (HPP EHPP TPP ADAPT)
 //
 // RFID_THREADS=k runs the trials on a k-worker pool; results are
 // bit-identical to the serial run (the CI determinism gate relies on it).
@@ -29,13 +32,14 @@ int main(int argc, char** argv) {
   std::size_t n = 10000;
   std::size_t info_bits = 1;
   std::size_t trials = 5;
+  bool fault = false;
   std::vector<core::ProtocolKind> kinds;
   std::string report_json_path;
 
   const auto usage = [&] {
     std::cerr << "usage: " << argv[0]
               << " [n] [info_bits] [trials] [protocol...]"
-                 " [--report-json PATH]\n  protocols: ";
+                 " [--report-json PATH] [--fault]\n  protocols: ";
     for (const auto kind : protocols::all_protocols())
       std::cerr << protocols::to_string(kind) << ' ';
     std::cerr << '\n';
@@ -52,6 +56,10 @@ int main(int argc, char** argv) {
         return usage();
       }
       report_json_path = argv[++i];
+      continue;
+    }
+    if (std::string_view(argv[i]) == "--fault") {
+      fault = true;
       continue;
     }
     positional.push_back(argv[i]);
@@ -82,9 +90,17 @@ int main(int argc, char** argv) {
     }
     kinds.push_back(*kind);
   }
-  if (kinds.empty())
-    kinds.assign(protocols::all_protocols().begin(),
-                 protocols::all_protocols().end());
+  if (kinds.empty()) {
+    if (fault) {
+      // The canned fault scenario exercises the corruption-resilient
+      // downlink, which only the hash-polling family implements.
+      kinds = {core::ProtocolKind::kHpp, core::ProtocolKind::kEhpp,
+               core::ProtocolKind::kTpp, core::ProtocolKind::kAdaptive};
+    } else {
+      kinds.assign(protocols::all_protocols().begin(),
+                   protocols::all_protocols().end());
+    }
+  }
 
   std::cout << "Comparing " << kinds.size() << " protocol(s): n = " << n
             << ", info bits = " << info_bits << ", trials = " << trials
@@ -100,8 +116,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(threads));
 
   constexpr std::uint64_t kMasterSeed = 42;
+  const sim::SessionConfig base_session =
+      fault ? core::fault_comparison_session() : sim::SessionConfig{};
   const auto rows = core::compare_protocols(kinds, n, info_bits, trials,
-                                            kMasterSeed, pool.get());
+                                            kMasterSeed, pool.get(),
+                                            base_session);
 
   if (!report_json_path.empty()) {
     std::ofstream out(report_json_path);

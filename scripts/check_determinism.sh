@@ -21,20 +21,32 @@ fi
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
-args=(800 4 3 HPP TPP)
-RFID_THREADS=0 "$cmp_bin" "${args[@]}" \
-  --report-json "$workdir/serial.json" > "$workdir/serial.txt"
-RFID_THREADS=4 "$cmp_bin" "${args[@]}" \
-  --report-json "$workdir/pooled.json" > "$workdir/pooled.txt"
-
 status=0
-for ext in json txt; do
-  if ! cmp -s "$workdir/serial.$ext" "$workdir/pooled.$ext"; then
-    echo "check_determinism: serial and pooled .$ext outputs differ:" >&2
-    diff "$workdir/serial.$ext" "$workdir/pooled.$ext" >&2 || true
-    status=1
-  fi
-done
+
+# Two stanzas: the clean channel, and the canned fault workload (bursty
+# Gilbert–Elliott reply loss + downlink BER + CRC framing + recovery via
+# --fault). The fault path draws from per-trial fault RNG streams and
+# charges retransmissions/recovery time, so it has its own ways to go
+# nondeterministic under a pool — both stanzas must byte-match.
+check_pair() {
+  local tag="$1"; shift
+  RFID_THREADS=0 "$cmp_bin" "$@" \
+    --report-json "$workdir/$tag-serial.json" > "$workdir/$tag-serial.txt"
+  RFID_THREADS=4 "$cmp_bin" "$@" \
+    --report-json "$workdir/$tag-pooled.json" > "$workdir/$tag-pooled.txt"
+  local ext
+  for ext in json txt; do
+    if ! cmp -s "$workdir/$tag-serial.$ext" "$workdir/$tag-pooled.$ext"; then
+      echo "check_determinism[$tag]: serial and pooled .$ext outputs differ:" >&2
+      diff "$workdir/$tag-serial.$ext" "$workdir/$tag-pooled.$ext" >&2 || true
+      status=1
+    fi
+  done
+}
+
+check_pair clean 800 4 3 HPP TPP
+check_pair fault 800 4 3 HPP EHPP TPP ADAPT --fault
 [ "$status" -eq 0 ] || exit "$status"
 
-echo "check_determinism: OK (serial == RFID_THREADS=4, byte-identical)"
+echo "check_determinism: OK (serial == RFID_THREADS=4, byte-identical," \
+  "clean and fault channels)"

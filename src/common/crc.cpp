@@ -17,7 +17,16 @@ constexpr std::array<std::uint16_t, 256> make_crc16_table() {
   }
   return table;
 }
+// Thread-safety audit (RFID_THREADS > 1): kCrc16Table is constexpr, so it
+// is materialized at compile time into read-only storage — there is no
+// runtime first-use initialization for concurrent first callers to race on.
+// (A lazily-initialized `static` local or a runtime-filled table would need
+// a guard here; this one must stay constexpr.) The static_assert pins the
+// compile-time evaluation so a refactor that silently demotes it to runtime
+// init fails to build.
 constexpr auto kCrc16Table = make_crc16_table();
+static_assert(kCrc16Table[1] == 0x1021 && kCrc16Table[255] == 0x1EF0,
+              "CRC-16 table must be a compile-time constant");
 }  // namespace
 
 std::uint16_t crc16_ccitt(std::span<const std::uint8_t> bytes) noexcept {

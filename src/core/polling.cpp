@@ -45,16 +45,28 @@ MissingTagReport find_missing_tags(
   return report;
 }
 
+sim::SessionConfig fault_comparison_session() {
+  sim::SessionConfig session;
+  session.fault.link = fault::LinkModel::kGilbertElliott;
+  session.fault.downlink_ber = 0.005;
+  session.framing.enabled = true;
+  session.framing.segment_payload_bits = 32;
+  session.recovery.enabled = true;
+  session.recovery.retry_budget = 12;
+  return session;
+}
+
 std::vector<ComparisonRow> compare_protocols(
     std::span<const ProtocolKind> kinds, std::size_t n, std::size_t info_bits,
-    std::size_t trials, std::uint64_t master_seed,
-    parallel::ThreadPool* pool) {
+    std::size_t trials, std::uint64_t master_seed, parallel::ThreadPool* pool,
+    const sim::SessionConfig& base_session) {
   std::vector<ComparisonRow> rows;
   rows.reserve(kinds.size() + 1);
 
   parallel::TrialPlan plan;
   plan.trials = trials;
   plan.master_seed = master_seed;
+  plan.session = base_session;
   plan.session.info_bits = info_bits;
   const auto factory = parallel::uniform_population(n);
 

@@ -68,10 +68,20 @@ struct ComparisonRow final {
 
 /// Runs every requested protocol over `trials` fresh n-tag populations and
 /// returns averaged metrics, plus the paper's lower bound as the last row.
+/// `base_session` seeds every trial's SessionConfig (fault plan, framing,
+/// recovery policy, ...); info_bits and the derived per-trial seed are
+/// overlaid onto it. The default base is the clean-channel session.
 [[nodiscard]] std::vector<ComparisonRow> compare_protocols(
     std::span<const ProtocolKind> kinds, std::size_t n, std::size_t info_bits,
     std::size_t trials = 10, std::uint64_t master_seed = 42,
-    parallel::ThreadPool* pool = nullptr);
+    parallel::ThreadPool* pool = nullptr,
+    const sim::SessionConfig& base_session = {});
+
+/// The canned fault workload of `protocol_comparison --fault`: bursty
+/// Gilbert–Elliott reply loss, downlink BER 0.005 with CRC framing
+/// (32-bit segments), and a bounded recovery policy — one shared scenario
+/// so comparisons across protocols and machines are reproducible.
+[[nodiscard]] sim::SessionConfig fault_comparison_session();
 
 /// Workload description echoed into a comparison JSON report.
 struct ComparisonMeta final {

@@ -73,6 +73,12 @@ struct FaultConfig final {
   double bernoulli_loss = 0.0;      ///< used when link == kBernoulli
   /// Used when link == kGilbertElliott.
   GilbertElliottParams gilbert_elliott{};
+  /// Per-bit flip probability on the reader->tag *downlink* payload. Unlike
+  /// the uplink link models above (whole-reply decode errors), this corrupts
+  /// the broadcast vector itself: without framing a single flipped bit
+  /// desynchronizes TPP's differential tree for the rest of the round. Drawn
+  /// from the injector's private stream, so 0.0 draws nothing.
+  double downlink_ber = 0.0;
   /// Churn schedule; order-insensitive (the injector sorts by round,
   /// stable). Honoured by protocols that re-evaluate presence per poll
   /// (the hash-polling family: HPP/EHPP/TPP); snapshot-based baselines see
@@ -82,9 +88,12 @@ struct FaultConfig final {
   [[nodiscard]] bool link_enabled() const noexcept {
     return link != LinkModel::kNone;
   }
+  [[nodiscard]] bool ber_enabled() const noexcept {
+    return downlink_ber > 0.0;
+  }
   [[nodiscard]] bool churn_enabled() const noexcept { return !churn.empty(); }
   [[nodiscard]] bool enabled() const noexcept {
-    return link_enabled() || churn_enabled();
+    return link_enabled() || ber_enabled() || churn_enabled();
   }
 };
 

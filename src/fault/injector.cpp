@@ -1,6 +1,7 @@
 #include "fault/injector.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 namespace rfid::fault {
@@ -41,6 +42,14 @@ bool FaultInjector::corrupt_reply() noexcept {
     }
   }
   return false;
+}
+
+bool FaultInjector::corrupt_downlink(std::size_t bits) noexcept {
+  if (config_.downlink_ber <= 0.0 || bits == 0) return false;
+  if (config_.downlink_ber >= 1.0) return true;
+  const double p_clean =
+      std::pow(1.0 - config_.downlink_ber, static_cast<double>(bits));
+  return rng_.bernoulli(1.0 - p_clean);
 }
 
 void FaultInjector::advance_to_round(std::uint64_t round) {

@@ -31,6 +31,9 @@ class FaultInjector final {
   [[nodiscard]] bool link_active() const noexcept {
     return config_.link_enabled();
   }
+  [[nodiscard]] bool ber_active() const noexcept {
+    return config_.ber_enabled();
+  }
   [[nodiscard]] bool churn_active() const noexcept {
     return config_.churn_enabled();
   }
@@ -38,6 +41,13 @@ class FaultInjector final {
   /// One decode attempt: samples the configured link model (stepping the
   /// Gilbert–Elliott chain) and returns true when the reply is garbled.
   [[nodiscard]] bool corrupt_reply() noexcept;
+
+  /// One downlink transmission of `bits` payload bits: returns true when at
+  /// least one bit flips. A single aggregate draw against
+  /// 1 - (1 - ber)^bits — the detect/retransmit machinery only needs the
+  /// any-flip event, and one draw per frame keeps the fault stream cheap and
+  /// its consumption independent of frame length. Draws nothing at BER 0.
+  [[nodiscard]] bool corrupt_downlink(std::size_t bits) noexcept;
 
   /// Applies every churn event scheduled at or before `round` (1-based
   /// session rounds; the session calls this from begin_round).

@@ -10,9 +10,10 @@ namespace rfid::obs {
 namespace {
 
 constexpr std::array<std::string_view, kEventKindCount> kKindNames{
-    "reader_broadcast", "poll",           "reply",
-    "timeout",          "corrupted",      "slot_empty",
-    "slot_collision",   "round_begin",    "circle_begin",
+    "reader_broadcast", "poll",        "reply",
+    "timeout",          "corrupted",   "slot_empty",
+    "slot_collision",   "round_begin", "circle_begin",
+    "segment_corrupted", "degrade",
 };
 
 /// Round-trippable double formatting for the JSONL stream.
@@ -76,7 +77,7 @@ JsonlSink::JsonlSink(const std::string& path) : file_(path), os_(&file_) {
 }
 
 void JsonlSink::write_meta() {
-  *os_ << R"({"type":"meta","schema":"rfid-trace","version":1})" << '\n';
+  *os_ << R"({"type":"meta","schema":"rfid-trace","version":2})" << '\n';
 }
 
 void JsonlSink::on_event(const Event& event) {
@@ -86,7 +87,8 @@ void JsonlSink::on_event(const Event& event) {
        << event.command_bits << R"(,"tag_bits":)" << event.tag_bits
        << R"(,"time_us":)" << num(event.time_us) << R"(,"duration_us":)"
        << num(event.duration_us) << R"(,"reader_us":)" << num(event.reader_us)
-       << R"(,"tag_us":)" << num(event.tag_us) << "}\n";
+       << R"(,"tag_us":)" << num(event.tag_us) << R"(,"detail":)"
+       << event.detail << "}\n";
 }
 
 void JsonlSink::on_finish() { os_->flush(); }

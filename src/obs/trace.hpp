@@ -40,9 +40,11 @@ enum class EventKind : std::uint8_t {
   kSlotCollision,    ///< frame slot with >= 2 replies superposed
   kRoundBegin,       ///< inventory round started
   kCircleBegin,      ///< EHPP subset-query circle started
+  kSegmentCorrupted,  ///< framed downlink segment failed its CRC check
+  kDegrade,  ///< adaptive policy downgraded the protocol tier mid-session
 };
 
-inline constexpr std::size_t kEventKindCount = 9;
+inline constexpr std::size_t kEventKindCount = 11;
 
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
 
@@ -67,6 +69,12 @@ struct Event final {
   double duration_us = 0.0;  ///< clock increment attributed to the event
   double reader_us = 0.0;    ///< reader-transmission share of the duration
   double tag_us = 0.0;       ///< tag-transmission share of the duration
+  /// Kind-specific payload, excluded from every metric identity. Zero for
+  /// most kinds; kSegmentCorrupted and framed kReaderBroadcast store the
+  /// segment sequence number, kDegrade stores (from_tier << 8) | to_tier
+  /// (analysis::PollingTier), kTimeout stores 1 when the downlink vector
+  /// was BER-corrupted and 2 when a desynchronized poll went unanswered.
+  std::uint64_t detail = 0;
 };
 
 /// Receives the event stream. Implementations must not mutate simulation

@@ -1,0 +1,50 @@
+#include "phy/framing.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/crc.hpp"
+#include "common/error.hpp"
+
+namespace rfid::phy {
+
+double FramingConfig::backoff_us(unsigned attempt) const noexcept {
+  RFID_EXPECTS(attempt >= 1);
+  double delay = backoff_base_us;
+  for (unsigned k = 1; k < attempt && delay < backoff_cap_us; ++k)
+    delay *= 2.0;
+  return std::min(delay, backoff_cap_us);
+}
+
+std::uint16_t crc16_over_bits(const BitVec& bits, std::size_t nbits) {
+  RFID_EXPECTS(nbits <= bits.size());
+  std::vector<std::uint8_t> bytes((nbits + 7) / 8, 0);
+  for (std::size_t pos = 0; pos < nbits; ++pos)
+    if (bits.bit(pos))
+      bytes[pos / 8] |= static_cast<std::uint8_t>(0x80u >> (pos % 8));
+  return crc16_ccitt(bytes);
+}
+
+BitVec SegmentFrame::encode() const {
+  RFID_EXPECTS(seq < (1u << kSegmentSeqBits));
+  BitVec frame;
+  frame.append_bits(seq, kSegmentSeqBits);
+  frame.append(payload);
+  frame.append_bits(crc16_over_bits(frame, frame.size()), kSegmentCrcBits);
+  return frame;
+}
+
+std::optional<SegmentFrame> SegmentFrame::decode(const BitVec& frame) {
+  if (frame.size() < kSegmentOverheadBits) return std::nullopt;
+  const std::size_t covered = frame.size() - kSegmentCrcBits;
+  const auto received = static_cast<std::uint16_t>(
+      frame.read_bits(covered, kSegmentCrcBits));
+  if (crc16_over_bits(frame, covered) != received) return std::nullopt;
+  SegmentFrame out;
+  out.seq = static_cast<unsigned>(frame.read_bits(0, kSegmentSeqBits));
+  for (std::size_t pos = kSegmentSeqBits; pos < covered; ++pos)
+    out.payload.push_back(frame.bit(pos));
+  return out;
+}
+
+}  // namespace rfid::phy

@@ -1,0 +1,51 @@
+#include "protocols/adaptive_polling.hpp"
+
+#include <vector>
+
+#include "analysis/degradation.hpp"
+#include "fault/recovery.hpp"
+
+namespace rfid::protocols {
+
+sim::RunResult AdaptivePolling::run(const tags::TagPopulation& population,
+                                    const sim::SessionConfig& config) const {
+  // The degradation monitor lives in the session (it sees every downlink
+  // attempt); ADAPT is the only protocol that switches it on.
+  sim::SessionConfig session_config = config;
+  session_config.degradation.enabled = true;
+  sim::Session session(population, session_config);
+
+  std::vector<HashDevice> active = make_devices(session);
+  fault::RecoveryTracker recovery(config.recovery);
+  const std::size_t subset_target = Ehpp(config_.ehpp).effective_subset_size();
+
+  std::uint32_t init_failures = 0;
+  while (!active.empty()) {
+    bool round_ran = true;
+    switch (session.degradation_tier(active.size())) {
+      case analysis::PollingTier::kTpp:
+        round_ran = run_tpp_round(session, active, config_.tpp, &recovery);
+        break;
+      case analysis::PollingTier::kEhpp:
+        session.check_round_budget();
+        round_ran = run_ehpp_circle(session, active, config_.ehpp,
+                                    subset_target, &recovery);
+        break;
+      case analysis::PollingTier::kHpp:
+        round_ran = run_hpp_single_round(session, active, config_.hpp,
+                                         &recovery);
+        break;
+    }
+    if (round_ran) {
+      init_failures = 0;
+      continue;
+    }
+    // The framed init/circle command exhausted its retransmission budget;
+    // same bounded give-up-loudly policy as the static protocols.
+    if (++init_failures > config.recovery.retry_budget)
+      abandon_active(session, active);
+  }
+  return session.finish(std::string(name()));
+}
+
+}  // namespace rfid::protocols

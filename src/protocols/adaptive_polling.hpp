@@ -1,0 +1,46 @@
+// Adaptive degradation protocol (ADAPT).
+//
+// TPP is the paper's fastest protocol on a clean channel, but its densely
+// packed differential tree is the most fragile under downlink bit errors:
+// one corrupted chunk strands many tags at once. ADAPT starts as TPP and
+// monitors the observed corruption rate through the session's framing
+// layer; when the analytical cost-per-delivered-tag model
+// (analysis/degradation.hpp) says a simpler protocol is cheaper on the
+// estimated channel, it falls back TPP -> EHPP -> HPP mid-session. The
+// ladder is downgrade-only with hysteresis, and at BER 0 the policy never
+// triggers, so a clean-channel ADAPT run is byte-identical to TPP.
+#pragma once
+
+#include "protocols/enhanced_hash_polling.hpp"
+#include "protocols/hash_polling.hpp"
+#include "protocols/protocol.hpp"
+#include "protocols/tree_polling.hpp"
+
+namespace rfid::protocols {
+
+class AdaptivePolling final : public PollingProtocol {
+ public:
+  struct Config final {
+    Tpp::Config tpp{};
+    Ehpp::Config ehpp{};
+    HppRoundConfig hpp{};
+  };
+
+  AdaptivePolling();
+  explicit AdaptivePolling(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ADAPT";
+  }
+
+  [[nodiscard]] sim::RunResult run(
+      const tags::TagPopulation& population,
+      const sim::SessionConfig& config) const override;
+
+ private:
+  Config config_;
+};
+
+inline AdaptivePolling::AdaptivePolling() : config_(Config()) {}
+
+}  // namespace rfid::protocols

@@ -17,61 +17,83 @@ std::size_t Ehpp::effective_subset_size() const {
       static_cast<double>(config_.round_init_bits));
 }
 
+bool run_ehpp_circle(sim::Session& session, std::vector<HashDevice>& active,
+                     const Ehpp::Config& config, std::size_t subset_target,
+                     fault::RecoveryTracker* recovery) {
+  const HppRoundConfig round_config{config.round_init_bits,
+                                    /*count_init_in_w=*/true};
+  if (active.size() <= subset_target) {
+    // Small remainders skip the circle machinery: plain HPP (this is why
+    // EHPP matches HPP exactly at n = 100 in the paper's tables).
+    run_hpp_rounds(session, active, round_config, recovery);
+    return true;
+  }
+
+  // Circle command <f, F, r>: counted into w per the paper's accounting.
+  // The parameters travel as a concrete 128-bit frame; tags act on the
+  // decoded values.
+  session.begin_circle();
+  if (session.framing_enabled()) {
+    // The long circle frame spans several CRC segments; all of them must
+    // survive or no tag knows the membership rule and the circle is off.
+    if (!session.broadcast_framed(config.circle_command_bits,
+                                  /*count_in_w=*/true))
+      return false;
+  } else {
+    session.broadcast_vector_bits(config.circle_command_bits);
+  }
+  RFID_EXPECTS(config.selection_modulus < (1u << 30));
+  const phy::CircleCommand frame{
+      static_cast<std::uint32_t>(config.selection_modulus * subset_target /
+                                 active.size()),  // f = F * n* / n_rem
+      static_cast<std::uint32_t>(config.selection_modulus),
+      session.rng()() & 0xFFFFFFFFFFFFull};
+  const auto decoded = phy::CircleCommand::decode(frame.encode());
+  RFID_ENSURES(decoded && decoded->threshold == frame.threshold &&
+               decoded->modulus == frame.modulus &&
+               decoded->seed == frame.seed);
+  const std::uint64_t circle_seed = decoded->seed;
+  const std::uint64_t modulus = decoded->modulus;
+  const std::uint64_t threshold = decoded->threshold;
+
+  // Tag side: each awake tag decides membership from the decoded seed.
+  std::vector<HashDevice> joined;
+  std::erase_if(active, [&](const HashDevice& device) {
+    const bool joins =
+        tag_index_mod(circle_seed, device.tag->id(), modulus) < threshold;
+    if (joins) joined.push_back(device);
+    return joins;
+  });
+
+  // Query the subset to exhaustion; unselected tags wait for later
+  // circles. An unlucky empty subset just costs the circle command.
+  run_hpp_rounds(session, joined, round_config, recovery);
+  return true;
+}
+
 sim::RunResult Ehpp::run(const tags::TagPopulation& population,
                          const sim::SessionConfig& config) const {
   sim::Session session(population, config);
   const std::size_t subset_target = effective_subset_size();
   RFID_ENSURES(subset_target >= 1);
 
-  const HppRoundConfig round_config{config_.round_init_bits,
-                                    /*count_init_in_w=*/true};
-
   std::vector<HashDevice> active = make_devices(session);
   // One tracker spans every circle: a tag's retry budget is a per-run
   // quantity no matter which subset it happens to land in.
   fault::RecoveryTracker recovery(config.recovery);
 
-  std::vector<HashDevice> joined;
+  std::uint32_t init_failures = 0;
   while (!active.empty()) {
     session.check_round_budget();
-    if (active.size() <= subset_target) {
-      // Small remainders skip the circle machinery: plain HPP (this is why
-      // EHPP matches HPP exactly at n = 100 in the paper's tables).
-      run_hpp_rounds(session, active, round_config, &recovery);
-      break;
+    if (run_ehpp_circle(session, active, config_, subset_target, &recovery)) {
+      init_failures = 0;
+      continue;
     }
-
-    // Circle command <f, F, r>: counted into w per the paper's accounting.
-    // The parameters travel as a concrete 128-bit frame; tags act on the
-    // decoded values.
-    session.begin_circle();
-    session.broadcast_vector_bits(config_.circle_command_bits);
-    RFID_EXPECTS(config_.selection_modulus < (1u << 30));
-    const phy::CircleCommand frame{
-        static_cast<std::uint32_t>(config_.selection_modulus * subset_target /
-                                   active.size()),  // f = F * n* / n_rem
-        static_cast<std::uint32_t>(config_.selection_modulus),
-        session.rng()() & 0xFFFFFFFFFFFFull};
-    const auto decoded = phy::CircleCommand::decode(frame.encode());
-    RFID_ENSURES(decoded && decoded->threshold == frame.threshold &&
-                 decoded->modulus == frame.modulus &&
-                 decoded->seed == frame.seed);
-    const std::uint64_t circle_seed = decoded->seed;
-    const std::uint64_t modulus = decoded->modulus;
-    const std::uint64_t threshold = decoded->threshold;
-
-    // Tag side: each awake tag decides membership from the decoded seed.
-    joined.clear();
-    std::erase_if(active, [&](const HashDevice& device) {
-      const bool joins =
-          tag_index_mod(circle_seed, device.tag->id(), modulus) < threshold;
-      if (joins) joined.push_back(device);
-      return joins;
-    });
-
-    // Query the subset to exhaustion; unselected tags wait for later
-    // circles. An unlucky empty subset just costs the circle command.
-    run_hpp_rounds(session, joined, round_config, &recovery);
+    // Framed circle command exhausted its budget. Retry a bounded number of
+    // circles (each already paid the full retransmission ladder), then give
+    // up on everything still unread — loudly, never silently.
+    if (++init_failures > config.recovery.retry_budget)
+      abandon_active(session, active);
   }
   return session.finish(std::string(name()));
 }

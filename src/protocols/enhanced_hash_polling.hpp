@@ -12,7 +12,9 @@
 // the reported vector length w.
 #pragma once
 
+#include "fault/recovery.hpp"
 #include "phy/commands.hpp"
+#include "protocols/hash_polling.hpp"
 #include "protocols/protocol.hpp"
 
 namespace rfid::protocols {
@@ -50,5 +52,16 @@ class Ehpp final : public PollingProtocol {
 };
 
 inline Ehpp::Ehpp() : config_(Config()) {}
+
+/// One EHPP circle (circle command, membership selection, HPP rounds over
+/// the joined subset — or plain HPP when `active` is already at most
+/// `subset_target`, which drains it and ends the run). Factored out of
+/// Ehpp::run so the adaptive protocol can interleave circles with
+/// degradation decisions. Returns false when the framed circle command
+/// exhausted its retransmission budget — no tag learned <f, F, r> and the
+/// circle never formed.
+bool run_ehpp_circle(sim::Session& session, std::vector<HashDevice>& active,
+                     const Ehpp::Config& config, std::size_t subset_target,
+                     fault::RecoveryTracker* recovery = nullptr);
 
 }  // namespace rfid::protocols

@@ -56,78 +56,113 @@ void run_recovery_mop_up(sim::Session& session,
   }
 }
 
+void abandon_active(sim::Session& session, std::vector<HashDevice>& active) {
+  for (const HashDevice& device : active)
+    session.mark_undelivered(device.tag->id());
+  active.clear();
+}
+
+bool run_hpp_single_round(sim::Session& session,
+                          std::vector<HashDevice>& active,
+                          const HppRoundConfig& config,
+                          fault::RecoveryTracker* recovery) {
+  if (active.empty()) return true;
+  const bool recovering = recovery != nullptr && recovery->active();
+  session.begin_round();
+  session.check_round_budget();
+
+  const unsigned h = ceil_log2(active.size());
+  // The round command travels as a concrete 32-bit QueryRound frame; tags
+  // act on the *decoded* parameters, so reader and tags can only agree
+  // through the air interface.
+  const phy::QueryRoundCommand init{
+      h, static_cast<std::uint32_t>(session.rng()() & 0x3FFFFu)};
+  const auto decoded = phy::QueryRoundCommand::decode(init.encode());
+  RFID_ENSURES(decoded && decoded->index_length == h &&
+               decoded->seed == init.seed);
+  if (session.framing_enabled()) {
+    // The round command rides the framed downlink; if it cannot be
+    // delivered within the retransmission budget no tag knows <h, r> and
+    // the round never runs.
+    if (!session.broadcast_framed(config.round_init_bits,
+                                  config.count_init_in_w))
+      return false;
+  } else if (config.count_init_in_w) {
+    session.broadcast_vector_bits(config.round_init_bits);
+  } else {
+    session.broadcast_command_bits(config.round_init_bits);
+  }
+
+  // Tag side: every awake tag picks its index from the decoded seed.
+  const std::uint64_t seed = decoded->seed;
+  for (HashDevice& device : active)
+    device.index = tag_index_pow2(seed, device.tag->id(), h);
+
+  // Reader side: bucket the picked indices to find singletons.
+  const std::size_t f = static_cast<std::size_t>(pow2(h));
+  std::vector<std::uint32_t> counts(f, 0);
+  std::vector<std::size_t> occupant(f, 0);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    ++counts[active[i].index];
+    occupant[active[i].index] = i;
+  }
+
+  // Broadcast singleton indices in ascending order; each poll must elicit
+  // exactly one reply (the channel enforces it). A device is done when it
+  // was read or detected missing; a noise-garbled reply leaves it awake.
+  // Under a recovery policy failed polls are parked for the mop-up
+  // instead — including timeouts, since a churned-out tag may return. A
+  // framed vector that exhausts its retransmission budget abandons the tag
+  // loudly when no recovery policy is there to keep retrying.
+  std::vector<char> done(active.size(), 0);
+  std::vector<std::size_t> pending;
+  for (std::size_t idx = 0; idx < f; ++idx) {
+    if (counts[idx] != 1) continue;
+    const std::size_t i = occupant[idx];
+    const HashDevice& device = active[i];
+    const bool here = session.is_present(device.tag->id());
+    const tags::Tag* responder = device.tag;
+    const tags::Tag* read =
+        session.poll({&responder, here ? 1u : 0u}, device.tag, h);
+    if (read != nullptr)
+      done[i] = 1;
+    else if (recovering)
+      pending.push_back(i);
+    else if (session.last_poll_failure() ==
+             sim::PollFailure::kDownlinkExhausted) {
+      session.mark_undelivered(device.tag->id());
+      done[i] = 1;
+    } else
+      done[i] = here ? 0 : 1;
+  }
+  if (recovering)
+    run_recovery_mop_up(session, active, done, pending, *recovery, h);
+
+  // Finished tags sleep; collision-index and garbled tags stay active.
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (done[i]) continue;
+    if (write != i) active[write] = active[i];
+    ++write;
+  }
+  active.resize(write);
+  return true;
+}
+
 void run_hpp_rounds(sim::Session& session, std::vector<HashDevice>& active,
                     const HppRoundConfig& config,
                     fault::RecoveryTracker* recovery) {
-  const bool recovering = recovery != nullptr && recovery->active();
-  std::vector<std::uint32_t> counts;
-  std::vector<std::size_t> occupant;
-  std::vector<std::size_t> pending;
+  std::uint32_t init_failures = 0;
   while (!active.empty()) {
-    session.begin_round();
-    session.check_round_budget();
-
-    const unsigned h = ceil_log2(active.size());
-    // The round command travels as a concrete 32-bit QueryRound frame; tags
-    // act on the *decoded* parameters, so reader and tags can only agree
-    // through the air interface.
-    const phy::QueryRoundCommand init{
-        h, static_cast<std::uint32_t>(session.rng()() & 0x3FFFFu)};
-    const auto decoded = phy::QueryRoundCommand::decode(init.encode());
-    RFID_ENSURES(decoded && decoded->index_length == h &&
-                 decoded->seed == init.seed);
-    if (config.count_init_in_w)
-      session.broadcast_vector_bits(config.round_init_bits);
-    else
-      session.broadcast_command_bits(config.round_init_bits);
-
-    // Tag side: every awake tag picks its index from the decoded seed.
-    const std::uint64_t seed = decoded->seed;
-    for (HashDevice& device : active)
-      device.index = tag_index_pow2(seed, device.tag->id(), h);
-
-    // Reader side: bucket the picked indices to find singletons.
-    const std::size_t f = static_cast<std::size_t>(pow2(h));
-    counts.assign(f, 0);
-    occupant.assign(f, 0);
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      ++counts[active[i].index];
-      occupant[active[i].index] = i;
+    if (run_hpp_single_round(session, active, config, recovery)) {
+      init_failures = 0;
+      continue;
     }
-
-    // Broadcast singleton indices in ascending order; each poll must elicit
-    // exactly one reply (the channel enforces it). A device is done when it
-    // was read or detected missing; a noise-garbled reply leaves it awake.
-    // Under a recovery policy failed polls are parked for the mop-up
-    // instead — including timeouts, since a churned-out tag may return.
-    std::vector<char> done(active.size(), 0);
-    pending.clear();
-    for (std::size_t idx = 0; idx < f; ++idx) {
-      if (counts[idx] != 1) continue;
-      const std::size_t i = occupant[idx];
-      const HashDevice& device = active[i];
-      const bool here = session.is_present(device.tag->id());
-      const tags::Tag* responder = device.tag;
-      const tags::Tag* read =
-          session.poll({&responder, here ? 1u : 0u}, device.tag, h);
-      if (read != nullptr)
-        done[i] = 1;
-      else if (recovering)
-        pending.push_back(i);
-      else
-        done[i] = here ? 0 : 1;
-    }
-    if (recovering)
-      run_recovery_mop_up(session, active, done, pending, *recovery, h);
-
-    // Finished tags sleep; collision-index and garbled tags stay active.
-    std::size_t write = 0;
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      if (done[i]) continue;
-      if (write != i) active[write] = active[i];
-      ++write;
-    }
-    active.resize(write);
+    // Framed round-init exhausted its budget. Retry a bounded number of
+    // rounds (each already paid the full retransmission ladder), then give
+    // up on everything still unread — loudly, never silently.
+    if (++init_failures > session.config().recovery.retry_budget)
+      abandon_active(session, active);
   }
 }
 

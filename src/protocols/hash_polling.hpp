@@ -49,10 +49,27 @@ struct HppRoundConfig final {
 /// Devices are erased from `active` as they are read. With an active
 /// `recovery` tracker, failed polls (garbled reply or timeout) are parked
 /// and retried in an end-of-round mop-up instead of being rescheduled
-/// silently; budget-exhausted tags are reported undelivered.
+/// silently; budget-exhausted tags are reported undelivered. When the
+/// framed downlink repeatedly fails to deliver even the round-init command,
+/// the remaining tags are abandoned loudly (see abandon_active).
 void run_hpp_rounds(sim::Session& session, std::vector<HashDevice>& active,
                     const HppRoundConfig& config,
                     fault::RecoveryTracker* recovery = nullptr);
+
+/// One HPP round (index pick, singleton sift, polls, recovery mop-up,
+/// compaction of `active`). Factored out of run_hpp_rounds so the adaptive
+/// protocol can interleave rounds with degradation decisions. Returns false
+/// when the framed round-init broadcast exhausted its retransmission budget
+/// — the tags never learned <h, r> and the round did not run.
+bool run_hpp_single_round(sim::Session& session,
+                          std::vector<HashDevice>& active,
+                          const HppRoundConfig& config,
+                          fault::RecoveryTracker* recovery = nullptr);
+
+/// The terminal give-up-loudly outcome when the downlink cannot even
+/// deliver protocol commands: every still-active device is reported via
+/// sim::Session::mark_undelivered and `active` is cleared.
+void abandon_active(sim::Session& session, std::vector<HashDevice>& active);
 
 /// End-of-round recovery mop-up, shared by the hash-polling family
 /// (HPP/EHPP rounds and TPP's tree rounds). Re-polls the devices whose

@@ -106,6 +106,30 @@ std::vector<TreeSegment> PollingTree::segments_from_indices(
   return out;
 }
 
+std::vector<std::uint32_t> PollingTree::decode_segment_stream(
+    const BitVec& stream, std::span<const unsigned> lengths, unsigned h) {
+  RFID_EXPECTS(h <= 31);
+  std::size_t total = 0;
+  for (const unsigned k : lengths) {
+    RFID_EXPECTS(k <= h);
+    total += k;
+  }
+  RFID_EXPECTS(total == stream.size());
+
+  const std::uint32_t h_mask = (h == 0) ? 0u : ((1u << h) - 1u);
+  std::vector<std::uint32_t> out;
+  out.reserve(lengths.size());
+  std::uint32_t reg = 0;
+  BitReader reader(stream);
+  for (const unsigned k : lengths) {
+    const auto bits = static_cast<std::uint32_t>(reader.read_bits(k));
+    const std::uint32_t keep_mask = (k >= 32) ? 0u : (~0u << k);
+    reg = (reg & keep_mask & h_mask) | bits;
+    out.push_back(reg);
+  }
+  return out;
+}
+
 std::size_t PollingTree::max_node_count(std::size_t m, unsigned h) {
   if (m == 0) return 0;
   if (m == 1) return h;  // a single leaf is one chain of h nodes

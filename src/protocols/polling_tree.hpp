@@ -18,6 +18,8 @@
 #include <span>
 #include <vector>
 
+#include "common/bitvec.hpp"
+
 namespace rfid::protocols {
 
 /// One pre-order broadcast segment; transmitting it completes one leaf.
@@ -54,6 +56,18 @@ class PollingTree final {
   /// The paper's Eq. (7): maximal node count of a trie with m leaves of
   /// height h (tree bifurcates as early as possible).
   [[nodiscard]] static std::size_t max_node_count(std::size_t m, unsigned h);
+
+  /// Tag-side replay of a pre-order segment stream: every tag keeps an h-bit
+  /// register A and overwrites its last k bits with each received k-bit
+  /// segment; the value A takes after each segment (the index that segment
+  /// completes) is returned, one entry per element of `lengths`. Segment
+  /// boundaries arrive out-of-band (the tag counts bits), so a flipped
+  /// payload bit in `stream` corrupts the *values* the register takes — and,
+  /// because the untouched high bits of A carry state forward, indices
+  /// decoded after the flip too — while the framing stays intact. This is
+  /// the failure mode the unframed-corruption regression test demonstrates.
+  [[nodiscard]] static std::vector<std::uint32_t> decode_segment_stream(
+      const BitVec& stream, std::span<const unsigned> lengths, unsigned h);
 
  private:
   struct Node final {

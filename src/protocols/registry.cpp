@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "protocols/adaptive_polling.hpp"
 #include "protocols/coded_polling.hpp"
 #include "protocols/conventional.hpp"
 #include "protocols/dfsa.hpp"
@@ -23,6 +24,7 @@ std::string_view to_string(ProtocolKind kind) noexcept {
     case ProtocolKind::kHpp: return "HPP";
     case ProtocolKind::kEhpp: return "EHPP";
     case ProtocolKind::kTpp: return "TPP";
+    case ProtocolKind::kAdaptive: return "ADAPT";
     case ProtocolKind::kMic: return "MIC";
     case ProtocolKind::kSic: return "SIC";
     case ProtocolKind::kDfsa: return "DFSA";
@@ -47,12 +49,12 @@ std::optional<ProtocolKind> parse_protocol(std::string_view name) noexcept {
 }
 
 std::span<const ProtocolKind> all_protocols() noexcept {
-  static constexpr std::array<ProtocolKind, 9> kAll = {
+  static constexpr std::array<ProtocolKind, 10> kAll = {
       ProtocolKind::kCpp,      ProtocolKind::kPrefixCpp,
       ProtocolKind::kCodedPolling, ProtocolKind::kHpp,
       ProtocolKind::kEhpp,     ProtocolKind::kTpp,
-      ProtocolKind::kMic,      ProtocolKind::kSic,
-      ProtocolKind::kDfsa,
+      ProtocolKind::kAdaptive, ProtocolKind::kMic,
+      ProtocolKind::kSic,      ProtocolKind::kDfsa,
   };
   return kAll;
 }
@@ -65,6 +67,7 @@ std::unique_ptr<PollingProtocol> make_protocol(ProtocolKind kind) {
     case ProtocolKind::kHpp: return std::make_unique<Hpp>();
     case ProtocolKind::kEhpp: return std::make_unique<Ehpp>();
     case ProtocolKind::kTpp: return std::make_unique<Tpp>();
+    case ProtocolKind::kAdaptive: return std::make_unique<AdaptivePolling>();
     case ProtocolKind::kMic: return std::make_unique<Mic>();
     case ProtocolKind::kSic: return std::make_unique<Mic>(make_sic());
     case ProtocolKind::kDfsa: return std::make_unique<Dfsa>();

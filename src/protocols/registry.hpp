@@ -21,6 +21,7 @@ enum class ProtocolKind {
   kHpp,
   kEhpp,
   kTpp,
+  kAdaptive,
   kMic,
   kSic,
   kDfsa,

@@ -6,83 +6,136 @@
 #include "analysis/tpp_model.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
-#include "fault/recovery.hpp"
 #include "common/math_util.hpp"
+#include "fault/recovery.hpp"
 #include "protocols/hash_polling.hpp"
 #include "protocols/polling_tree.hpp"
 
 namespace rfid::protocols {
 
-sim::RunResult Tpp::run(const tags::TagPopulation& population,
-                        const sim::SessionConfig& config) const {
-  sim::Session session(population, config);
+bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
+                   const Tpp::Config& config,
+                   fault::RecoveryTracker* recovery) {
+  if (active.empty()) return true;
+  const bool recovering = recovery != nullptr && recovery->active();
+  session.begin_round();
+  session.check_round_budget();
 
-  std::vector<HashDevice> active = make_devices(session);
-  fault::RecoveryTracker recovery(config.recovery);
-  const bool recovering = recovery.active();
+  const unsigned base_h = analysis::tpp_optimal_index_length(active.size());
+  const int offset_h = static_cast<int>(base_h) + config.index_length_offset;
+  // h = 0 can only resolve a lone tag; with two or more active tags it
+  // would never produce a singleton, so the ablation offset is floored.
+  const int min_h = active.size() >= 2 ? 1 : 0;
+  const unsigned h = static_cast<unsigned>(std::clamp(offset_h, min_h, 30));
+  const std::uint64_t seed = session.rng()();
+  if (session.framing_enabled()) {
+    if (!session.broadcast_framed(config.round_init_bits,
+                                  /*count_in_w=*/false))
+      return false;
+  } else {
+    session.broadcast_command_bits(config.round_init_bits);
+  }
 
-  std::vector<std::uint32_t> counts;
-  std::vector<std::size_t> occupant;
+  // Phase 1 — picking index (tag side).
+  for (HashDevice& device : active)
+    device.index = tag_index_pow2(seed, device.tag->id(), h);
+
+  // Reader precomputation: sift out the singleton indices.
+  const std::size_t f = static_cast<std::size_t>(pow2(h));
+  std::vector<std::uint32_t> counts(f, 0);
+  std::vector<std::size_t> occupant(f, 0);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    ++counts[active[i].index];
+    occupant[active[i].index] = i;
+  }
   std::vector<std::uint32_t> singleton_indices;
+  for (std::size_t idx = 0; idx < f; ++idx)
+    if (counts[idx] == 1)
+      singleton_indices.push_back(static_cast<std::uint32_t>(idx));
+
+  if (singleton_indices.empty()) return true;  // rare; retry with a new seed
+
+  // Phase 2 — building the polling tree. The sorted-index differential
+  // encoding is the fast path; the explicit trie is the reference.
+  std::vector<TreeSegment> segments =
+      PollingTree::segments_from_indices(singleton_indices, h);
+  if (config.cross_check_tree) {
+    const PollingTree tree(singleton_indices, h);
+    const std::vector<TreeSegment> reference = tree.segments();
+    RFID_ENSURES(reference.size() == segments.size());
+    for (std::size_t j = 0; j < segments.size(); ++j) {
+      RFID_ENSURES(reference[j].bits == segments[j].bits);
+      RFID_ENSURES(reference[j].length == segments[j].length);
+      RFID_ENSURES(reference[j].completed_index ==
+                   segments[j].completed_index);
+    }
+    std::size_t broadcast_bits = 0;
+    for (const TreeSegment& s : segments) broadcast_bits += s.length;
+    RFID_ENSURES(broadcast_bits == tree.node_count());
+  }
+
+  std::vector<char> done(active.size(), 0);
   std::vector<std::size_t> pending;
-
-  while (!active.empty()) {
-    session.begin_round();
-    session.check_round_budget();
-
-    const unsigned base_h = analysis::tpp_optimal_index_length(active.size());
-    const int offset_h = static_cast<int>(base_h) + config_.index_length_offset;
-    // h = 0 can only resolve a lone tag; with two or more active tags it
-    // would never produce a singleton, so the ablation offset is floored.
-    const int min_h = active.size() >= 2 ? 1 : 0;
-    const unsigned h = static_cast<unsigned>(std::clamp(offset_h, min_h, 30));
-    const std::uint64_t seed = session.rng()();
-    session.broadcast_command_bits(config_.round_init_bits);
-
-    // Phase 1 — picking index (tag side).
-    for (HashDevice& device : active)
-      device.index = tag_index_pow2(seed, device.tag->id(), h);
-
-    // Reader precomputation: sift out the singleton indices.
-    const std::size_t f = static_cast<std::size_t>(pow2(h));
-    counts.assign(f, 0);
-    occupant.assign(f, 0);
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      ++counts[active[i].index];
-      occupant[active[i].index] = i;
-    }
-    singleton_indices.clear();
-    for (std::size_t idx = 0; idx < f; ++idx)
-      if (counts[idx] == 1)
-        singleton_indices.push_back(static_cast<std::uint32_t>(idx));
-
-    if (singleton_indices.empty()) continue;  // rare; retry with a new seed
-
-    // Phase 2 — building the polling tree. The sorted-index differential
-    // encoding is the fast path; the explicit trie is the reference.
-    std::vector<TreeSegment> segments =
-        PollingTree::segments_from_indices(singleton_indices, h);
-    if (config_.cross_check_tree) {
-      const PollingTree tree(singleton_indices, h);
-      const std::vector<TreeSegment> reference = tree.segments();
-      RFID_ENSURES(reference.size() == segments.size());
-      for (std::size_t j = 0; j < segments.size(); ++j) {
-        RFID_ENSURES(reference[j].bits == segments[j].bits);
-        RFID_ENSURES(reference[j].length == segments[j].length);
-        RFID_ENSURES(reference[j].completed_index ==
-                     segments[j].completed_index);
+  if (session.framing_enabled()) {
+    // Phase 3, framed — chunked tree broadcast. Each chunk restarts from
+    // the absolute h-bit index of its first leaf: a resync point, so a
+    // chunk that exhausts its retransmission budget strands only its own
+    // tags instead of desynchronizing the rest of the round. The resync
+    // bits replace that leaf's differential segment and are counted into w
+    // like it would have been — honest overhead against the Eq. 16 bound.
+    const std::size_t cap = std::max<std::size_t>(
+        session.config().framing.segment_payload_bits, h);
+    std::vector<std::size_t> chunk;
+    std::size_t j = 0;
+    while (j < segments.size()) {
+      chunk.clear();
+      chunk.push_back(occupant[segments[j].completed_index]);
+      std::size_t chunk_bits = h;
+      std::size_t k = j + 1;
+      while (k < segments.size() &&
+             chunk_bits + segments[k].length <= cap) {
+        chunk_bits += segments[k].length;
+        chunk.push_back(occupant[segments[k].completed_index]);
+        ++k;
       }
-      std::size_t broadcast_bits = 0;
-      for (const TreeSegment& s : segments) broadcast_bits += s.length;
-      RFID_ENSURES(broadcast_bits == tree.node_count());
+      const bool delivered =
+          session.broadcast_framed(chunk_bits, /*count_in_w=*/true);
+      for (const std::size_t i : chunk) {
+        const HashDevice& device = active[i];
+        if (!delivered) {
+          // The whole chunk stayed corrupt through its budget: its tags
+          // never saw their indices. Recovery re-polls them with absolute
+          // addressing; without recovery the reader gives up loudly.
+          if (recovering)
+            pending.push_back(i);
+          else {
+            session.mark_undelivered(device.tag->id());
+            done[i] = 1;
+          }
+          continue;
+        }
+        const bool here = session.is_present(device.tag->id());
+        const tags::Tag* responder = device.tag;
+        const tags::Tag* read =
+            session.poll_slot({&responder, here ? 1u : 0u}, device.tag);
+        if (read != nullptr)
+          done[i] = 1;
+        else if (recovering)
+          pending.push_back(i);
+        else
+          done[i] = here ? 0 : 1;
+      }
+      j = k;
     }
-
-    // Phase 3 — tree-based polling. `reg` is the h-bit register A every
-    // listening tag maintains; one shared value models all of them because
-    // the updates are broadcast.
+  } else {
+    // Phase 3, unframed — tree-based polling. `reg` is the h-bit register A
+    // every listening tag maintains; one shared value models all of them
+    // because the updates are broadcast. That sharing is exactly why a
+    // single BER flip is catastrophic here: once a segment is corrupted the
+    // common register diverges from the reader's bookkeeping and every
+    // later segment of the round polls an index nobody holds.
     std::uint32_t reg = 0;
-    std::vector<char> done(active.size(), 0);
-    pending.clear();
+    bool desynced = false;
     for (const TreeSegment& segment : segments) {
       const std::uint32_t keep_mask =
           (segment.length >= 32) ? 0u : (~0u << segment.length);
@@ -91,35 +144,66 @@ sim::RunResult Tpp::run(const tags::TagPopulation& population,
             segment.bits;
       RFID_ENSURES(reg == segment.completed_index);
 
+      const std::size_t i = occupant[reg];
+      const HashDevice& device = active[i];
+      if (desynced) {
+        // Stranded: the reader transmits the segment and waits out the
+        // silence; the tag (whose register is garbage) stays awake for the
+        // next round or the mop-up.
+        session.poll_unanswered(segment.length);
+        if (recovering) pending.push_back(i);
+        continue;
+      }
       // Tag side: every awake tag compares its index with A. Tags on
       // collision indices can never match (collision indices are not
       // leaves), so the responder set is the singleton occupant.
-      const std::size_t i = occupant[reg];
-      const HashDevice& device = active[i];
       const bool here = session.is_present(device.tag->id());
       const tags::Tag* responder = device.tag;
       const tags::Tag* read = session.poll(
           {&responder, here ? 1u : 0u}, device.tag, segment.length);
-      if (read != nullptr)
+      if (read != nullptr) {
         done[i] = 1;
-      else if (recovering)
-        pending.push_back(i);
-      else
-        done[i] = here ? 0 : 1;
+      } else {
+        if (session.last_poll_failure() ==
+            sim::PollFailure::kDownlinkCorrupted)
+          desynced = true;
+        if (recovering)
+          pending.push_back(i);
+        else
+          done[i] = here ? 0 : 1;
+      }
     }
-    // Mop-up re-polls carry the full h-bit index: the differential segment
-    // encoding only addresses tags in sorted-index order, which a retry
-    // breaks, so the reader falls back to absolute addressing.
-    if (recovering)
-      run_recovery_mop_up(session, active, done, pending, recovery, h);
+  }
+  // Mop-up re-polls carry the full h-bit index: the differential segment
+  // encoding only addresses tags in sorted-index order, which a retry
+  // breaks, so the reader falls back to absolute addressing.
+  if (recovering)
+    run_recovery_mop_up(session, active, done, pending, *recovery, h);
 
-    std::size_t write = 0;
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      if (done[i]) continue;
-      if (write != i) active[write] = active[i];
-      ++write;
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (done[i]) continue;
+    if (write != i) active[write] = active[i];
+    ++write;
+  }
+  active.resize(write);
+  return true;
+}
+
+sim::RunResult Tpp::run(const tags::TagPopulation& population,
+                        const sim::SessionConfig& config) const {
+  sim::Session session(population, config);
+  std::vector<HashDevice> active = make_devices(session);
+  fault::RecoveryTracker recovery(config.recovery);
+
+  std::uint32_t init_failures = 0;
+  while (!active.empty()) {
+    if (run_tpp_round(session, active, config_, &recovery)) {
+      init_failures = 0;
+      continue;
     }
-    active.resize(write);
+    if (++init_failures > config.recovery.retry_budget)
+      abandon_active(session, active);
   }
   return session.finish(std::string(name()));
 }

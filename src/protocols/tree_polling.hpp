@@ -17,7 +17,9 @@
 // reply — the channel enforces this each poll.
 #pragma once
 
+#include "fault/recovery.hpp"
 #include "phy/commands.hpp"
+#include "protocols/hash_polling.hpp"
 #include "protocols/protocol.hpp"
 
 namespace rfid::protocols {
@@ -51,5 +53,24 @@ class Tpp final : public PollingProtocol {
 };
 
 inline Tpp::Tpp() : config_(Config()) {}
+
+/// One TPP round (index pick, tree build, segmented broadcast, polls,
+/// recovery mop-up, compaction of `active`). Factored out of Tpp::run so
+/// the adaptive protocol can interleave rounds with degradation decisions.
+///
+/// With the session's framing layer on, the pre-order tree is packed into
+/// CRC-framed chunks of at most segment_payload_bits; each chunk opens with
+/// the absolute h-bit index of its first leaf (a resync point — honest
+/// extra cost against the Eq. 16 bound) so an undeliverable chunk strands
+/// only its own tags, never the rest of the round. Without framing, a
+/// BER-corrupted segment desynchronizes the shared register and strands
+/// every tag after the flip point — the failure mode the regression test in
+/// tests/test_polling_tree.cpp demonstrates.
+///
+/// Returns false when the framed round-init broadcast was undeliverable
+/// (the round never started).
+bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
+                   const Tpp::Config& config,
+                   fault::RecoveryTracker* recovery = nullptr);
 
 }  // namespace rfid::protocols

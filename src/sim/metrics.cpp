@@ -16,6 +16,12 @@ void Metrics::merge(const Metrics& other) noexcept {
   vector_bits += other.vector_bits;
   command_bits += other.command_bits;
   tag_bits += other.tag_bits;
+  segments_sent += other.segments_sent;
+  segments_corrupted += other.segments_corrupted;
+  segments_retransmitted += other.segments_retransmitted;
+  downlink_corrupted += other.downlink_corrupted;
+  degradations += other.degradations;
+  framing_overhead_bits += other.framing_overhead_bits;
   time_us += other.time_us;
   phases.merge(other.phases);
 }

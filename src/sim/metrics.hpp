@@ -39,6 +39,18 @@ struct Metrics final {
   std::uint64_t command_bits = 0;  ///< reader bits outside w
   std::uint64_t tag_bits = 0;      ///< bits transmitted by tags
 
+  // Corruption-resilient broadcast accounting (fault layer; all zero and
+  // absent from reports when framing and BER are off).
+  std::uint64_t segments_sent = 0;  ///< framed segments, first attempts only
+  std::uint64_t segments_corrupted = 0;  ///< segment attempts that failed CRC
+  std::uint64_t segments_retransmitted = 0;  ///< retransmission attempts
+  std::uint64_t downlink_corrupted = 0;  ///< unframed broadcasts hit by BER
+  std::uint64_t degradations = 0;  ///< adaptive protocol-tier downgrades
+  /// Downlink bits framing added beyond the raw payload: header + CRC of
+  /// every attempt plus the whole frame of each retransmission. Subset of
+  /// command_bits; the bench's overhead-vs-Eq.16 figure is this per tag.
+  std::uint64_t framing_overhead_bits = 0;
+
   double time_us = 0.0;  ///< wall-clock time under the C1G2 model
 
   /// time_us attributed by air-interface phase; the entries partition the

@@ -127,6 +127,12 @@ void write_json(std::ostream& os, const RunResult& result,
   if (result.fault_layer) {
     json.key_value("retries", u64(m.retries));
     json.key_value("undelivered", u64(m.undelivered));
+    json.key_value("downlink_corrupted", u64(m.downlink_corrupted));
+    json.key_value("segments_sent", u64(m.segments_sent));
+    json.key_value("segments_corrupted", u64(m.segments_corrupted));
+    json.key_value("segments_retransmitted", u64(m.segments_retransmitted));
+    json.key_value("framing_overhead_bits", u64(m.framing_overhead_bits));
+    json.key_value("degradations", u64(m.degradations));
   }
   json.key_value("rounds", u64(m.rounds));
   json.key_value("circles", u64(m.circles));

@@ -1,5 +1,8 @@
 #include "sim/session.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace rfid::sim {
@@ -34,7 +37,8 @@ Session::Session(const tags::TagPopulation& population, SessionConfig config)
 void Session::trace_event(obs::EventKind kind, double duration_us,
                           std::uint64_t vector_bits,
                           std::uint64_t command_bits, std::uint64_t tag_bits,
-                          double reader_us, double tag_us) {
+                          double reader_us, double tag_us,
+                          std::uint64_t detail) {
   obs::Event event;
   event.kind = kind;
   event.round = metrics_.rounds;
@@ -46,6 +50,7 @@ void Session::trace_event(obs::EventKind kind, double duration_us,
   event.duration_us = duration_us;
   event.reader_us = reader_us;
   event.tag_us = tag_us;
+  event.detail = detail;
   config_.tracer->emit(event);
 }
 
@@ -95,6 +100,7 @@ const tags::Tag* Session::complete_reply(
       missing_ids_.push_back(expected->id());
     if (config_.tracer != nullptr)
       trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_time_us, 0.0);
+    last_failure_ = PollFailure::kAbsent;
     return nullptr;
   }
   if (slot.outcome != air::SlotOutcome::kSingleton) {
@@ -130,6 +136,7 @@ const tags::Tag* Session::complete_reply(
     if (config_.tracer != nullptr)
       trace_event(obs::EventKind::kCorrupted, dt, 0, 0, 0, reader_time_us,
                   tag_us);
+    last_failure_ = PollFailure::kGarbledReply;
     return nullptr;
   }
   const double dt = reader_time_us + config_.timing.t1_us +
@@ -152,28 +159,204 @@ const tags::Tag* Session::complete_reply(
   if (config_.tracer != nullptr)
     trace_event(obs::EventKind::kReply, dt, 0, 0, config_.info_bits,
                 reader_time_us, tag_us);
+  last_failure_ = PollFailure::kNone;
   return slot.responder;
 }
 
 const tags::Tag* Session::poll(std::span<const tags::Tag* const> responders,
                                const tags::Tag* expected,
                                std::size_t vector_bits) {
+  if (config_.framing.enabled && vector_bits > 0) {
+    // The vector travels through the framed downlink (its own bit and time
+    // accounting); the poll itself then carries only the QueryRep.
+    if (!broadcast_framed(vector_bits, /*count_in_w=*/true)) {
+      last_failure_ = PollFailure::kDownlinkExhausted;
+      return nullptr;
+    }
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kPoll, 0.0, 0, 0, 0, 0.0, 0.0);
+    return complete_reply(
+        responders, expected,
+        config_.timing.reader_tx_us(config_.timing.query_rep_bits));
+  }
   metrics_.vector_bits += vector_bits;
   if (config_.tracer != nullptr)
     trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
   const double reader_us = config_.timing.reader_tx_us(
       config_.timing.query_rep_bits + vector_bits);
+  if (unframed_downlink_corrupts(vector_bits)) {
+    downlink_corrupt_timeout(reader_us);
+    return nullptr;
+  }
   return complete_reply(responders, expected, reader_us);
 }
 
 const tags::Tag* Session::poll_bare(
     std::span<const tags::Tag* const> responders, const tags::Tag* expected,
     std::size_t vector_bits) {
+  if (config_.framing.enabled && vector_bits > 0) {
+    if (!broadcast_framed(vector_bits, /*count_in_w=*/true)) {
+      last_failure_ = PollFailure::kDownlinkExhausted;
+      return nullptr;
+    }
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kPoll, 0.0, 0, 0, 0, 0.0, 0.0);
+    return complete_reply(responders, expected, /*reader_time_us=*/0.0);
+  }
   metrics_.vector_bits += vector_bits;
   if (config_.tracer != nullptr)
     trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
-  return complete_reply(responders, expected,
-                        config_.timing.reader_tx_us(vector_bits));
+  const double reader_us = config_.timing.reader_tx_us(vector_bits);
+  if (unframed_downlink_corrupts(vector_bits)) {
+    downlink_corrupt_timeout(reader_us);
+    return nullptr;
+  }
+  return complete_reply(responders, expected, reader_us);
+}
+
+bool Session::unframed_downlink_corrupts(std::size_t vector_bits) {
+  if (vector_bits == 0 || !injector_.ber_active()) return false;
+  ++downlink_attempts_;
+  downlink_attempt_bits_ += vector_bits;
+  if (!injector_.corrupt_downlink(vector_bits)) return false;
+  ++downlink_failures_;
+  return true;
+}
+
+void Session::downlink_corrupt_timeout(double reader_time_us) {
+  if (in_recovery_) ++metrics_.retries;
+  const double dt =
+      reader_time_us + config_.timing.t1_us + config_.timing.t2_us;
+  metrics_.time_us += dt;
+  add_phase(obs::Phase::kWastedSlot, dt);
+  ++metrics_.downlink_corrupted;
+  ++metrics_.slots_total;
+  ++metrics_.slots_wasted;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_time_us, 0.0,
+                /*detail=*/1);
+  last_failure_ = PollFailure::kDownlinkCorrupted;
+}
+
+void Session::poll_unanswered(std::size_t vector_bits) {
+  metrics_.vector_bits += vector_bits;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
+  const double reader_us = config_.timing.reader_tx_us(
+      config_.timing.query_rep_bits + vector_bits);
+  const double dt = reader_us + config_.timing.t1_us + config_.timing.t2_us;
+  metrics_.time_us += dt;
+  add_phase(obs::Phase::kWastedSlot, dt);
+  ++metrics_.slots_total;
+  ++metrics_.slots_wasted;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_us, 0.0,
+                /*detail=*/2);
+}
+
+bool Session::broadcast_framed(std::size_t payload_bits, bool count_in_w) {
+  RFID_EXPECTS(config_.framing.enabled);
+  const phy::FramingConfig& framing = config_.framing;
+  RFID_EXPECTS(framing.segment_payload_bits >= 1);
+  const unsigned max_attempts = 1 + framing.max_retransmissions;
+  std::size_t remaining = payload_bits;
+  std::uint64_t seq = 0;
+  while (remaining > 0) {
+    const std::size_t seg =
+        std::min<std::size_t>(remaining, framing.segment_payload_bits);
+    const std::size_t frame_bits = seg + phy::kSegmentOverheadBits;
+    bool delivered = false;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (attempt == 1) {
+        // First attempt: payload accounted as the unframed broadcast would
+        // have been, the <seq><crc16> wrapper as command overhead.
+        const double dt = config_.timing.reader_tx_us(frame_bits);
+        const double payload_us = config_.timing.reader_tx_us(seg);
+        if (count_in_w)
+          metrics_.vector_bits += seg;
+        else
+          metrics_.command_bits += seg;
+        metrics_.command_bits += phy::kSegmentOverheadBits;
+        metrics_.framing_overhead_bits += phy::kSegmentOverheadBits;
+        ++metrics_.segments_sent;
+        metrics_.time_us += dt;
+        add_phase(count_in_w ? obs::Phase::kReaderVector : obs::Phase::kCommand,
+                  payload_us);
+        add_phase(obs::Phase::kCommand, dt - payload_us);
+        if (config_.tracer != nullptr)
+          trace_event(obs::EventKind::kReaderBroadcast, dt,
+                      count_in_w ? seg : 0,
+                      (count_in_w ? 0 : seg) + phy::kSegmentOverheadBits, 0,
+                      dt, 0.0, seq);
+      } else {
+        // Retransmission: exponential backoff, then the whole frame again.
+        // Everything here is corruption-recovery cost — bits land in
+        // command/framing overhead, time in obs::Phase::kRecovery.
+        const double tx_us = config_.timing.reader_tx_us(frame_bits);
+        const double dt = framing.backoff_us(attempt - 1) + tx_us;
+        metrics_.command_bits += frame_bits;
+        metrics_.framing_overhead_bits += frame_bits;
+        ++metrics_.segments_retransmitted;
+        metrics_.time_us += dt;
+        metrics_.phases.add(obs::Phase::kRecovery, dt);
+        if (config_.tracer != nullptr)
+          trace_event(obs::EventKind::kReaderBroadcast, dt, 0, frame_bits, 0,
+                      tx_us, 0.0, seq);
+      }
+      ++downlink_attempts_;
+      downlink_attempt_bits_ += frame_bits;
+      if (!injector_.corrupt_downlink(frame_bits)) {
+        delivered = true;
+        break;
+      }
+      ++downlink_failures_;
+      ++metrics_.segments_corrupted;
+      // The reader learns of the CRC failure from the tags' NACK burst in
+      // the T1 listen window that follows every segment of a corrupted
+      // frame; recovery cost, like the retransmission it triggers.
+      const double listen_us = config_.timing.t1_us;
+      metrics_.time_us += listen_us;
+      metrics_.phases.add(obs::Phase::kRecovery, listen_us);
+      if (config_.tracer != nullptr)
+        trace_event(obs::EventKind::kSegmentCorrupted, listen_us, 0, 0, 0,
+                    0.0, 0.0, seq);
+    }
+    if (!delivered) return false;
+    remaining -= seg;
+    seq = (seq + 1) & 0xF;
+  }
+  return true;
+}
+
+analysis::PollingTier Session::degradation_tier(std::size_t active_count) {
+  if (!config_.degradation.enabled) return tier_;
+  if (downlink_attempts_ < config_.degradation.min_observations) return tier_;
+  analysis::ChannelModel channel;
+  channel.ber = estimated_ber();
+  channel.segment_payload_bits = config_.framing.segment_payload_bits;
+  channel.max_attempts = 1 + config_.framing.max_retransmissions;
+  const analysis::PollingTier next = analysis::select_tier(
+      tier_, active_count, channel, config_.degradation.hysteresis);
+  if (next != tier_) {
+    ++metrics_.degradations;
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kDegrade, 0.0, 0, 0, 0, 0.0, 0.0,
+                  (static_cast<std::uint64_t>(tier_) << 8) |
+                      static_cast<std::uint64_t>(next));
+    tier_ = next;
+  }
+  return tier_;
+}
+
+double Session::estimated_ber() const noexcept {
+  if (downlink_attempts_ == 0 || downlink_failures_ == 0) return 0.0;
+  const double p_corrupt = static_cast<double>(downlink_failures_) /
+                           static_cast<double>(downlink_attempts_);
+  const double avg_bits = static_cast<double>(downlink_attempt_bits_) /
+                          static_cast<double>(downlink_attempts_);
+  if (p_corrupt >= 1.0) return 1.0;
+  // Invert P(frame corrupt) = 1 - (1 - ber)^bits at the mean frame length.
+  return 1.0 - std::pow(1.0 - p_corrupt, 1.0 / avg_bits);
 }
 
 const tags::Tag* Session::poll_slot(
@@ -366,7 +549,8 @@ RunResult Session::finish(std::string protocol_name) {
   result.missing_ids = std::move(missing_ids_);
   result.undelivered_ids = std::move(undelivered_ids_);
   result.trace = std::move(trace_);
-  result.fault_layer = config_.fault.enabled() || config_.recovery.enabled;
+  result.fault_layer = config_.fault.enabled() || config_.recovery.enabled ||
+                       config_.framing.enabled;
   return result;
 }
 

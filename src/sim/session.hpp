@@ -14,16 +14,44 @@
 #include <vector>
 
 #include "air/channel.hpp"
+#include "analysis/degradation.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/injector.hpp"
 #include "obs/trace.hpp"
 #include "phy/c1g2.hpp"
+#include "phy/framing.hpp"
 #include "sim/metrics.hpp"
 #include "tags/population.hpp"
 
 namespace rfid::sim {
+
+/// Why the last poll returned no tag. Protocols branch on this to decide
+/// between rescheduling (the tag is awake and reachable), recovery parking,
+/// and loud abandonment.
+enum class PollFailure : std::uint8_t {
+  kNone,               ///< last poll succeeded
+  kAbsent,             ///< addressed tag is outside the field (timeout)
+  kGarbledReply,       ///< uplink reply corrupted; tag stays awake
+  kDownlinkCorrupted,  ///< unframed vector hit by BER; tag never addressed
+  kDownlinkExhausted,  ///< framed vector undeliverable within retry budget
+};
+
+/// Adaptive protocol-degradation policy (the TPP -> EHPP -> HPP ladder of
+/// analysis/degradation.hpp). Evaluated by protocols that opt in (ADAPT)
+/// through Session::degradation_tier; pure math on observed corruption
+/// statistics, so an enabled policy never perturbs the RNG streams and is a
+/// strict no-op at BER 0.
+struct DegradationConfig final {
+  bool enabled = false;
+  /// Downlink corruption observations (framed attempts or unframed BER
+  /// draws) required before the estimate is trusted.
+  std::uint64_t min_observations = 16;
+  /// Cost advantage a lower tier must show before the session downgrades
+  /// (guards against estimate noise; see analysis::select_tier).
+  double hysteresis = 1.05;
+};
 
 /// Per-run configuration shared by all protocols.
 struct SessionConfig final {
@@ -65,6 +93,14 @@ struct SessionConfig final {
   /// charged to obs::Phase::kRecovery and budget-exhausted tags land in
   /// RunResult::undelivered_ids instead of missing_ids.
   fault::RecoveryConfig recovery{};
+  /// CRC-framed segmented broadcast (see phy/framing.hpp). Off by default:
+  /// the unframed path is bit-identical to older builds. When enabled,
+  /// polling vectors and the TPP tree travel as CRC-16-trailed segments
+  /// with bounded retransmission, making downlink corruption detectable
+  /// per segment instead of desynchronizing whole rounds.
+  phy::FramingConfig framing{};
+  /// Adaptive TPP -> EHPP -> HPP degradation policy (see above).
+  DegradationConfig degradation{};
 };
 
 /// Cumulative snapshot taken at the start of each round/frame.
@@ -129,6 +165,30 @@ class Session final {
   /// initialization, framing fields).
   void broadcast_command_bits(std::size_t bits);
 
+  [[nodiscard]] bool framing_enabled() const noexcept {
+    return config_.framing.enabled;
+  }
+
+  /// Pushes `payload_bits` through the CRC-framed segmented downlink:
+  /// splits into segments of at most framing.segment_payload_bits, wraps
+  /// each in the 20-bit <seq><crc16> frame, and retransmits corrupted
+  /// segments with exponential backoff up to framing.max_retransmissions
+  /// times. First-attempt payload bits are counted into vector_bits when
+  /// `count_in_w` (else command_bits); all framing overhead and every
+  /// retransmission land in command_bits + framing_overhead_bits, with
+  /// retransmission airtime charged to obs::Phase::kRecovery. Returns false
+  /// when any segment stayed corrupt through its whole attempt budget — the
+  /// payload was NOT delivered and the caller must handle the affected tags
+  /// loudly (recovery parking or mark_undelivered).
+  [[nodiscard]] bool broadcast_framed(std::size_t payload_bits,
+                                      bool count_in_w);
+
+  /// A poll the reader issues that no tag can answer (register
+  /// desynchronized by an earlier unframed downlink corruption): the
+  /// vector, QueryRep and both turn-arounds elapse, nothing decodes. The
+  /// vector bits still count into w — the reader transmitted them.
+  void poll_unanswered(std::size_t vector_bits);
+
   // --- Poll interactions ----------------------------------------------------
 
   /// True unless a `present` filter excludes `id` or the fault plan's churn
@@ -147,6 +207,12 @@ class Session final {
   /// ProtocolError.
   const tags::Tag* poll(std::span<const tags::Tag* const> responders,
                         const tags::Tag* expected, std::size_t vector_bits);
+
+  /// Why the most recent poll/poll_bare/poll_slot returned nullptr
+  /// (kNone after a success). Valid until the next poll.
+  [[nodiscard]] PollFailure last_poll_failure() const noexcept {
+    return last_failure_;
+  }
 
   /// Conventional-polling variant: bare broadcast without the QueryRep
   /// prefix (see phy::C1G2Timing::poll_bare_us).
@@ -213,6 +279,22 @@ class Session final {
   /// Records that the recovery policy abandoned `id` (budget exhausted).
   void mark_undelivered(const TagId& id);
 
+  // --- Adaptive degradation -------------------------------------------------
+
+  /// Evaluates the degradation policy for `active_count` still-unread tags
+  /// and returns the tier the protocol should run next. With the policy
+  /// disabled (default) or before min_observations corruption samples, the
+  /// current tier is returned unchanged. A downgrade bumps
+  /// metrics().degradations and emits one obs kDegrade event with
+  /// detail = (from_tier << 8) | to_tier. Pure math — no RNG draw — so an
+  /// enabled policy at BER 0 never perturbs the run.
+  [[nodiscard]] analysis::PollingTier degradation_tier(
+      std::size_t active_count);
+
+  /// Downlink BER estimate inverted from the observed per-frame corruption
+  /// rate (0 before any observation).
+  [[nodiscard]] double estimated_ber() const noexcept;
+
   // --- Round/circle bookkeeping ---------------------------------------------
 
   void begin_round();
@@ -229,6 +311,16 @@ class Session final {
       std::span<const tags::Tag* const> responders, const tags::Tag* expected,
       double reader_time_us);
 
+  /// Draws the BER fate of an unframed `vector_bits` downlink (false — and
+  /// no draw — when BER is off), folding the observation into the
+  /// estimated_ber statistics.
+  [[nodiscard]] bool unframed_downlink_corrupts(std::size_t vector_bits);
+
+  /// Accounting for a poll whose unframed vector was corrupted in flight:
+  /// the addressed tag never decoded its index, so the reader waits out the
+  /// turn-arounds in silence. Sets last_failure_ = kDownlinkCorrupted.
+  void downlink_corrupt_timeout(double reader_time_us);
+
   /// Phase attribution honouring an open recovery scope: inside one, the
   /// whole increment lands in kRecovery regardless of `phase`.
   void add_phase(obs::Phase phase, double delta_us) noexcept {
@@ -242,7 +334,8 @@ class Session final {
   /// path to one branch).
   void trace_event(obs::EventKind kind, double duration_us,
                    std::uint64_t vector_bits, std::uint64_t command_bits,
-                   std::uint64_t tag_bits, double reader_us, double tag_us);
+                   std::uint64_t tag_bits, double reader_us, double tag_us,
+                   std::uint64_t detail = 0);
 
   const tags::TagPopulation* population_;
   SessionConfig config_;
@@ -255,6 +348,12 @@ class Session final {
   std::vector<TagId> undelivered_ids_;
   std::vector<RoundSnapshot> trace_;
   bool in_recovery_ = false;
+  PollFailure last_failure_ = PollFailure::kNone;
+  analysis::PollingTier tier_ = analysis::PollingTier::kTpp;
+  // Observed downlink corruption statistics feeding estimated_ber().
+  std::uint64_t downlink_attempts_ = 0;
+  std::uint64_t downlink_attempt_bits_ = 0;
+  std::uint64_t downlink_failures_ = 0;
 };
 
 }  // namespace rfid::sim

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/crc.hpp"
 #include "common/rng.hpp"
@@ -32,6 +35,42 @@ TEST(Crc16, SingleByteDiffersFromInit) {
 
 TEST(Crc16, SensitiveToByteOrder) {
   EXPECT_NE(crc_of_string("ab"), crc_of_string("ba"));
+}
+
+TEST(Crc16, ConcurrentFirstUseIsRaceFree) {
+  // RFID_THREADS > 1 means worker threads can hit the CRC concurrently,
+  // including as the process's very first CRC calls (each discovered test
+  // runs in its own process, so no earlier test has touched the table
+  // here). The table is constexpr — compile-time, read-only storage, no
+  // lazy first-use initialization to race on; the static_assert in crc.cpp
+  // pins that. This test releases all threads at once so a regression to
+  // runtime init surfaces under TSan/ASan or as a wrong check value.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kIters; ++i) {
+        if (crc_of_string("123456789") != 0x29B1) mismatches.fetch_add(1);
+        // Walk every table entry: two passes over all 256 byte values.
+        const std::array<std::uint8_t, 2> bytes{
+            static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(255 - i)};
+        if (crc16_ccitt(bytes) != crc16_ccitt(bytes)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  while (ready.load() != kThreads) {
+  }
+  go.store(true);
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(Crc16OfId, MatchesByteSerialization) {

@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "common/bitvec.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "protocols/polling_tree.hpp"
@@ -17,6 +18,17 @@ std::vector<std::uint32_t> paper_example_indices() {
   // Fig. 6 of the paper: five singleton indices with h = 3 picked by tags
   // A..E: 000, 010, 011, 101, 111.
   return {0b000, 0b010, 0b011, 0b101, 0b111};
+}
+
+std::vector<std::uint32_t> random_indices(unsigned h, double density,
+                                          Xoshiro256ss& rng) {
+  const std::size_t space = std::size_t{1} << h;
+  std::set<std::uint32_t> chosen;
+  const auto target = static_cast<std::size_t>(
+      std::max(1.0, density * static_cast<double>(space)));
+  while (chosen.size() < std::min(target, space))
+    chosen.insert(static_cast<std::uint32_t>(rng.below(space)));
+  return {chosen.begin(), chosen.end()};
 }
 
 TEST(PollingTree, PaperExampleNodeCount) {
@@ -112,6 +124,98 @@ TEST(PollingTree, MaxNodeCountEquationSeven) {
 }
 
 // ---------------------------------------------------------------------------
+// Tag-side stream decoding and the unframed-corruption regression.
+
+BitVec stream_of(const std::vector<TreeSegment>& segments) {
+  BitVec stream;
+  for (const TreeSegment& seg : segments)
+    stream.append_bits(seg.bits, seg.length);
+  return stream;
+}
+
+std::vector<unsigned> lengths_of(const std::vector<TreeSegment>& segments) {
+  std::vector<unsigned> lengths;
+  for (const TreeSegment& seg : segments) lengths.push_back(seg.length);
+  return lengths;
+}
+
+BitVec flip_bit(const BitVec& stream, std::size_t pos) {
+  BitVec out;
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    out.push_back(i == pos ? !stream.bit(i) : stream.bit(i));
+  return out;
+}
+
+TEST(DecodeSegmentStream, ReconstructsPaperExample) {
+  const auto indices = paper_example_indices();
+  const auto segments = PollingTree::segments_from_indices(indices, 3);
+  const auto decoded = PollingTree::decode_segment_stream(
+      stream_of(segments), lengths_of(segments), 3);
+  EXPECT_EQ(decoded, indices);  // already sorted
+}
+
+TEST(DecodeSegmentStream, RejectsLengthMismatch) {
+  const auto indices = paper_example_indices();
+  const auto segments = PollingTree::segments_from_indices(indices, 3);
+  BitVec truncated = stream_of(segments);
+  std::vector<unsigned> lengths = lengths_of(segments);
+  lengths.push_back(2);  // claims more bits than the stream holds
+  EXPECT_THROW(PollingTree::decode_segment_stream(truncated, lengths, 3),
+               ContractViolation);
+}
+
+// The regression the framing layer exists to prevent: the pre-order stream
+// is differential, so one un-framed bit flip silently mis-addresses every
+// tag at and after the flip point. With all singleton indices below
+// 2^(h-1), the register's most significant bit is written exactly once (by
+// the first, full-length segment) — flip it on the air and no later
+// segment ever rewrites it, so *every* decoded index lands in the empty
+// upper half of the index space: no tag is addressed, and the whole round's
+// tags are stranded without any tag (or the reader) noticing.
+TEST(DecodeSegmentStream, SingleBitFlipStrandsEveryTagAfterFlipPoint) {
+  const std::vector<std::uint32_t> indices = {0b0001, 0b0010, 0b0101,
+                                              0b0110, 0b0111};  // all < 2^3
+  const unsigned h = 4;
+  const auto segments = PollingTree::segments_from_indices(indices, h);
+  const BitVec clean = stream_of(segments);
+  const auto lengths = lengths_of(segments);
+  ASSERT_EQ(PollingTree::decode_segment_stream(clean, lengths, h), indices);
+
+  const auto corrupted = PollingTree::decode_segment_stream(
+      flip_bit(clean, 0), lengths, h);  // bit 0 is the round's only MSB write
+  const std::set<std::uint32_t> singleton_set(indices.begin(), indices.end());
+  ASSERT_EQ(corrupted.size(), indices.size());
+  for (std::size_t j = 0; j < corrupted.size(); ++j) {
+    EXPECT_NE(corrupted[j], indices[j]) << "segment " << j;
+    EXPECT_FALSE(singleton_set.contains(corrupted[j]))
+        << "segment " << j << " still addresses a real tag";
+  }
+}
+
+TEST(DecodeSegmentStream, EveryFlipCorruptsItsOwnSegment) {
+  // Weaker but exhaustive: whichever bit flips, the segment containing it
+  // decodes to the wrong index — the tag that segment was meant to poll
+  // never replies. (Later segments may or may not heal, depending on
+  // whether they overwrite the flipped position.)
+  Xoshiro256ss rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto indices = random_indices(6, 0.3, rng);
+    const auto segments = PollingTree::segments_from_indices(indices, 6);
+    const BitVec clean = stream_of(segments);
+    const auto lengths = lengths_of(segments);
+    const auto truth = PollingTree::decode_segment_stream(clean, lengths, 6);
+    for (std::size_t pos = 0; pos < clean.size(); ++pos) {
+      const auto decoded = PollingTree::decode_segment_stream(
+          flip_bit(clean, pos), lengths, 6);
+      std::size_t seg = 0;
+      std::size_t consumed = 0;
+      while (consumed + lengths[seg] <= pos) consumed += lengths[seg++];
+      EXPECT_NE(decoded[seg], truth[seg]) << "flip at bit " << pos;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Property tests: randomized index sets, swept over (h, density).
 
 struct TreeCase final {
@@ -120,17 +224,6 @@ struct TreeCase final {
 };
 
 class PollingTreeProperty : public ::testing::TestWithParam<TreeCase> {};
-
-std::vector<std::uint32_t> random_indices(unsigned h, double density,
-                                          Xoshiro256ss& rng) {
-  const std::size_t space = std::size_t{1} << h;
-  std::set<std::uint32_t> chosen;
-  const auto target = static_cast<std::size_t>(
-      std::max(1.0, density * static_cast<double>(space)));
-  while (chosen.size() < std::min(target, space))
-    chosen.insert(static_cast<std::uint32_t>(rng.below(space)));
-  return {chosen.begin(), chosen.end()};
-}
 
 TEST_P(PollingTreeProperty, TrieAndSortedEncodingsAgree) {
   const auto [h, density] = GetParam();
