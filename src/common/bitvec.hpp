@@ -29,6 +29,13 @@ class BitVec final {
     return (words_[pos / 64] >> (63 - pos % 64)) & 1u;
   }
 
+  /// Empties the vector but keeps the word capacity, so a cleared BitVec
+  /// can be refilled without reallocating (per-round command scratch).
+  void clear() noexcept {
+    words_.clear();
+    size_ = 0;
+  }
+
   void push_back(bool value);
 
   /// Appends the low `nbits` bits of `value`, most significant first.

@@ -26,14 +26,19 @@ std::uint16_t frame_crc16(const BitVec& frame, std::size_t payload_bits) {
 }  // namespace
 
 BitVec QueryRoundCommand::encode() const {
-  RFID_EXPECTS(index_length < 32);
   BitVec frame;
+  encode_into(frame);
+  return frame;
+}
+
+void QueryRoundCommand::encode_into(BitVec& frame) const {
+  RFID_EXPECTS(index_length < 32);
+  frame.clear();
   frame.append_bits(kOpQueryRound, kOpcodeBits);
   frame.append_bits(index_length, 5);
   frame.append_bits(seed & 0x3FFFFu, 18);
   frame.append_bits(frame_crc5(frame, 27), 5);
   RFID_ENSURES(frame.size() == kBits);
-  return frame;
 }
 
 std::optional<QueryRoundCommand> QueryRoundCommand::decode(

@@ -36,6 +36,11 @@ struct QueryRoundCommand final {
   static constexpr std::size_t kBits = 32;
 
   [[nodiscard]] BitVec encode() const;
+
+  /// Encodes into `frame` (cleared first). Reusing one BitVec across rounds
+  /// keeps the per-round encode/decode round-trip allocation-free.
+  void encode_into(BitVec& frame) const;
+
   [[nodiscard]] static std::optional<QueryRoundCommand> decode(
       const BitVec& frame);
 };

@@ -4,6 +4,7 @@
 
 #include "analysis/degradation.hpp"
 #include "fault/recovery.hpp"
+#include "protocols/round_engine.hpp"
 
 namespace rfid::protocols {
 
@@ -16,34 +17,35 @@ sim::RunResult AdaptivePolling::run(const tags::TagPopulation& population,
   sim::Session session(population, session_config);
 
   std::vector<HashDevice> active = make_devices(session);
-  fault::RecoveryTracker recovery(config.recovery);
+  fault::RecoveryCoordinator recovery(config.recovery);
+  RoundEngine engine(session, recovery);
+  TppRoundPolicy tpp_policy(config_.tpp);
+  HppRoundPolicy hpp_policy(config_.hpp);
   const std::size_t subset_target = Ehpp(config_.ehpp).effective_subset_size();
 
-  std::uint32_t init_failures = 0;
+  fault::RecoveryCoordinator::InitLadder ladder(config.recovery.retry_budget);
   while (!active.empty()) {
     bool round_ran = true;
     switch (session.degradation_tier(active.size())) {
       case analysis::PollingTier::kTpp:
-        round_ran = run_tpp_round(session, active, config_.tpp, &recovery);
+        round_ran = engine.run_round(active, tpp_policy);
         break;
       case analysis::PollingTier::kEhpp:
         session.check_round_budget();
-        round_ran = run_ehpp_circle(session, active, config_.ehpp,
-                                    subset_target, &recovery);
+        round_ran = run_ehpp_circle(session, engine, active, config_.ehpp,
+                                    subset_target);
         break;
       case analysis::PollingTier::kHpp:
-        round_ran = run_hpp_single_round(session, active, config_.hpp,
-                                         &recovery);
+        round_ran = engine.run_round(active, hpp_policy);
         break;
     }
     if (round_ran) {
-      init_failures = 0;
+      ladder.note_success();
       continue;
     }
     // The framed init/circle command exhausted its retransmission budget;
     // same bounded give-up-loudly policy as the static protocols.
-    if (++init_failures > config.recovery.retry_budget)
-      abandon_active(session, active);
+    if (ladder.note_failure()) engine.abandon_active(active);
   }
   return session.finish(std::string(name()));
 }

@@ -57,7 +57,7 @@ sim::RunResult CodedPolling::run(const tags::TagPopulation& population,
   const auto poll_conventionally = [&session](const tags::Tag& t) {
     const tags::Tag* responder = &t;
     const bool present = session.is_present(t.id());
-    while (session.poll_bare({&responder, present ? 1u : 0u}, &t,
+    while (session.air().poll_bare({&responder, present ? 1u : 0u}, &t,
                              kTagIdBits) == nullptr &&
            present) {
     }
@@ -90,11 +90,11 @@ sim::RunResult CodedPolling::run(const tags::TagPopulation& population,
 
     // Coded frame: 96 XOR bits are the polling payload (48 per tag); the
     // two validator fields are framing overhead outside the w accounting.
-    session.broadcast_command_bits(2 * 16);
+    session.downlink().broadcast_command_bits(2 * 16);
     const tags::Tag* read_a =
-        session.poll_bare(present_only(role_a), &a, kTagIdBits);
+        session.air().poll_bare(present_only(role_a), &a, kTagIdBits);
     const tags::Tag* read_b =
-        session.await_extra_reply(present_only(role_b), &b);
+        session.air().await_extra_reply(present_only(role_b), &b);
     if (read_a == nullptr && session.is_present(a.id()))
       poll_conventionally(a);
     if (read_b == nullptr && session.is_present(b.id()))

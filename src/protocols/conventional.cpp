@@ -18,7 +18,7 @@ sim::RunResult Cpp::run(const tags::TagPopulation& population,
     // would surface here. A garbled reply is simply re-polled.
     const tags::Tag* responder = &target;
     const bool present = session.is_present(target.id());
-    while (session.poll_bare({&responder, present ? 1u : 0u}, &target,
+    while (session.air().poll_bare({&responder, present ? 1u : 0u}, &target,
                              kTagIdBits) == nullptr &&
            present) {
     }
@@ -47,12 +47,12 @@ sim::RunResult PrefixCpp::run(const tags::TagPopulation& population,
   for (const auto& [prefix, members] : groups) {
     // Select command: framing overhead plus the mask itself. Tags matching
     // the mask stay active for the suffix polls; others ignore them.
-    session.broadcast_command_bits(config_.select_overhead_bits +
+    session.downlink().broadcast_command_bits(config_.select_overhead_bits +
                                    config_.prefix_bits);
     for (const tags::Tag* target : members) {
       const tags::Tag* responder = target;
       const bool present = session.is_present(target->id());
-      while (session.poll_bare({&responder, present ? 1u : 0u}, target,
+      while (session.air().poll_bare({&responder, present ? 1u : 0u}, target,
                                suffix_bits) == nullptr &&
              present) {
       }

@@ -39,7 +39,7 @@ sim::RunResult Dfsa::run(const tags::TagPopulation& population,
         floor_slots,
         std::llround(config_.frame_factor * sizing_base)));
     const std::uint64_t seed = session.rng()();
-    session.broadcast_command_bits(config_.frame_command_bits);
+    session.downlink().broadcast_command_bits(config_.frame_command_bits);
 
     // Tag side: each unread tag picks its slot from the broadcast seed.
     responders.assign(f, {});
@@ -57,7 +57,7 @@ sim::RunResult Dfsa::run(const tags::TagPopulation& population,
     std::vector<char> done(active.size(), 0);
     std::size_t collision_slots = 0;
     for (std::size_t s = 0; s < f; ++s) {
-      const air::SlotResult slot = session.frame_slot_aloha(responders[s]);
+      const air::SlotResult slot = session.air().frame_slot_aloha(responders[s]);
       collision_slots += slot.outcome == air::SlotOutcome::kCollision;
       if (slot.outcome != air::SlotOutcome::kSingleton || !slot.decoded)
         continue;

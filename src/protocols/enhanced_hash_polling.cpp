@@ -17,15 +17,15 @@ std::size_t Ehpp::effective_subset_size() const {
       static_cast<double>(config_.round_init_bits));
 }
 
-bool run_ehpp_circle(sim::Session& session, std::vector<HashDevice>& active,
-                     const Ehpp::Config& config, std::size_t subset_target,
-                     fault::RecoveryTracker* recovery) {
-  const HppRoundConfig round_config{config.round_init_bits,
-                                    /*count_init_in_w=*/true};
+bool run_ehpp_circle(sim::Session& session, RoundEngine& engine,
+                     std::vector<HashDevice>& active,
+                     const Ehpp::Config& config, std::size_t subset_target) {
+  HppRoundPolicy round_policy(HppRoundConfig{config.round_init_bits,
+                                             /*count_init_in_w=*/true});
   if (active.size() <= subset_target) {
     // Small remainders skip the circle machinery: plain HPP (this is why
     // EHPP matches HPP exactly at n = 100 in the paper's tables).
-    run_hpp_rounds(session, active, round_config, recovery);
+    engine.run_rounds(active, round_policy);
     return true;
   }
 
@@ -36,11 +36,11 @@ bool run_ehpp_circle(sim::Session& session, std::vector<HashDevice>& active,
   if (session.framing_enabled()) {
     // The long circle frame spans several CRC segments; all of them must
     // survive or no tag knows the membership rule and the circle is off.
-    if (!session.broadcast_framed(config.circle_command_bits,
-                                  /*count_in_w=*/true))
+    if (!session.downlink().broadcast_framed(config.circle_command_bits,
+                                             /*count_in_w=*/true))
       return false;
   } else {
-    session.broadcast_vector_bits(config.circle_command_bits);
+    session.downlink().broadcast_vector_bits(config.circle_command_bits);
   }
   RFID_EXPECTS(config.selection_modulus < (1u << 30));
   const phy::CircleCommand frame{
@@ -67,7 +67,7 @@ bool run_ehpp_circle(sim::Session& session, std::vector<HashDevice>& active,
 
   // Query the subset to exhaustion; unselected tags wait for later
   // circles. An unlucky empty subset just costs the circle command.
-  run_hpp_rounds(session, joined, round_config, recovery);
+  engine.run_rounds(joined, round_policy);
   return true;
 }
 
@@ -78,22 +78,26 @@ sim::RunResult Ehpp::run(const tags::TagPopulation& population,
   RFID_ENSURES(subset_target >= 1);
 
   std::vector<HashDevice> active = make_devices(session);
-  // One tracker spans every circle: a tag's retry budget is a per-run
-  // quantity no matter which subset it happens to land in.
-  fault::RecoveryTracker recovery(config.recovery);
+  // One coordinator (and hence one engine) spans every circle: a tag's
+  // retry budget is a per-run quantity no matter which subset it happens
+  // to land in.
+  fault::RecoveryCoordinator recovery(config.recovery);
+  RoundEngine engine(session, recovery);
 
-  std::uint32_t init_failures = 0;
+  // Circle-level init ladder, independent of the per-round ladder inside
+  // engine.run_rounds: an undeliverable circle command and an undeliverable
+  // round command are separate failure chains.
+  fault::RecoveryCoordinator::InitLadder ladder(config.recovery.retry_budget);
   while (!active.empty()) {
     session.check_round_budget();
-    if (run_ehpp_circle(session, active, config_, subset_target, &recovery)) {
-      init_failures = 0;
+    if (run_ehpp_circle(session, engine, active, config_, subset_target)) {
+      ladder.note_success();
       continue;
     }
     // Framed circle command exhausted its budget. Retry a bounded number of
     // circles (each already paid the full retransmission ladder), then give
     // up on everything still unread — loudly, never silently.
-    if (++init_failures > config.recovery.retry_budget)
-      abandon_active(session, active);
+    if (ladder.note_failure()) engine.abandon_active(active);
   }
   return session.finish(std::string(name()));
 }

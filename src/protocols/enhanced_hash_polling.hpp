@@ -16,6 +16,7 @@
 #include "phy/commands.hpp"
 #include "protocols/hash_polling.hpp"
 #include "protocols/protocol.hpp"
+#include "protocols/round_engine.hpp"
 
 namespace rfid::protocols {
 
@@ -57,11 +58,13 @@ inline Ehpp::Ehpp() : config_(Config()) {}
 /// the joined subset — or plain HPP when `active` is already at most
 /// `subset_target`, which drains it and ends the run). Factored out of
 /// Ehpp::run so the adaptive protocol can interleave circles with
-/// degradation decisions. Returns false when the framed circle command
-/// exhausted its retransmission budget — no tag learned <f, F, r> and the
-/// circle never formed.
-bool run_ehpp_circle(sim::Session& session, std::vector<HashDevice>& active,
-                     const Ehpp::Config& config, std::size_t subset_target,
-                     fault::RecoveryTracker* recovery = nullptr);
+/// degradation decisions. The HPP rounds inside the circle run on `engine`
+/// (whose recovery coordinator spans the whole run: a tag's retry budget is
+/// a per-run quantity no matter which subset it lands in). Returns false
+/// when the framed circle command exhausted its retransmission budget — no
+/// tag learned <f, F, r> and the circle never formed.
+bool run_ehpp_circle(sim::Session& session, RoundEngine& engine,
+                     std::vector<HashDevice>& active,
+                     const Ehpp::Config& config, std::size_t subset_target);
 
 }  // namespace rfid::protocols

@@ -1,177 +1,45 @@
 #include "protocols/hash_polling.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
-#include "common/hash.hpp"
 #include "common/math_util.hpp"
 
 namespace rfid::protocols {
 
-std::vector<HashDevice> make_devices(const sim::Session& session) {
-  std::vector<HashDevice> devices;
-  devices.reserve(session.population().size());
-  for (const tags::Tag& tag : session.population())
-    devices.push_back(HashDevice{&tag, 0, session.is_present(tag.id())});
-  return devices;
-}
-
-void run_recovery_mop_up(sim::Session& session,
-                         const std::vector<HashDevice>& active,
-                         std::vector<char>& done,
-                         std::vector<std::size_t>& pending,
-                         fault::RecoveryTracker& recovery,
-                         std::size_t vector_bits) {
-  if (pending.empty()) return;
-  const fault::RecoveryConfig& policy = session.config().recovery;
-  sim::Session::RecoveryScope scope(session);
-  std::vector<std::size_t> still;
-  for (std::uint32_t pass = 0;
-       pass < policy.mop_up_passes && !pending.empty(); ++pass) {
-    still.clear();
-    for (const std::size_t i : pending) {
-      const HashDevice& device = active[i];
-      if (!recovery.take_attempt(device.tag->id())) {
-        session.mark_undelivered(device.tag->id());
-        done[i] = 1;
-        continue;
-      }
-      const bool here = session.is_present(device.tag->id());
-      const tags::Tag* responder = device.tag;
-      const tags::Tag* read =
-          session.poll({&responder, here ? 1u : 0u}, device.tag, vector_bits);
-      if (read != nullptr)
-        done[i] = 1;
-      else
-        still.push_back(i);
-    }
-    pending.swap(still);
-  }
-  // A tag that burned its last attempt on the final pass has no budget left
-  // for future rounds: give up now rather than keep scheduling it.
-  for (const std::size_t i : pending) {
-    if (!recovery.exhausted(active[i].tag->id())) continue;
-    session.mark_undelivered(active[i].tag->id());
-    done[i] = 1;
-  }
-}
-
-void abandon_active(sim::Session& session, std::vector<HashDevice>& active) {
-  for (const HashDevice& device : active)
-    session.mark_undelivered(device.tag->id());
-  active.clear();
-}
-
-bool run_hpp_single_round(sim::Session& session,
-                          std::vector<HashDevice>& active,
-                          const HppRoundConfig& config,
-                          fault::RecoveryTracker* recovery) {
-  if (active.empty()) return true;
-  const bool recovering = recovery != nullptr && recovery->active();
-  session.begin_round();
-  session.check_round_budget();
-
-  const unsigned h = ceil_log2(active.size());
+RoundInit HppRoundPolicy::begin_round(sim::Session& session,
+                                      std::size_t active_count) {
+  const unsigned h = ceil_log2(active_count);
   // The round command travels as a concrete 32-bit QueryRound frame; tags
   // act on the *decoded* parameters, so reader and tags can only agree
   // through the air interface.
   const phy::QueryRoundCommand init{
       h, static_cast<std::uint32_t>(session.rng()() & 0x3FFFFu)};
-  const auto decoded = phy::QueryRoundCommand::decode(init.encode());
+  init.encode_into(frame_);
+  const auto decoded = phy::QueryRoundCommand::decode(frame_);
   RFID_ENSURES(decoded && decoded->index_length == h &&
                decoded->seed == init.seed);
   if (session.framing_enabled()) {
     // The round command rides the framed downlink; if it cannot be
     // delivered within the retransmission budget no tag knows <h, r> and
     // the round never runs.
-    if (!session.broadcast_framed(config.round_init_bits,
-                                  config.count_init_in_w))
-      return false;
-  } else if (config.count_init_in_w) {
-    session.broadcast_vector_bits(config.round_init_bits);
+    if (!session.downlink().broadcast_framed(config_.round_init_bits,
+                                             config_.count_init_in_w))
+      return RoundInit{false, h, decoded->seed};
+  } else if (config_.count_init_in_w) {
+    session.downlink().broadcast_vector_bits(config_.round_init_bits);
   } else {
-    session.broadcast_command_bits(config.round_init_bits);
+    session.downlink().broadcast_command_bits(config_.round_init_bits);
   }
-
-  // Tag side: every awake tag picks its index from the decoded seed.
-  const std::uint64_t seed = decoded->seed;
-  for (HashDevice& device : active)
-    device.index = tag_index_pow2(seed, device.tag->id(), h);
-
-  // Reader side: bucket the picked indices to find singletons.
-  const std::size_t f = static_cast<std::size_t>(pow2(h));
-  std::vector<std::uint32_t> counts(f, 0);
-  std::vector<std::size_t> occupant(f, 0);
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    ++counts[active[i].index];
-    occupant[active[i].index] = i;
-  }
-
-  // Broadcast singleton indices in ascending order; each poll must elicit
-  // exactly one reply (the channel enforces it). A device is done when it
-  // was read or detected missing; a noise-garbled reply leaves it awake.
-  // Under a recovery policy failed polls are parked for the mop-up
-  // instead — including timeouts, since a churned-out tag may return. A
-  // framed vector that exhausts its retransmission budget abandons the tag
-  // loudly when no recovery policy is there to keep retrying.
-  std::vector<char> done(active.size(), 0);
-  std::vector<std::size_t> pending;
-  for (std::size_t idx = 0; idx < f; ++idx) {
-    if (counts[idx] != 1) continue;
-    const std::size_t i = occupant[idx];
-    const HashDevice& device = active[i];
-    const bool here = session.is_present(device.tag->id());
-    const tags::Tag* responder = device.tag;
-    const tags::Tag* read =
-        session.poll({&responder, here ? 1u : 0u}, device.tag, h);
-    if (read != nullptr)
-      done[i] = 1;
-    else if (recovering)
-      pending.push_back(i);
-    else if (session.last_poll_failure() ==
-             sim::PollFailure::kDownlinkExhausted) {
-      session.mark_undelivered(device.tag->id());
-      done[i] = 1;
-    } else
-      done[i] = here ? 0 : 1;
-  }
-  if (recovering)
-    run_recovery_mop_up(session, active, done, pending, *recovery, h);
-
-  // Finished tags sleep; collision-index and garbled tags stay active.
-  std::size_t write = 0;
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    if (done[i]) continue;
-    if (write != i) active[write] = active[i];
-    ++write;
-  }
-  active.resize(write);
-  return true;
-}
-
-void run_hpp_rounds(sim::Session& session, std::vector<HashDevice>& active,
-                    const HppRoundConfig& config,
-                    fault::RecoveryTracker* recovery) {
-  std::uint32_t init_failures = 0;
-  while (!active.empty()) {
-    if (run_hpp_single_round(session, active, config, recovery)) {
-      init_failures = 0;
-      continue;
-    }
-    // Framed round-init exhausted its budget. Retry a bounded number of
-    // rounds (each already paid the full retransmission ladder), then give
-    // up on everything still unread — loudly, never silently.
-    if (++init_failures > session.config().recovery.retry_budget)
-      abandon_active(session, active);
-  }
+  return RoundInit{true, h, decoded->seed};
 }
 
 sim::RunResult Hpp::run(const tags::TagPopulation& population,
                         const sim::SessionConfig& config) const {
   sim::Session session(population, config);
   std::vector<HashDevice> active = make_devices(session);
-  fault::RecoveryTracker recovery(config.recovery);
-  run_hpp_rounds(session, active, config_, &recovery);
+  fault::RecoveryCoordinator recovery(config.recovery);
+  RoundEngine engine(session, recovery);
+  HppRoundPolicy policy(config_);
+  engine.run_rounds(active, policy);
   return session.finish(std::string(name()));
 }
 

@@ -9,7 +9,11 @@
 // unread tags, so each round reads 36.8%-60.7% of the survivors and every
 // broadcast slot is a useful singleton.
 //
-// The round engine is shared with EHPP, which runs it over subsets.
+// The round skeleton (bucket, dispatch, mop-up, compact) lives in
+// protocols::RoundEngine; this header contributes the HPP round policy —
+// ceil_log2 index length, the 32-bit QueryRound init frame, ascending
+// singleton dispatch — which EHPP reuses over subsets and ADAPT as its
+// most-robust tier.
 #pragma once
 
 #include <vector>
@@ -17,26 +21,9 @@
 #include "fault/recovery.hpp"
 #include "phy/commands.hpp"
 #include "protocols/protocol.hpp"
+#include "protocols/round_engine.hpp"
 
 namespace rfid::protocols {
-
-/// Per-tag runtime state for the hash-polling family. The picked index is
-/// genuine tag-side state: it is computed from the broadcast seed by the
-/// same hash the reader uses, never copied from reader bookkeeping.
-struct HashDevice final {
-  const tags::Tag* tag = nullptr;
-  std::uint32_t index = 0;
-  /// Presence snapshot taken at construction (missing-tag scenarios): an
-  /// absent tag is still scheduled, but it can never respond. The polling
-  /// loops re-evaluate sim::Session::is_present per poll so a churn
-  /// schedule is honoured live; without churn the live value equals this
-  /// snapshot.
-  bool present = true;
-};
-
-/// Builds the device list for a session, honouring its presence filter.
-[[nodiscard]] std::vector<HashDevice> make_devices(
-    const sim::Session& session);
 
 /// Knobs shared by HPP proper and the HPP rounds inside EHPP.
 struct HppRoundConfig final {
@@ -45,49 +32,22 @@ struct HppRoundConfig final {
   bool count_init_in_w = false;      ///< EHPP folds init bits into w (Sec. V-B)
 };
 
-/// Runs HPP rounds over `active` until every device is interrogated.
-/// Devices are erased from `active` as they are read. With an active
-/// `recovery` tracker, failed polls (garbled reply or timeout) are parked
-/// and retried in an end-of-round mop-up instead of being rescheduled
-/// silently; budget-exhausted tags are reported undelivered. When the
-/// framed downlink repeatedly fails to deliver even the round-init command,
-/// the remaining tags are abandoned loudly (see abandon_active).
-void run_hpp_rounds(sim::Session& session, std::vector<HashDevice>& active,
-                    const HppRoundConfig& config,
-                    fault::RecoveryTracker* recovery = nullptr);
+/// The HPP round policy: h = ceil_log2(n'), seed drawn through the 32-bit
+/// QueryRound frame (tags act on the *decoded* parameters), default
+/// ascending-singleton dispatch.
+class HppRoundPolicy final : public RoundPolicy {
+ public:
+  explicit HppRoundPolicy(HppRoundConfig config) noexcept : config_(config) {}
 
-/// One HPP round (index pick, singleton sift, polls, recovery mop-up,
-/// compaction of `active`). Factored out of run_hpp_rounds so the adaptive
-/// protocol can interleave rounds with degradation decisions. Returns false
-/// when the framed round-init broadcast exhausted its retransmission budget
-/// — the tags never learned <h, r> and the round did not run.
-bool run_hpp_single_round(sim::Session& session,
-                          std::vector<HashDevice>& active,
-                          const HppRoundConfig& config,
-                          fault::RecoveryTracker* recovery = nullptr);
+  RoundInit begin_round(sim::Session& session,
+                        std::size_t active_count) override;
 
-/// The terminal give-up-loudly outcome when the downlink cannot even
-/// deliver protocol commands: every still-active device is reported via
-/// sim::Session::mark_undelivered and `active` is cleared.
-void abandon_active(sim::Session& session, std::vector<HashDevice>& active);
-
-/// End-of-round recovery mop-up, shared by the hash-polling family
-/// (HPP/EHPP rounds and TPP's tree rounds). Re-polls the devices whose
-/// indices are listed in `pending` for up to
-/// session.config().recovery.mop_up_passes sweeps inside a recovery scope
-/// (airtime lands in obs::Phase::kRecovery); every re-poll first consumes
-/// one unit of the tag's retry budget, and a tag that runs out is reported
-/// via sim::Session::mark_undelivered and marked done. `vector_bits` is the
-/// re-poll vector length — the full h-bit index, since differential
-/// encodings (TPP) cannot address an out-of-order retry. On return
-/// `pending` holds the tags still failed but within budget; they stay
-/// active for the next round.
-void run_recovery_mop_up(sim::Session& session,
-                         const std::vector<HashDevice>& active,
-                         std::vector<char>& done,
-                         std::vector<std::size_t>& pending,
-                         fault::RecoveryTracker& recovery,
-                         std::size_t vector_bits);
+ private:
+  HppRoundConfig config_;
+  /// Scratch for the QueryRound frame; reused so steady-state rounds stay
+  /// allocation-free (measured by bench/bench_round_engine).
+  BitVec frame_;
+};
 
 class Hpp final : public PollingProtocol {
  public:

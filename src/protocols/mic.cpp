@@ -55,8 +55,8 @@ sim::RunResult Mic::run(const tags::TagPopulation& population,
     const std::uint64_t seed = session.rng()();
 
     // Frame command <f, r>, then the indicator vector (entry_bits per slot).
-    session.broadcast_command_bits(config_.frame_command_bits);
-    session.broadcast_vector_bits(f * entry_bits);
+    session.downlink().broadcast_command_bits(config_.frame_command_bits);
+    session.downlink().broadcast_vector_bits(f * entry_bits);
 
     // Tag side hash evaluation (the reader computes the same values).
     for (MicDevice& device : active)
@@ -121,11 +121,11 @@ sim::RunResult Mic::run(const tags::TagPopulation& population,
     std::vector<bool> resolved(active.size(), false);
     for (std::size_t s = 0; s < f; ++s) {
       if (indicator[s] == 0) {
-        session.expect_empty_slot(responders[s], /*full_duration=*/true);
+        session.air().expect_empty_slot(responders[s], /*full_duration=*/true);
       } else {
         const std::size_t owner = assignment[s];
         const tags::Tag* expected = active[owner].tag;
-        const tags::Tag* read = session.poll_slot(responders[s], expected);
+        const tags::Tag* read = session.air().poll_slot(responders[s], expected);
         // Done when read or detected missing; a garbled reply leaves the
         // tag unresolved for the next frame.
         resolved[owner] = (read != nullptr || !active[owner].present);

@@ -84,9 +84,19 @@ std::vector<TreeSegment> PollingTree::segments() const {
 
 std::vector<TreeSegment> PollingTree::segments_from_indices(
     std::span<const std::uint32_t> indices, unsigned h) {
-  std::vector<std::uint32_t> sorted(indices.begin(), indices.end());
-  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint32_t> sorted_scratch;
   std::vector<TreeSegment> out;
+  segments_from_indices_into(indices, h, sorted_scratch, out);
+  return out;
+}
+
+void PollingTree::segments_from_indices_into(
+    std::span<const std::uint32_t> indices, unsigned h,
+    std::vector<std::uint32_t>& sorted_scratch, std::vector<TreeSegment>& out) {
+  std::vector<std::uint32_t>& sorted = sorted_scratch;
+  sorted.assign(indices.begin(), indices.end());
+  std::sort(sorted.begin(), sorted.end());
+  out.clear();
   out.reserve(sorted.size());
   for (std::size_t j = 0; j < sorted.size(); ++j) {
     unsigned k = h;
@@ -103,7 +113,6 @@ std::vector<TreeSegment> PollingTree::segments_from_indices(
     out.clear();
     out.push_back(TreeSegment{0, 0, 0});
   }
-  return out;
 }
 
 std::vector<std::uint32_t> PollingTree::decode_segment_stream(

@@ -53,6 +53,14 @@ class PollingTree final {
   [[nodiscard]] static std::vector<TreeSegment> segments_from_indices(
       std::span<const std::uint32_t> indices, unsigned h);
 
+  /// Same construction writing into caller-owned scratch (`sorted_scratch`
+  /// and `out` are cleared, refilled, and keep their capacity), so a
+  /// per-round caller allocates nothing in steady state.
+  static void segments_from_indices_into(
+      std::span<const std::uint32_t> indices, unsigned h,
+      std::vector<std::uint32_t>& sorted_scratch,
+      std::vector<TreeSegment>& out);
+
   /// The paper's Eq. (7): maximal node count of a trie with m leaves of
   /// height h (tree bifurcates as early as possible).
   [[nodiscard]] static std::size_t max_node_count(std::size_t m, unsigned h);

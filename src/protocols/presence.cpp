@@ -65,7 +65,7 @@ TrustedReaderDetection::Report TrustedReaderDetection::detect(
        ++frame) {
     session.begin_round();
     const std::uint64_t seed = session.rng()();
-    session.broadcast_command_bits(config_.frame_command_bits);
+    session.downlink().broadcast_command_bits(config_.frame_command_bits);
 
     std::fill(expected_count.begin(), expected_count.end(), 0u);
     for (auto& r : responders) r.clear();
@@ -77,7 +77,7 @@ TrustedReaderDetection::Report TrustedReaderDetection::detect(
     }
 
     for (std::size_t s = 0; s < f; ++s) {
-      const bool busy = session.presence_slot(responders[s]);
+      const bool busy = session.air().presence_slot(responders[s]);
       if (expected_count[s] > 0 && !busy) {
         // Precomputed busy, observed silent: someone is gone.
         report.missing_detected = true;
@@ -105,7 +105,7 @@ PollingAssistedIdentification::identify(
     session.begin_round();
     const std::size_t f = frame_size(config_.frame_factor, devices.size());
     const std::uint64_t seed = session.rng()();
-    session.broadcast_command_bits(config_.frame_command_bits);
+    session.downlink().broadcast_command_bits(config_.frame_command_bits);
 
     std::vector<std::uint32_t> counts(f, 0);
     std::vector<std::size_t> occupant(f, 0);
@@ -121,7 +121,7 @@ PollingAssistedIdentification::identify(
 
     std::vector<char> resolved(devices.size(), 0);
     for (std::size_t s = 0; s < f; ++s) {
-      const bool busy = session.presence_slot(responders[s]);
+      const bool busy = session.air().presence_slot(responders[s]);
       if (counts[s] != 1) continue;
       const std::size_t i = occupant[s];
       if (!busy) report.missing.push_back(devices[i].tag->id());
@@ -136,7 +136,7 @@ PollingAssistedIdentification::identify(
       const bool present = devices[i].present;
       const tags::Tag* read = nullptr;
       do {  // garbled replies are re-polled, absent tags time out once
-        read = session.poll_bare({&responder, present ? 1u : 0u},
+        read = session.air().poll_bare({&responder, present ? 1u : 0u},
                                  devices[i].tag, kTagIdBits);
       } while (read == nullptr && present);
       if (read == nullptr) report.missing.push_back(devices[i].tag->id());
@@ -166,7 +166,7 @@ BitmapMissingIdentification::Report BitmapMissingIdentification::identify(
                               ? frame_size(config_.frame_factor, active.size())
                               : 1;
     const std::uint64_t seed = session.rng()();
-    session.broadcast_command_bits(config_.frame_command_bits);
+    session.downlink().broadcast_command_bits(config_.frame_command_bits);
 
     counts.assign(f, 0);
     occupant.assign(f, 0);
@@ -182,7 +182,7 @@ BitmapMissingIdentification::Report BitmapMissingIdentification::identify(
 
     std::vector<char> done(active.size(), 0);
     for (std::size_t s = 0; s < f; ++s) {
-      const bool busy = session.presence_slot(responders[s]);
+      const bool busy = session.air().presence_slot(responders[s]);
       if (counts[s] != 1) continue;  // empty or unattributable collision
       // Expected singleton: one presence bit verifies one specific tag.
       const std::size_t i = occupant[s];

@@ -1,0 +1,136 @@
+#include "protocols/round_engine.hpp"
+
+#include "common/hash.hpp"
+#include "common/math_util.hpp"
+
+namespace rfid::protocols {
+
+std::vector<HashDevice> make_devices(const sim::Session& session) {
+  std::vector<HashDevice> devices;
+  devices.reserve(session.population().size());
+  for (const tags::Tag& tag : session.population())
+    devices.push_back(HashDevice{&tag, 0, session.is_present(tag.id())});
+  return devices;
+}
+
+void RoundPolicy::dispatch(RoundEngine& engine,
+                           std::vector<HashDevice>& active) {
+  engine.dispatch_singletons_ascending(active);
+}
+
+bool RoundEngine::run_round(std::vector<HashDevice>& active,
+                            RoundPolicy& policy) {
+  if (active.empty()) return true;
+  session_.begin_round();
+  session_.check_round_budget();
+
+  const RoundInit init = policy.begin_round(session_, active.size());
+  if (!init.delivered) return false;
+  h_ = init.index_length;
+
+  // Tag side: every awake tag picks its index from the decoded seed.
+  for (HashDevice& device : active)
+    device.index = tag_index_pow2(init.seed, device.tag->id(), h_);
+
+  // Reader side: bucket the picked indices to find singletons.
+  const std::size_t f = static_cast<std::size_t>(pow2(h_));
+  counts_.assign(f, 0);
+  occupant_.assign(f, 0);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    ++counts_[active[i].index];
+    occupant_[active[i].index] = i;
+  }
+
+  done_.assign(active.size(), 0);
+  pending_.clear();
+  singleton_scratch_.clear();
+  chunk_scratch_.clear();
+  policy.dispatch(*this, active);
+
+  if (recovering()) mop_up(active);
+  compact(active);
+  return true;
+}
+
+void RoundEngine::dispatch_singletons_ascending(
+    std::vector<HashDevice>& active) {
+  // Broadcast singleton indices in ascending order; each poll must elicit
+  // exactly one reply (the channel enforces it). A device is done when it
+  // was read or detected missing; a noise-garbled reply leaves it awake.
+  // Under a recovery policy failed polls are parked for the mop-up
+  // instead — including timeouts, since a churned-out tag may return. A
+  // framed vector that exhausts its retransmission budget abandons the tag
+  // loudly when no recovery policy is there to keep retrying.
+  const bool recovering = this->recovering();
+  const std::size_t f = counts_.size();
+  for (std::size_t idx = 0; idx < f; ++idx) {
+    if (counts_[idx] != 1) continue;
+    const std::size_t i = occupant_[idx];
+    const HashDevice& device = active[i];
+    const bool here = session_.is_present(device.tag->id());
+    const tags::Tag* responder = device.tag;
+    const tags::Tag* read =
+        session_.air().poll({&responder, here ? 1u : 0u}, device.tag, h_);
+    if (read != nullptr)
+      done_[i] = 1;
+    else if (recovering)
+      pending_.push_back(i);
+    else if (session_.air().last_poll_failure() ==
+             sim::PollFailure::kDownlinkExhausted) {
+      session_.mark_undelivered(device.tag->id());
+      done_[i] = 1;
+    } else
+      done_[i] = here ? 0 : 1;
+  }
+}
+
+void RoundEngine::mop_up(std::vector<HashDevice>& active) {
+  // Mop-up re-polls carry the full h-bit index: differential segment
+  // encodings (TPP) only address tags in sorted-index order, which a retry
+  // breaks, so the reader falls back to absolute addressing.
+  recovery_.mop_up(
+      session_, done_, pending_,
+      [&](std::size_t i) { return active[i].tag->id(); },
+      [&](std::size_t i) {
+        const HashDevice& device = active[i];
+        const bool here = session_.is_present(device.tag->id());
+        const tags::Tag* responder = device.tag;
+        return session_.air().poll({&responder, here ? 1u : 0u}, device.tag,
+                                   h_) != nullptr;
+      });
+}
+
+void RoundEngine::compact(std::vector<HashDevice>& active) {
+  // Finished tags sleep; collision-index and garbled tags stay active.
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (done_[i]) continue;
+    if (write != i) active[write] = active[i];
+    ++write;
+  }
+  active.resize(write);
+}
+
+void RoundEngine::run_rounds(std::vector<HashDevice>& active,
+                             RoundPolicy& policy) {
+  fault::RecoveryCoordinator::InitLadder ladder(
+      session_.config().recovery.retry_budget);
+  while (!active.empty()) {
+    if (run_round(active, policy)) {
+      ladder.note_success();
+      continue;
+    }
+    // Framed round-init exhausted its budget. Retry a bounded number of
+    // rounds (each already paid the full retransmission ladder), then give
+    // up on everything still unread — loudly, never silently.
+    if (ladder.note_failure()) abandon_active(active);
+  }
+}
+
+void RoundEngine::abandon_active(std::vector<HashDevice>& active) {
+  for (const HashDevice& device : active)
+    session_.mark_undelivered(device.tag->id());
+  active.clear();
+}
+
+}  // namespace rfid::protocols

@@ -1,0 +1,163 @@
+// The shared round engine of the hash-polling family.
+//
+// HPP, EHPP and TPP (and ADAPT, which switches between them) all run the
+// same round skeleton: broadcast a round-init command carrying <h, seed>,
+// have every awake tag pick an h-bit index, bucket the picked indices to
+// find the singletons, dispatch polls to them, mop up failures under the
+// recovery policy, and compact the active list. Before this engine existed
+// each protocol carried its own copy of that loop; now the per-protocol
+// variation is expressed as a RoundPolicy — how <h, seed> are chosen and
+// broadcast, and how the singleton set is dispatched (ascending singleton
+// polls for HPP/EHPP, the differential polling tree for TPP) — while the
+// engine owns the skeleton and all the scratch buffers, which are reused
+// across rounds so steady-state rounds allocate nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fault/recovery.hpp"
+#include "sim/session.hpp"
+
+namespace rfid::protocols {
+
+/// Per-tag runtime state for the hash-polling family. The picked index is
+/// genuine tag-side state: it is computed from the broadcast seed by the
+/// same hash the reader uses, never copied from reader bookkeeping.
+struct HashDevice final {
+  const tags::Tag* tag = nullptr;
+  std::uint32_t index = 0;
+  /// Presence snapshot taken at construction (missing-tag scenarios): an
+  /// absent tag is still scheduled, but it can never respond. The polling
+  /// loops re-evaluate sim::Session::is_present per poll so a churn
+  /// schedule is honoured live; without churn the live value equals this
+  /// snapshot.
+  bool present = true;
+};
+
+/// Builds the device list for a session, honouring its presence filter.
+[[nodiscard]] std::vector<HashDevice> make_devices(
+    const sim::Session& session);
+
+class RoundEngine;
+
+/// What a round-init broadcast established. `delivered` is false when the
+/// framed command exhausted its retransmission budget — no tag knows
+/// <index_length, seed> and the round must not run.
+struct RoundInit final {
+  bool delivered = true;
+  unsigned index_length = 0;  ///< h: bits per picked index
+  std::uint64_t seed = 0;     ///< hash seed the tags decoded
+};
+
+/// Per-protocol variation points of one polling round.
+class RoundPolicy {
+ public:
+  virtual ~RoundPolicy() = default;
+
+  /// Chooses <h, seed> for `active_count` unread tags and broadcasts the
+  /// round-init command (framed or unframed). Called after the engine has
+  /// opened the round (begin_round + round-budget check); this is where the
+  /// protocol draws from the session RNG.
+  virtual RoundInit begin_round(sim::Session& session,
+                                std::size_t active_count) = 0;
+
+  /// Polls the singleton buckets, recording outcomes through the engine's
+  /// done()/pending() state. The default is the HPP dispatch: singleton
+  /// indices in ascending order, each poll carrying the full h-bit index.
+  virtual void dispatch(RoundEngine& engine, std::vector<HashDevice>& active);
+};
+
+class RoundEngine final {
+ public:
+  /// Both references are borrowed and must outlive the engine. One engine
+  /// instance spans a whole protocol run so its scratch capacity is paid
+  /// once (in the first round) and reused thereafter.
+  RoundEngine(sim::Session& session,
+              fault::RecoveryCoordinator& recovery) noexcept
+      : session_(session), recovery_(recovery) {}
+
+  /// Runs one complete round over `active` (round bookkeeping, policy init,
+  /// tag-side index pick, singleton sift, dispatch, recovery mop-up,
+  /// compaction). Devices that were read or abandoned are erased from
+  /// `active`. Returns false when the round-init broadcast was
+  /// undeliverable — the round did not run and the caller decides between
+  /// retrying and abandoning (see run_rounds).
+  bool run_round(std::vector<HashDevice>& active, RoundPolicy& policy);
+
+  /// Runs rounds until `active` drains, retrying undeliverable round-init
+  /// broadcasts through the bounded InitLadder and abandoning everything
+  /// still unread — loudly, never silently — once it is exhausted.
+  void run_rounds(std::vector<HashDevice>& active, RoundPolicy& policy);
+
+  /// The terminal give-up-loudly outcome when the downlink cannot even
+  /// deliver protocol commands: every still-active device is reported via
+  /// sim::Session::mark_undelivered and `active` is cleared.
+  void abandon_active(std::vector<HashDevice>& active);
+
+  // --- Surface for RoundPolicy::dispatch implementations --------------------
+
+  [[nodiscard]] sim::Session& session() noexcept { return session_; }
+  [[nodiscard]] fault::RecoveryCoordinator& recovery() noexcept {
+    return recovery_;
+  }
+  /// True when failed polls are parked for the mop-up instead of being
+  /// rescheduled silently.
+  [[nodiscard]] bool recovering() const noexcept { return recovery_.active(); }
+  /// h of the running round.
+  [[nodiscard]] unsigned index_length() const noexcept { return h_; }
+  /// Per-index pick counts (size 2^h) of the running round.
+  [[nodiscard]] const std::vector<std::uint32_t>& counts() const noexcept {
+    return counts_;
+  }
+  /// Last device index that picked each bucket; meaningful where the
+  /// count is 1 (the singleton's occupant).
+  [[nodiscard]] const std::vector<std::size_t>& occupant() const noexcept {
+    return occupant_;
+  }
+  /// done[i] != 0 once active[i] was read, detected missing, or abandoned.
+  [[nodiscard]] std::vector<char>& done() noexcept { return done_; }
+  /// Device indices parked for the end-of-round recovery mop-up.
+  [[nodiscard]] std::vector<std::size_t>& pending() noexcept {
+    return pending_;
+  }
+  /// Round-scoped scratch for policies that need the singleton index list
+  /// (TPP's tree build). Cleared by the engine at round start.
+  [[nodiscard]] std::vector<std::uint32_t>& singleton_scratch() noexcept {
+    return singleton_scratch_;
+  }
+  /// Round-scoped scratch for policies that chunk the dispatch (TPP's
+  /// framed tree chunks). Cleared by the engine at round start.
+  [[nodiscard]] std::vector<std::size_t>& chunk_scratch() noexcept {
+    return chunk_scratch_;
+  }
+
+  /// The HPP dispatch: singleton indices in ascending order, each poll
+  /// carrying the full h-bit index. Shared by HPP proper, the HPP rounds
+  /// inside EHPP circles, and ADAPT's degraded tier.
+  void dispatch_singletons_ascending(std::vector<HashDevice>& active);
+
+ private:
+  /// End-of-round mop-up: hands the parked device indices to the recovery
+  /// coordinator, re-polling each with the full h_-bit absolute index
+  /// (differential encodings cannot address an out-of-order retry).
+  void mop_up(std::vector<HashDevice>& active);
+
+  /// Erases devices flagged done from `active`, preserving order.
+  void compact(std::vector<HashDevice>& active);
+
+  sim::Session& session_;
+  fault::RecoveryCoordinator& recovery_;
+  unsigned h_ = 0;
+  // Round-scoped scratch, reused via assign/clear so capacity peaks in the
+  // first round and steady-state rounds perform no heap allocation.
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::size_t> occupant_;
+  std::vector<char> done_;
+  std::vector<std::size_t> pending_;
+  std::vector<std::uint32_t> singleton_scratch_;
+  std::vector<std::size_t> chunk_scratch_;
+};
+
+}  // namespace rfid::protocols

@@ -5,61 +5,54 @@
 
 #include "analysis/tpp_model.hpp"
 #include "common/error.hpp"
-#include "common/hash.hpp"
 #include "common/math_util.hpp"
 #include "fault/recovery.hpp"
-#include "protocols/hash_polling.hpp"
 #include "protocols/polling_tree.hpp"
 
 namespace rfid::protocols {
 
-bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
-                   const Tpp::Config& config,
-                   fault::RecoveryTracker* recovery) {
-  if (active.empty()) return true;
-  const bool recovering = recovery != nullptr && recovery->active();
-  session.begin_round();
-  session.check_round_budget();
-
-  const unsigned base_h = analysis::tpp_optimal_index_length(active.size());
-  const int offset_h = static_cast<int>(base_h) + config.index_length_offset;
+RoundInit TppRoundPolicy::begin_round(sim::Session& session,
+                                      std::size_t active_count) {
+  const unsigned base_h = analysis::tpp_optimal_index_length(active_count);
+  const int offset_h = static_cast<int>(base_h) + config_.index_length_offset;
   // h = 0 can only resolve a lone tag; with two or more active tags it
   // would never produce a singleton, so the ablation offset is floored.
-  const int min_h = active.size() >= 2 ? 1 : 0;
+  const int min_h = active_count >= 2 ? 1 : 0;
   const unsigned h = static_cast<unsigned>(std::clamp(offset_h, min_h, 30));
   const std::uint64_t seed = session.rng()();
   if (session.framing_enabled()) {
-    if (!session.broadcast_framed(config.round_init_bits,
-                                  /*count_in_w=*/false))
-      return false;
+    if (!session.downlink().broadcast_framed(config_.round_init_bits,
+                                             /*count_in_w=*/false))
+      return RoundInit{false, h, seed};
   } else {
-    session.broadcast_command_bits(config.round_init_bits);
+    session.downlink().broadcast_command_bits(config_.round_init_bits);
   }
+  return RoundInit{true, h, seed};
+}
 
-  // Phase 1 — picking index (tag side).
-  for (HashDevice& device : active)
-    device.index = tag_index_pow2(seed, device.tag->id(), h);
+void TppRoundPolicy::dispatch(RoundEngine& engine,
+                              std::vector<HashDevice>& active) {
+  sim::Session& session = engine.session();
+  const bool recovering = engine.recovering();
+  const unsigned h = engine.index_length();
+  const std::size_t f = engine.counts().size();
+  const std::vector<std::size_t>& occupant = engine.occupant();
+  std::vector<char>& done = engine.done();
+  std::vector<std::size_t>& pending = engine.pending();
 
-  // Reader precomputation: sift out the singleton indices.
-  const std::size_t f = static_cast<std::size_t>(pow2(h));
-  std::vector<std::uint32_t> counts(f, 0);
-  std::vector<std::size_t> occupant(f, 0);
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    ++counts[active[i].index];
-    occupant[active[i].index] = i;
-  }
-  std::vector<std::uint32_t> singleton_indices;
+  std::vector<std::uint32_t>& singleton_indices = engine.singleton_scratch();
   for (std::size_t idx = 0; idx < f; ++idx)
-    if (counts[idx] == 1)
+    if (engine.counts()[idx] == 1)
       singleton_indices.push_back(static_cast<std::uint32_t>(idx));
 
-  if (singleton_indices.empty()) return true;  // rare; retry with a new seed
+  if (singleton_indices.empty()) return;  // rare; retry with a new seed
 
   // Phase 2 — building the polling tree. The sorted-index differential
   // encoding is the fast path; the explicit trie is the reference.
-  std::vector<TreeSegment> segments =
-      PollingTree::segments_from_indices(singleton_indices, h);
-  if (config.cross_check_tree) {
+  PollingTree::segments_from_indices_into(singleton_indices, h, sort_scratch_,
+                                          segments_);
+  const std::vector<TreeSegment>& segments = segments_;
+  if (config_.cross_check_tree) {
     const PollingTree tree(singleton_indices, h);
     const std::vector<TreeSegment> reference = tree.segments();
     RFID_ENSURES(reference.size() == segments.size());
@@ -74,8 +67,6 @@ bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
     RFID_ENSURES(broadcast_bits == tree.node_count());
   }
 
-  std::vector<char> done(active.size(), 0);
-  std::vector<std::size_t> pending;
   if (session.framing_enabled()) {
     // Phase 3, framed — chunked tree broadcast. Each chunk restarts from
     // the absolute h-bit index of its first leaf: a resync point, so a
@@ -85,7 +76,7 @@ bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
     // like it would have been — honest overhead against the Eq. 16 bound.
     const std::size_t cap = std::max<std::size_t>(
         session.config().framing.segment_payload_bits, h);
-    std::vector<std::size_t> chunk;
+    std::vector<std::size_t>& chunk = engine.chunk_scratch();
     std::size_t j = 0;
     while (j < segments.size()) {
       chunk.clear();
@@ -99,7 +90,7 @@ bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
         ++k;
       }
       const bool delivered =
-          session.broadcast_framed(chunk_bits, /*count_in_w=*/true);
+          session.downlink().broadcast_framed(chunk_bits, /*count_in_w=*/true);
       for (const std::size_t i : chunk) {
         const HashDevice& device = active[i];
         if (!delivered) {
@@ -117,7 +108,7 @@ bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
         const bool here = session.is_present(device.tag->id());
         const tags::Tag* responder = device.tag;
         const tags::Tag* read =
-            session.poll_slot({&responder, here ? 1u : 0u}, device.tag);
+            session.air().poll_slot({&responder, here ? 1u : 0u}, device.tag);
         if (read != nullptr)
           done[i] = 1;
         else if (recovering)
@@ -150,7 +141,7 @@ bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
         // Stranded: the reader transmits the segment and waits out the
         // silence; the tag (whose register is garbage) stays awake for the
         // next round or the mop-up.
-        session.poll_unanswered(segment.length);
+        session.air().poll_unanswered(segment.length);
         if (recovering) pending.push_back(i);
         continue;
       }
@@ -159,12 +150,12 @@ bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
       // leaves), so the responder set is the singleton occupant.
       const bool here = session.is_present(device.tag->id());
       const tags::Tag* responder = device.tag;
-      const tags::Tag* read = session.poll(
+      const tags::Tag* read = session.air().poll(
           {&responder, here ? 1u : 0u}, device.tag, segment.length);
       if (read != nullptr) {
         done[i] = 1;
       } else {
-        if (session.last_poll_failure() ==
+        if (session.air().last_poll_failure() ==
             sim::PollFailure::kDownlinkCorrupted)
           desynced = true;
         if (recovering)
@@ -174,37 +165,16 @@ bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
       }
     }
   }
-  // Mop-up re-polls carry the full h-bit index: the differential segment
-  // encoding only addresses tags in sorted-index order, which a retry
-  // breaks, so the reader falls back to absolute addressing.
-  if (recovering)
-    run_recovery_mop_up(session, active, done, pending, *recovery, h);
-
-  std::size_t write = 0;
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    if (done[i]) continue;
-    if (write != i) active[write] = active[i];
-    ++write;
-  }
-  active.resize(write);
-  return true;
 }
 
 sim::RunResult Tpp::run(const tags::TagPopulation& population,
                         const sim::SessionConfig& config) const {
   sim::Session session(population, config);
   std::vector<HashDevice> active = make_devices(session);
-  fault::RecoveryTracker recovery(config.recovery);
-
-  std::uint32_t init_failures = 0;
-  while (!active.empty()) {
-    if (run_tpp_round(session, active, config_, &recovery)) {
-      init_failures = 0;
-      continue;
-    }
-    if (++init_failures > config.recovery.retry_budget)
-      abandon_active(session, active);
-  }
+  fault::RecoveryCoordinator recovery(config.recovery);
+  RoundEngine engine(session, recovery);
+  TppRoundPolicy policy(config_);
+  engine.run_rounds(active, policy);
   return session.finish(std::string(name()));
 }
 

@@ -20,7 +20,9 @@
 #include "fault/recovery.hpp"
 #include "phy/commands.hpp"
 #include "protocols/hash_polling.hpp"
+#include "protocols/polling_tree.hpp"
 #include "protocols/protocol.hpp"
+#include "protocols/round_engine.hpp"
 
 namespace rfid::protocols {
 
@@ -54,9 +56,9 @@ class Tpp final : public PollingProtocol {
 
 inline Tpp::Tpp() : config_(Config()) {}
 
-/// One TPP round (index pick, tree build, segmented broadcast, polls,
-/// recovery mop-up, compaction of `active`). Factored out of Tpp::run so
-/// the adaptive protocol can interleave rounds with degradation decisions.
+/// The TPP round policy: Eq. (15)-optimal index length, raw 64-bit seed,
+/// and the differential polling-tree dispatch (run as one RoundEngine round
+/// by Tpp::run and by ADAPT's fastest tier).
 ///
 /// With the session's framing layer on, the pre-order tree is packed into
 /// CRC-framed chunks of at most segment_payload_bits; each chunk opens with
@@ -66,11 +68,21 @@ inline Tpp::Tpp() : config_(Config()) {}
 /// BER-corrupted segment desynchronizes the shared register and strands
 /// every tag after the flip point — the failure mode the regression test in
 /// tests/test_polling_tree.cpp demonstrates.
-///
-/// Returns false when the framed round-init broadcast was undeliverable
-/// (the round never started).
-bool run_tpp_round(sim::Session& session, std::vector<HashDevice>& active,
-                   const Tpp::Config& config,
-                   fault::RecoveryTracker* recovery = nullptr);
+class TppRoundPolicy final : public RoundPolicy {
+ public:
+  explicit TppRoundPolicy(Tpp::Config config) noexcept : config_(config) {}
+
+  RoundInit begin_round(sim::Session& session,
+                        std::size_t active_count) override;
+  void dispatch(RoundEngine& engine, std::vector<HashDevice>& active) override;
+
+ private:
+  Tpp::Config config_;
+  /// Tree-build scratch (sort buffer + pre-order segments); reused across
+  /// rounds so steady-state dispatch stays allocation-free (measured by
+  /// bench/bench_round_engine).
+  std::vector<std::uint32_t> sort_scratch_;
+  std::vector<TreeSegment> segments_;
+};
 
 }  // namespace rfid::protocols

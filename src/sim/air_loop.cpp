@@ -1,0 +1,358 @@
+#include "sim/air_loop.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rfid::sim {
+
+// Accounting discipline: every site computes its clock increment as a named
+// `dt` built from the exact expression the metrics always used (evaluation
+// order preserved, so seeded runs are byte-identical to the pre-tracing
+// code), adds it once to metrics_.time_us, splits it across phases, and —
+// only behind a branch on the null tracer pointer — emits one trace event
+// whose duration_us is that same double. A trace therefore replays into the
+// Metrics totals exactly (see docs/observability.md).
+
+void AirLoop::trace_event(obs::EventKind kind, double duration_us,
+                          std::uint64_t vector_bits,
+                          std::uint64_t command_bits, std::uint64_t tag_bits,
+                          double reader_us, double tag_us,
+                          std::uint64_t detail) {
+  obs::Event event;
+  event.kind = kind;
+  event.round = metrics_.rounds;
+  event.circle = metrics_.circles;
+  event.vector_bits = vector_bits;
+  event.command_bits = command_bits;
+  event.tag_bits = tag_bits;
+  event.time_us = metrics_.time_us;
+  event.duration_us = duration_us;
+  event.reader_us = reader_us;
+  event.tag_us = tag_us;
+  event.detail = detail;
+  config_.tracer->emit(event);
+}
+
+bool AirLoop::is_present(const TagId& id) const noexcept {
+  return (config_.present == nullptr || config_.present->contains(id)) &&
+         injector_.present(id);
+}
+
+const tags::Tag* AirLoop::complete_reply(
+    std::span<const tags::Tag* const> responders, const tags::Tag* expected,
+    double reader_time_us) {
+  if (in_recovery_) ++metrics_.retries;
+  const air::SlotResult slot = channel_.arbitrate(responders);
+  if (slot.outcome == air::SlotOutcome::kEmpty && expected != nullptr &&
+      !is_present(expected->id())) {
+    // The addressed tag is physically absent: the reader waits out the
+    // turn-arounds, decodes nothing, and flags the tag missing. Under a
+    // recovery policy the verdict is deferred — the tag may churn back into
+    // the field — so the per-poll missing record is suppressed and the
+    // protocol's tracker decides between re-poll and undelivered.
+    const double dt =
+        reader_time_us + config_.timing.t1_us + config_.timing.t2_us;
+    metrics_.time_us += dt;
+    add_phase(obs::Phase::kWastedSlot, dt);
+    ++metrics_.missing;
+    ++metrics_.slots_total;
+    ++metrics_.slots_wasted;
+    if (config_.keep_records && !config_.recovery.enabled)
+      missing_ids_.push_back(expected->id());
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_time_us, 0.0);
+    last_failure_ = PollFailure::kAbsent;
+    return nullptr;
+  }
+  if (slot.outcome != air::SlotOutcome::kSingleton) {
+    throw ProtocolError(
+        "poll did not elicit exactly one reply (responders: " +
+        std::to_string(slot.responder_count) + ")");
+  }
+  if (expected != nullptr && slot.responder != expected) {
+    throw ProtocolError("responding tag differs from the reader's target: " +
+                        slot.responder->id().to_hex() + " vs " +
+                        expected->id().to_hex());
+  }
+  const double tag_us = config_.timing.tag_tx_us(config_.info_bits);
+  // Decode-error decision. The legacy Bernoulli knob draws from the session
+  // stream exactly as it always has; the structured link models draw from
+  // the injector's private stream, so enabling them (or leaving everything
+  // off) does not perturb the session's own sequence of draws.
+  bool garbled = config_.reply_error_rate > 0.0 &&
+                 rng_.bernoulli(config_.reply_error_rate);
+  if (!garbled && injector_.link_active()) garbled = injector_.corrupt_reply();
+  if (garbled) {
+    // Reply garbled in flight: the full interaction airtime is spent, the
+    // PHY CRC rejects the decode, and with no ACK the tag stays awake for
+    // a later round.
+    const double dt = reader_time_us + config_.timing.t1_us +
+                      config_.timing.tag_tx_us(config_.info_bits) +
+                      config_.timing.t2_us;
+    metrics_.time_us += dt;
+    add_phase(obs::Phase::kWastedSlot, dt);
+    ++metrics_.corrupted;
+    ++metrics_.slots_total;
+    ++metrics_.slots_wasted;
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kCorrupted, dt, 0, 0, 0, reader_time_us,
+                  tag_us);
+    last_failure_ = PollFailure::kGarbledReply;
+    return nullptr;
+  }
+  const double dt = reader_time_us + config_.timing.t1_us +
+                    config_.timing.tag_tx_us(config_.info_bits) +
+                    config_.timing.t2_us;
+  metrics_.time_us += dt;
+  add_phase(obs::Phase::kReaderVector, reader_time_us);
+  add_phase(obs::Phase::kTurnaround,
+            config_.timing.t1_us + config_.timing.t2_us);
+  add_phase(obs::Phase::kTagReply, tag_us);
+  metrics_.tag_bits += config_.info_bits;
+  ++metrics_.polls;
+  ++metrics_.slots_total;
+  ++metrics_.slots_useful;
+  if (config_.keep_records) {
+    records_.push_back(
+        CollectedRecord{slot.responder->id(),
+                        slot.responder->reply_payload(config_.info_bits)});
+  }
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kReply, dt, 0, 0, config_.info_bits,
+                reader_time_us, tag_us);
+  last_failure_ = PollFailure::kNone;
+  return slot.responder;
+}
+
+const tags::Tag* AirLoop::poll(std::span<const tags::Tag* const> responders,
+                               const tags::Tag* expected,
+                               std::size_t vector_bits) {
+  if (config_.framing.enabled && vector_bits > 0) {
+    // The vector travels through the framed downlink (its own bit and time
+    // accounting); the poll itself then carries only the QueryRep.
+    if (!downlink_.broadcast_framed(vector_bits, /*count_in_w=*/true)) {
+      last_failure_ = PollFailure::kDownlinkExhausted;
+      return nullptr;
+    }
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kPoll, 0.0, 0, 0, 0, 0.0, 0.0);
+    return complete_reply(
+        responders, expected,
+        config_.timing.reader_tx_us(config_.timing.query_rep_bits));
+  }
+  metrics_.vector_bits += vector_bits;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
+  const double reader_us = config_.timing.reader_tx_us(
+      config_.timing.query_rep_bits + vector_bits);
+  if (downlink_.unframed_corrupts(vector_bits)) {
+    downlink_corrupt_timeout(reader_us);
+    return nullptr;
+  }
+  return complete_reply(responders, expected, reader_us);
+}
+
+const tags::Tag* AirLoop::poll_bare(
+    std::span<const tags::Tag* const> responders, const tags::Tag* expected,
+    std::size_t vector_bits) {
+  if (config_.framing.enabled && vector_bits > 0) {
+    if (!downlink_.broadcast_framed(vector_bits, /*count_in_w=*/true)) {
+      last_failure_ = PollFailure::kDownlinkExhausted;
+      return nullptr;
+    }
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kPoll, 0.0, 0, 0, 0, 0.0, 0.0);
+    return complete_reply(responders, expected, /*reader_time_us=*/0.0);
+  }
+  metrics_.vector_bits += vector_bits;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
+  const double reader_us = config_.timing.reader_tx_us(vector_bits);
+  if (downlink_.unframed_corrupts(vector_bits)) {
+    downlink_corrupt_timeout(reader_us);
+    return nullptr;
+  }
+  return complete_reply(responders, expected, reader_us);
+}
+
+void AirLoop::downlink_corrupt_timeout(double reader_time_us) {
+  if (in_recovery_) ++metrics_.retries;
+  const double dt =
+      reader_time_us + config_.timing.t1_us + config_.timing.t2_us;
+  metrics_.time_us += dt;
+  add_phase(obs::Phase::kWastedSlot, dt);
+  ++metrics_.downlink_corrupted;
+  ++metrics_.slots_total;
+  ++metrics_.slots_wasted;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_time_us, 0.0,
+                /*detail=*/1);
+  last_failure_ = PollFailure::kDownlinkCorrupted;
+}
+
+void AirLoop::poll_unanswered(std::size_t vector_bits) {
+  metrics_.vector_bits += vector_bits;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
+  const double reader_us = config_.timing.reader_tx_us(
+      config_.timing.query_rep_bits + vector_bits);
+  const double dt = reader_us + config_.timing.t1_us + config_.timing.t2_us;
+  metrics_.time_us += dt;
+  add_phase(obs::Phase::kWastedSlot, dt);
+  ++metrics_.slots_total;
+  ++metrics_.slots_wasted;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_us, 0.0,
+                /*detail=*/2);
+}
+
+const tags::Tag* AirLoop::poll_slot(
+    std::span<const tags::Tag* const> responders, const tags::Tag* expected) {
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kPoll, 0.0, 0, 0, 0, 0.0, 0.0);
+  return complete_reply(
+      responders, expected,
+      config_.timing.reader_tx_us(config_.timing.query_rep_bits));
+}
+
+const tags::Tag* AirLoop::await_extra_reply(
+    std::span<const tags::Tag* const> responders, const tags::Tag* expected) {
+  return complete_reply(responders, expected, /*reader_time_us=*/0.0);
+}
+
+void AirLoop::expect_empty_slot(
+    std::span<const tags::Tag* const> responders, bool full_duration) {
+  const air::SlotResult slot = channel_.arbitrate(responders);
+  if (slot.outcome != air::SlotOutcome::kEmpty) {
+    throw ProtocolError("slot marked wasted was answered by " +
+                        std::to_string(slot.responder_count) + " tag(s)");
+  }
+  const double dt = full_duration
+                        ? config_.timing.poll_us(0, config_.info_bits)
+                        : config_.timing.idle_slot_us();
+  metrics_.time_us += dt;
+  add_phase(obs::Phase::kWastedSlot, dt);
+  ++metrics_.slots_total;
+  ++metrics_.slots_wasted;
+  if (config_.tracer != nullptr)
+    trace_event(obs::EventKind::kSlotEmpty, dt, 0, 0, 0, 0.0, 0.0);
+}
+
+air::SlotResult AirLoop::frame_slot_aloha(
+    std::span<const tags::Tag* const> responders) {
+  air::SlotResult slot = channel_.arbitrate(responders);
+  if (slot.outcome == air::SlotOutcome::kCollision &&
+      config_.capture_probability > 0.0 &&
+      rng_.bernoulli(config_.capture_probability)) {
+    // Capture effect: one reply dominates the superposition and decodes.
+    // The "strongest" tag is drawn uniformly (the simulator has no power
+    // model); the losers stay unread, exactly as if they had been silent.
+    slot.outcome = air::SlotOutcome::kSingleton;
+    slot.responder = responders[rng_.below(responders.size())];
+  }
+  bool slot_garbled = false;
+  if (slot.outcome == air::SlotOutcome::kSingleton) {
+    slot_garbled = config_.reply_error_rate > 0.0 &&
+                   rng_.bernoulli(config_.reply_error_rate);
+    if (!slot_garbled && injector_.link_active())
+      slot_garbled = injector_.corrupt_reply();
+  }
+  if (slot_garbled) {
+    // A garbled singleton wastes the slot exactly like a collision.
+    slot.decoded = false;
+    const double dt = config_.timing.collision_slot_us(config_.info_bits);
+    metrics_.time_us += dt;
+    add_phase(obs::Phase::kWastedSlot, dt);
+    ++metrics_.corrupted;
+    ++metrics_.slots_total;
+    ++metrics_.slots_wasted;
+    if (config_.tracer != nullptr)
+      trace_event(obs::EventKind::kCorrupted, dt, 0, 0, 0, 0.0,
+                  config_.timing.tag_tx_us(config_.info_bits));
+    return slot;
+  }
+  switch (slot.outcome) {
+    case air::SlotOutcome::kEmpty: {
+      const double dt = config_.timing.idle_slot_us();
+      metrics_.time_us += dt;
+      add_phase(obs::Phase::kWastedSlot, dt);
+      ++metrics_.slots_total;
+      ++metrics_.slots_wasted;
+      if (config_.tracer != nullptr)
+        trace_event(obs::EventKind::kSlotEmpty, dt, 0, 0, 0, 0.0, 0.0);
+      break;
+    }
+    case air::SlotOutcome::kCollision: {
+      const double dt =
+          config_.timing.collision_slot_us(config_.info_bits);
+      metrics_.time_us += dt;
+      add_phase(obs::Phase::kWastedSlot, dt);
+      ++metrics_.slots_total;
+      ++metrics_.slots_wasted;
+      if (config_.tracer != nullptr)
+        trace_event(obs::EventKind::kSlotCollision, dt, 0, 0, 0, 0.0, 0.0);
+      break;
+    }
+    case air::SlotOutcome::kSingleton: {
+      const double dt = config_.timing.poll_us(0, config_.info_bits);
+      const double reader_us =
+          config_.timing.reader_tx_us(config_.timing.query_rep_bits);
+      const double tag_us = config_.timing.tag_tx_us(config_.info_bits);
+      metrics_.time_us += dt;
+      add_phase(obs::Phase::kReaderVector, reader_us);
+      add_phase(obs::Phase::kTurnaround,
+                config_.timing.t1_us + config_.timing.t2_us);
+      add_phase(obs::Phase::kTagReply, tag_us);
+      metrics_.tag_bits += config_.info_bits;
+      ++metrics_.polls;
+      ++metrics_.slots_total;
+      ++metrics_.slots_useful;
+      if (config_.keep_records) {
+        records_.push_back(
+            CollectedRecord{slot.responder->id(),
+                            slot.responder->reply_payload(config_.info_bits)});
+      }
+      if (config_.tracer != nullptr)
+        trace_event(obs::EventKind::kReply, dt, 0, 0, config_.info_bits,
+                    reader_us, tag_us);
+      break;
+    }
+  }
+  return slot;
+}
+
+bool AirLoop::presence_slot(std::span<const tags::Tag* const> responders) {
+  const air::SlotResult slot = channel_.arbitrate(responders);
+  const bool busy = slot.outcome != air::SlotOutcome::kEmpty;
+  // Energy sensing: a busy slot carries one bit of backscatter; an empty
+  // slot only the turn-arounds. Noise is irrelevant at this granularity —
+  // the reader detects power, not payload.
+  const double reader_us =
+      config_.timing.reader_tx_us(config_.timing.query_rep_bits);
+  const double dt =
+      config_.timing.reader_tx_us(config_.timing.query_rep_bits) +
+      config_.timing.t1_us + (busy ? config_.timing.tag_tx_us(1) : 0.0) +
+      config_.timing.t2_us;
+  metrics_.time_us += dt;
+  if (busy) {
+    add_phase(obs::Phase::kReaderVector, reader_us);
+    add_phase(obs::Phase::kTurnaround,
+              config_.timing.t1_us + config_.timing.t2_us);
+    add_phase(obs::Phase::kTagReply, config_.timing.tag_tx_us(1));
+    metrics_.tag_bits += slot.responder_count;
+  } else {
+    add_phase(obs::Phase::kWastedSlot, dt);
+  }
+  ++metrics_.slots_total;
+  if (config_.tracer != nullptr) {
+    if (busy)
+      trace_event(obs::EventKind::kReply, dt, 0, 0, slot.responder_count,
+                  reader_us, config_.timing.tag_tx_us(1));
+    else
+      trace_event(obs::EventKind::kSlotEmpty, dt, 0, 0, 0, reader_us, 0.0);
+  }
+  return busy;
+}
+
+}  // namespace rfid::sim

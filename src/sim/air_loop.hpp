@@ -1,0 +1,175 @@
+// The reader's air-interface loop: poll/reply/turn-around primitives.
+//
+// One layer above phy::Downlink and one below sim::Session: the AirLoop
+// owns every interaction that involves a tag reply — singleton polls, frame
+// slots, presence slots — applying the C1G2 timing model, arbitrating the
+// shared channel, drawing reply-corruption fates, and classifying every
+// failed poll (PollFailure) so protocols can choose between rescheduling,
+// recovery parking, and loud abandonment. It mutates the session's Metrics,
+// record and missing-id stores through references handed in by the
+// composition root; it holds no protocol state of its own beyond the
+// last-failure classification and the recovery-phase flag.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "air/channel.hpp"
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "phy/downlink.hpp"
+#include "sim/session_types.hpp"
+#include "tags/population.hpp"
+
+namespace rfid::sim {
+
+/// Why the last poll returned no tag. Protocols branch on this to decide
+/// between rescheduling (the tag is awake and reachable), recovery parking,
+/// and loud abandonment.
+enum class PollFailure : std::uint8_t {
+  kNone,               ///< last poll succeeded
+  kAbsent,             ///< addressed tag is outside the field (timeout)
+  kGarbledReply,       ///< uplink reply corrupted; tag stays awake
+  kDownlinkCorrupted,  ///< unframed vector hit by BER; tag never addressed
+  kDownlinkExhausted,  ///< framed vector undeliverable within retry budget
+};
+
+class AirLoop final {
+ public:
+  /// All references are borrowed from the owning session and must outlive
+  /// the loop. `missing_ids` and `records` are the session's result stores;
+  /// the loop appends to them under the same conditions Session always did.
+  AirLoop(const SessionConfig& config, Xoshiro256ss& rng, air::Channel& channel,
+          fault::FaultInjector& injector, phy::Downlink& downlink,
+          Metrics& metrics, std::vector<CollectedRecord>& records,
+          std::vector<TagId>& missing_ids) noexcept
+      : config_(config),
+        rng_(rng),
+        channel_(channel),
+        injector_(injector),
+        downlink_(downlink),
+        metrics_(metrics),
+        records_(records),
+        missing_ids_(missing_ids) {}
+
+  // --- Poll interactions ----------------------------------------------------
+
+  /// True unless a `present` filter excludes `id` or the fault plan's churn
+  /// schedule currently has it outside the field. Protocols that support
+  /// churn re-evaluate this per poll rather than snapshotting it.
+  [[nodiscard]] bool is_present(const TagId& id) const noexcept;
+
+  /// One complete poll: QueryRep + `vector_bits` vector, turn-arounds, reply.
+  /// `responders` are the tags whose tag-side predicate fired; `expected` is
+  /// the reader's precomputed target. Returns the interrogated tag, or
+  /// nullptr in two recoverable cases: the expected tag is configured
+  /// absent (poll times out; tag recorded missing) or the reply was garbled
+  /// by channel noise (airtime spent; tag stays awake — the caller must
+  /// keep scheduling it). Protocols distinguish the two via the device's
+  /// presence flag. Any other deviation from a singleton reply throws
+  /// ProtocolError.
+  const tags::Tag* poll(std::span<const tags::Tag* const> responders,
+                        const tags::Tag* expected, std::size_t vector_bits);
+
+  /// Why the most recent poll/poll_bare/poll_slot returned nullptr
+  /// (kNone after a success). Valid until the next poll.
+  [[nodiscard]] PollFailure last_poll_failure() const noexcept {
+    return last_failure_;
+  }
+
+  /// Conventional-polling variant: bare broadcast without the QueryRep
+  /// prefix (see phy::C1G2Timing::poll_bare_us).
+  const tags::Tag* poll_bare(std::span<const tags::Tag* const> responders,
+                             const tags::Tag* expected,
+                             std::size_t vector_bits);
+
+  /// A reply phase with no further reader vector (the vector or frame
+  /// position was already transmitted): QueryRep + turn-arounds + reply.
+  const tags::Tag* poll_slot(std::span<const tags::Tag* const> responders,
+                             const tags::Tag* expected);
+
+  /// A reply phase appended to an already-transmitted reader frame with no
+  /// QueryRep of its own (coded polling's second responder).
+  const tags::Tag* await_extra_reply(
+      std::span<const tags::Tag* const> responders, const tags::Tag* expected);
+
+  /// A poll the reader issues that no tag can answer (register
+  /// desynchronized by an earlier unframed downlink corruption): the
+  /// vector, QueryRep and both turn-arounds elapse, nothing decodes. The
+  /// vector bits still count into w — the reader transmitted them.
+  void poll_unanswered(std::size_t vector_bits);
+
+  // --- Frame slots (ALOHA-family baselines) ---------------------------------
+
+  /// A frame slot the reader expects to be empty (MIC's wasted slots).
+  /// Throws ProtocolError if any tag answers. With `full_duration` the
+  /// reader waits out the entire fixed-length slot (QueryRep, turn-arounds
+  /// and the reply airtime) — the slotted-frame accounting under which the
+  /// published MIC numbers reproduce; without it only the QueryRep and
+  /// turn-arounds elapse (early empty-slot termination).
+  void expect_empty_slot(std::span<const tags::Tag* const> responders,
+                         bool full_duration = false);
+
+  /// A frame slot whose outcome is not predetermined (classic framed-slotted
+  /// ALOHA): empty, singleton (collected), or collision (airtime wasted).
+  air::SlotResult frame_slot_aloha(
+      std::span<const tags::Tag* const> responders);
+
+  /// A 1-bit presence slot (missing-tag detection protocols): the reader
+  /// only senses whether any energy was backscattered. Returns true when at
+  /// least one tag replied; collisions are indistinguishable from single
+  /// replies and equally useful. No payload is collected.
+  bool presence_slot(std::span<const tags::Tag* const> responders);
+
+  // --- Recovery-phase attribution -------------------------------------------
+
+  /// While the flag is set every phase increment — vector, turn-around,
+  /// reply, timeout — is attributed to obs::Phase::kRecovery and every poll
+  /// counts as a retry; the clock itself advances exactly as it would
+  /// outside a recovery phase. Toggled by the session on behalf of
+  /// fault::RecoveryCoordinator::Scope; never nested.
+  void set_in_recovery(bool value) noexcept { in_recovery_ = value; }
+  [[nodiscard]] bool in_recovery() const noexcept { return in_recovery_; }
+
+  /// Phase attribution honouring an open recovery phase: inside one, the
+  /// whole increment lands in kRecovery regardless of `phase`. Public so
+  /// the session's AirtimeSink forwards downlink phase charges through the
+  /// same recovery-aware gate.
+  void add_phase(obs::Phase phase, double delta_us) noexcept {
+    metrics_.phases.add(in_recovery_ ? obs::Phase::kRecovery : phase,
+                        delta_us);
+  }
+
+  /// Builds and emits one trace event stamped with the current clock and
+  /// round/circle counters. Callers must have applied the metric updates
+  /// first and must guard on config().tracer themselves (keeps the disabled
+  /// path to one branch).
+  void trace_event(obs::EventKind kind, double duration_us,
+                   std::uint64_t vector_bits, std::uint64_t command_bits,
+                   std::uint64_t tag_bits, double reader_us, double tag_us,
+                   std::uint64_t detail = 0);
+
+ private:
+  const tags::Tag* complete_reply(
+      std::span<const tags::Tag* const> responders, const tags::Tag* expected,
+      double reader_time_us);
+
+  /// Accounting for a poll whose unframed vector was corrupted in flight:
+  /// the addressed tag never decoded its index, so the reader waits out the
+  /// turn-arounds in silence. Sets last_failure_ = kDownlinkCorrupted.
+  void downlink_corrupt_timeout(double reader_time_us);
+
+  const SessionConfig& config_;
+  Xoshiro256ss& rng_;
+  air::Channel& channel_;
+  fault::FaultInjector& injector_;
+  phy::Downlink& downlink_;
+  Metrics& metrics_;
+  std::vector<CollectedRecord>& records_;
+  std::vector<TagId>& missing_ids_;
+  bool in_recovery_ = false;
+  PollFailure last_failure_ = PollFailure::kNone;
+};
+
+}  // namespace rfid::sim

@@ -1,19 +1,11 @@
 #include "sim/session.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <string>
+#include <utility>
 
 #include "common/error.hpp"
 
 namespace rfid::sim {
-
-// Accounting discipline: every site computes its clock increment as a named
-// `dt` built from the exact expression the metrics always used (evaluation
-// order preserved, so seeded runs are byte-identical to the pre-tracing
-// code), adds it once to metrics_.time_us, splits it across phases, and —
-// only behind a branch on the null tracer pointer — emits one trace event
-// whose duration_us is that same double. A trace therefore replays into the
-// Metrics totals exactly (see docs/observability.md).
 
 namespace {
 /// Domain-separation index for the fault injector's RNG stream: far outside
@@ -26,7 +18,10 @@ Session::Session(const tags::TagPopulation& population, SessionConfig config)
     : population_(&population),
       config_(std::move(config)),
       rng_(config_.seed),
-      injector_(config_.fault, derive_seed(config_.seed, kFaultStreamIndex)) {
+      injector_(config_.fault, derive_seed(config_.seed, kFaultStreamIndex)),
+      downlink_(config_.timing, config_.framing, injector_, *this),
+      air_(config_, rng_, channel_, injector_, downlink_, metrics_, records_,
+           missing_ids_) {
   // A recovery policy with no mop-up passes can never consume any retry
   // budget, so an absent tag would be rescheduled forever; reject the
   // configuration up front instead of spinning until the round cap trips.
@@ -34,305 +29,12 @@ Session::Session(const tags::TagPopulation& population, SessionConfig config)
   if (config_.keep_records) records_.reserve(population.size());
 }
 
-void Session::trace_event(obs::EventKind kind, double duration_us,
-                          std::uint64_t vector_bits,
-                          std::uint64_t command_bits, std::uint64_t tag_bits,
-                          double reader_us, double tag_us,
-                          std::uint64_t detail) {
-  obs::Event event;
-  event.kind = kind;
-  event.round = metrics_.rounds;
-  event.circle = metrics_.circles;
-  event.vector_bits = vector_bits;
-  event.command_bits = command_bits;
-  event.tag_bits = tag_bits;
-  event.time_us = metrics_.time_us;
-  event.duration_us = duration_us;
-  event.reader_us = reader_us;
-  event.tag_us = tag_us;
-  event.detail = detail;
-  config_.tracer->emit(event);
-}
-
-void Session::broadcast_vector_bits(std::size_t bits) {
-  const double dt = config_.timing.reader_tx_us(bits);
-  metrics_.vector_bits += bits;
-  metrics_.time_us += dt;
-  add_phase(obs::Phase::kReaderVector, dt);
-  if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kReaderBroadcast, dt, bits, 0, 0, dt, 0.0);
-}
-
-void Session::broadcast_command_bits(std::size_t bits) {
-  const double dt = config_.timing.reader_tx_us(bits);
-  metrics_.command_bits += bits;
-  metrics_.time_us += dt;
-  add_phase(obs::Phase::kCommand, dt);
-  if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kReaderBroadcast, dt, 0, bits, 0, dt, 0.0);
-}
-
-bool Session::is_present(const TagId& id) const noexcept {
-  return (config_.present == nullptr || config_.present->contains(id)) &&
-         injector_.present(id);
-}
-
-const tags::Tag* Session::complete_reply(
-    std::span<const tags::Tag* const> responders, const tags::Tag* expected,
-    double reader_time_us) {
-  if (in_recovery_) ++metrics_.retries;
-  const air::SlotResult slot = channel_.arbitrate(responders);
-  if (slot.outcome == air::SlotOutcome::kEmpty && expected != nullptr &&
-      !is_present(expected->id())) {
-    // The addressed tag is physically absent: the reader waits out the
-    // turn-arounds, decodes nothing, and flags the tag missing. Under a
-    // recovery policy the verdict is deferred — the tag may churn back into
-    // the field — so the per-poll missing record is suppressed and the
-    // protocol's tracker decides between re-poll and undelivered.
-    const double dt =
-        reader_time_us + config_.timing.t1_us + config_.timing.t2_us;
-    metrics_.time_us += dt;
-    add_phase(obs::Phase::kWastedSlot, dt);
-    ++metrics_.missing;
-    ++metrics_.slots_total;
-    ++metrics_.slots_wasted;
-    if (config_.keep_records && !config_.recovery.enabled)
-      missing_ids_.push_back(expected->id());
-    if (config_.tracer != nullptr)
-      trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_time_us, 0.0);
-    last_failure_ = PollFailure::kAbsent;
-    return nullptr;
-  }
-  if (slot.outcome != air::SlotOutcome::kSingleton) {
-    throw ProtocolError(
-        "poll did not elicit exactly one reply (responders: " +
-        std::to_string(slot.responder_count) + ")");
-  }
-  if (expected != nullptr && slot.responder != expected) {
-    throw ProtocolError("responding tag differs from the reader's target: " +
-                        slot.responder->id().to_hex() + " vs " +
-                        expected->id().to_hex());
-  }
-  const double tag_us = config_.timing.tag_tx_us(config_.info_bits);
-  // Decode-error decision. The legacy Bernoulli knob draws from the session
-  // stream exactly as it always has; the structured link models draw from
-  // the injector's private stream, so enabling them (or leaving everything
-  // off) does not perturb the session's own sequence of draws.
-  bool garbled = config_.reply_error_rate > 0.0 &&
-                 rng_.bernoulli(config_.reply_error_rate);
-  if (!garbled && injector_.link_active()) garbled = injector_.corrupt_reply();
-  if (garbled) {
-    // Reply garbled in flight: the full interaction airtime is spent, the
-    // PHY CRC rejects the decode, and with no ACK the tag stays awake for
-    // a later round.
-    const double dt = reader_time_us + config_.timing.t1_us +
-                      config_.timing.tag_tx_us(config_.info_bits) +
-                      config_.timing.t2_us;
-    metrics_.time_us += dt;
-    add_phase(obs::Phase::kWastedSlot, dt);
-    ++metrics_.corrupted;
-    ++metrics_.slots_total;
-    ++metrics_.slots_wasted;
-    if (config_.tracer != nullptr)
-      trace_event(obs::EventKind::kCorrupted, dt, 0, 0, 0, reader_time_us,
-                  tag_us);
-    last_failure_ = PollFailure::kGarbledReply;
-    return nullptr;
-  }
-  const double dt = reader_time_us + config_.timing.t1_us +
-                    config_.timing.tag_tx_us(config_.info_bits) +
-                    config_.timing.t2_us;
-  metrics_.time_us += dt;
-  add_phase(obs::Phase::kReaderVector, reader_time_us);
-  add_phase(obs::Phase::kTurnaround,
-            config_.timing.t1_us + config_.timing.t2_us);
-  add_phase(obs::Phase::kTagReply, tag_us);
-  metrics_.tag_bits += config_.info_bits;
-  ++metrics_.polls;
-  ++metrics_.slots_total;
-  ++metrics_.slots_useful;
-  if (config_.keep_records) {
-    records_.push_back(
-        CollectedRecord{slot.responder->id(),
-                        slot.responder->reply_payload(config_.info_bits)});
-  }
-  if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kReply, dt, 0, 0, config_.info_bits,
-                reader_time_us, tag_us);
-  last_failure_ = PollFailure::kNone;
-  return slot.responder;
-}
-
-const tags::Tag* Session::poll(std::span<const tags::Tag* const> responders,
-                               const tags::Tag* expected,
-                               std::size_t vector_bits) {
-  if (config_.framing.enabled && vector_bits > 0) {
-    // The vector travels through the framed downlink (its own bit and time
-    // accounting); the poll itself then carries only the QueryRep.
-    if (!broadcast_framed(vector_bits, /*count_in_w=*/true)) {
-      last_failure_ = PollFailure::kDownlinkExhausted;
-      return nullptr;
-    }
-    if (config_.tracer != nullptr)
-      trace_event(obs::EventKind::kPoll, 0.0, 0, 0, 0, 0.0, 0.0);
-    return complete_reply(
-        responders, expected,
-        config_.timing.reader_tx_us(config_.timing.query_rep_bits));
-  }
-  metrics_.vector_bits += vector_bits;
-  if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
-  const double reader_us = config_.timing.reader_tx_us(
-      config_.timing.query_rep_bits + vector_bits);
-  if (unframed_downlink_corrupts(vector_bits)) {
-    downlink_corrupt_timeout(reader_us);
-    return nullptr;
-  }
-  return complete_reply(responders, expected, reader_us);
-}
-
-const tags::Tag* Session::poll_bare(
-    std::span<const tags::Tag* const> responders, const tags::Tag* expected,
-    std::size_t vector_bits) {
-  if (config_.framing.enabled && vector_bits > 0) {
-    if (!broadcast_framed(vector_bits, /*count_in_w=*/true)) {
-      last_failure_ = PollFailure::kDownlinkExhausted;
-      return nullptr;
-    }
-    if (config_.tracer != nullptr)
-      trace_event(obs::EventKind::kPoll, 0.0, 0, 0, 0, 0.0, 0.0);
-    return complete_reply(responders, expected, /*reader_time_us=*/0.0);
-  }
-  metrics_.vector_bits += vector_bits;
-  if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
-  const double reader_us = config_.timing.reader_tx_us(vector_bits);
-  if (unframed_downlink_corrupts(vector_bits)) {
-    downlink_corrupt_timeout(reader_us);
-    return nullptr;
-  }
-  return complete_reply(responders, expected, reader_us);
-}
-
-bool Session::unframed_downlink_corrupts(std::size_t vector_bits) {
-  if (vector_bits == 0 || !injector_.ber_active()) return false;
-  ++downlink_attempts_;
-  downlink_attempt_bits_ += vector_bits;
-  if (!injector_.corrupt_downlink(vector_bits)) return false;
-  ++downlink_failures_;
-  return true;
-}
-
-void Session::downlink_corrupt_timeout(double reader_time_us) {
-  if (in_recovery_) ++metrics_.retries;
-  const double dt =
-      reader_time_us + config_.timing.t1_us + config_.timing.t2_us;
-  metrics_.time_us += dt;
-  add_phase(obs::Phase::kWastedSlot, dt);
-  ++metrics_.downlink_corrupted;
-  ++metrics_.slots_total;
-  ++metrics_.slots_wasted;
-  if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_time_us, 0.0,
-                /*detail=*/1);
-  last_failure_ = PollFailure::kDownlinkCorrupted;
-}
-
-void Session::poll_unanswered(std::size_t vector_bits) {
-  metrics_.vector_bits += vector_bits;
-  if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kPoll, 0.0, vector_bits, 0, 0, 0.0, 0.0);
-  const double reader_us = config_.timing.reader_tx_us(
-      config_.timing.query_rep_bits + vector_bits);
-  const double dt = reader_us + config_.timing.t1_us + config_.timing.t2_us;
-  metrics_.time_us += dt;
-  add_phase(obs::Phase::kWastedSlot, dt);
-  ++metrics_.slots_total;
-  ++metrics_.slots_wasted;
-  if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kTimeout, dt, 0, 0, 0, reader_us, 0.0,
-                /*detail=*/2);
-}
-
-bool Session::broadcast_framed(std::size_t payload_bits, bool count_in_w) {
-  RFID_EXPECTS(config_.framing.enabled);
-  const phy::FramingConfig& framing = config_.framing;
-  RFID_EXPECTS(framing.segment_payload_bits >= 1);
-  const unsigned max_attempts = 1 + framing.max_retransmissions;
-  std::size_t remaining = payload_bits;
-  std::uint64_t seq = 0;
-  while (remaining > 0) {
-    const std::size_t seg =
-        std::min<std::size_t>(remaining, framing.segment_payload_bits);
-    const std::size_t frame_bits = seg + phy::kSegmentOverheadBits;
-    bool delivered = false;
-    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
-      if (attempt == 1) {
-        // First attempt: payload accounted as the unframed broadcast would
-        // have been, the <seq><crc16> wrapper as command overhead.
-        const double dt = config_.timing.reader_tx_us(frame_bits);
-        const double payload_us = config_.timing.reader_tx_us(seg);
-        if (count_in_w)
-          metrics_.vector_bits += seg;
-        else
-          metrics_.command_bits += seg;
-        metrics_.command_bits += phy::kSegmentOverheadBits;
-        metrics_.framing_overhead_bits += phy::kSegmentOverheadBits;
-        ++metrics_.segments_sent;
-        metrics_.time_us += dt;
-        add_phase(count_in_w ? obs::Phase::kReaderVector : obs::Phase::kCommand,
-                  payload_us);
-        add_phase(obs::Phase::kCommand, dt - payload_us);
-        if (config_.tracer != nullptr)
-          trace_event(obs::EventKind::kReaderBroadcast, dt,
-                      count_in_w ? seg : 0,
-                      (count_in_w ? 0 : seg) + phy::kSegmentOverheadBits, 0,
-                      dt, 0.0, seq);
-      } else {
-        // Retransmission: exponential backoff, then the whole frame again.
-        // Everything here is corruption-recovery cost — bits land in
-        // command/framing overhead, time in obs::Phase::kRecovery.
-        const double tx_us = config_.timing.reader_tx_us(frame_bits);
-        const double dt = framing.backoff_us(attempt - 1) + tx_us;
-        metrics_.command_bits += frame_bits;
-        metrics_.framing_overhead_bits += frame_bits;
-        ++metrics_.segments_retransmitted;
-        metrics_.time_us += dt;
-        metrics_.phases.add(obs::Phase::kRecovery, dt);
-        if (config_.tracer != nullptr)
-          trace_event(obs::EventKind::kReaderBroadcast, dt, 0, frame_bits, 0,
-                      tx_us, 0.0, seq);
-      }
-      ++downlink_attempts_;
-      downlink_attempt_bits_ += frame_bits;
-      if (!injector_.corrupt_downlink(frame_bits)) {
-        delivered = true;
-        break;
-      }
-      ++downlink_failures_;
-      ++metrics_.segments_corrupted;
-      // The reader learns of the CRC failure from the tags' NACK burst in
-      // the T1 listen window that follows every segment of a corrupted
-      // frame; recovery cost, like the retransmission it triggers.
-      const double listen_us = config_.timing.t1_us;
-      metrics_.time_us += listen_us;
-      metrics_.phases.add(obs::Phase::kRecovery, listen_us);
-      if (config_.tracer != nullptr)
-        trace_event(obs::EventKind::kSegmentCorrupted, listen_us, 0, 0, 0,
-                    0.0, 0.0, seq);
-    }
-    if (!delivered) return false;
-    remaining -= seg;
-    seq = (seq + 1) & 0xF;
-  }
-  return true;
-}
-
 analysis::PollingTier Session::degradation_tier(std::size_t active_count) {
   if (!config_.degradation.enabled) return tier_;
-  if (downlink_attempts_ < config_.degradation.min_observations) return tier_;
+  if (downlink_.attempts() < config_.degradation.min_observations)
+    return tier_;
   analysis::ChannelModel channel;
-  channel.ber = estimated_ber();
+  channel.ber = downlink_.estimated_ber();
   channel.segment_payload_bits = config_.framing.segment_payload_bits;
   channel.max_attempts = 1 + config_.framing.max_retransmissions;
   const analysis::PollingTier next = analysis::select_tier(
@@ -340,138 +42,12 @@ analysis::PollingTier Session::degradation_tier(std::size_t active_count) {
   if (next != tier_) {
     ++metrics_.degradations;
     if (config_.tracer != nullptr)
-      trace_event(obs::EventKind::kDegrade, 0.0, 0, 0, 0, 0.0, 0.0,
-                  (static_cast<std::uint64_t>(tier_) << 8) |
-                      static_cast<std::uint64_t>(next));
+      air_.trace_event(obs::EventKind::kDegrade, 0.0, 0, 0, 0, 0.0, 0.0,
+                       (static_cast<std::uint64_t>(tier_) << 8) |
+                           static_cast<std::uint64_t>(next));
     tier_ = next;
   }
   return tier_;
-}
-
-double Session::estimated_ber() const noexcept {
-  if (downlink_attempts_ == 0 || downlink_failures_ == 0) return 0.0;
-  const double p_corrupt = static_cast<double>(downlink_failures_) /
-                           static_cast<double>(downlink_attempts_);
-  const double avg_bits = static_cast<double>(downlink_attempt_bits_) /
-                          static_cast<double>(downlink_attempts_);
-  if (p_corrupt >= 1.0) return 1.0;
-  // Invert P(frame corrupt) = 1 - (1 - ber)^bits at the mean frame length.
-  return 1.0 - std::pow(1.0 - p_corrupt, 1.0 / avg_bits);
-}
-
-const tags::Tag* Session::poll_slot(
-    std::span<const tags::Tag* const> responders, const tags::Tag* expected) {
-  if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kPoll, 0.0, 0, 0, 0, 0.0, 0.0);
-  return complete_reply(
-      responders, expected,
-      config_.timing.reader_tx_us(config_.timing.query_rep_bits));
-}
-
-const tags::Tag* Session::await_extra_reply(
-    std::span<const tags::Tag* const> responders, const tags::Tag* expected) {
-  return complete_reply(responders, expected, /*reader_time_us=*/0.0);
-}
-
-void Session::expect_empty_slot(
-    std::span<const tags::Tag* const> responders, bool full_duration) {
-  const air::SlotResult slot = channel_.arbitrate(responders);
-  if (slot.outcome != air::SlotOutcome::kEmpty) {
-    throw ProtocolError("slot marked wasted was answered by " +
-                        std::to_string(slot.responder_count) + " tag(s)");
-  }
-  const double dt = full_duration
-                        ? config_.timing.poll_us(0, config_.info_bits)
-                        : config_.timing.idle_slot_us();
-  metrics_.time_us += dt;
-  add_phase(obs::Phase::kWastedSlot, dt);
-  ++metrics_.slots_total;
-  ++metrics_.slots_wasted;
-  if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kSlotEmpty, dt, 0, 0, 0, 0.0, 0.0);
-}
-
-air::SlotResult Session::frame_slot_aloha(
-    std::span<const tags::Tag* const> responders) {
-  air::SlotResult slot = channel_.arbitrate(responders);
-  if (slot.outcome == air::SlotOutcome::kCollision &&
-      config_.capture_probability > 0.0 &&
-      rng_.bernoulli(config_.capture_probability)) {
-    // Capture effect: one reply dominates the superposition and decodes.
-    // The "strongest" tag is drawn uniformly (the simulator has no power
-    // model); the losers stay unread, exactly as if they had been silent.
-    slot.outcome = air::SlotOutcome::kSingleton;
-    slot.responder = responders[rng_.below(responders.size())];
-  }
-  bool slot_garbled = false;
-  if (slot.outcome == air::SlotOutcome::kSingleton) {
-    slot_garbled = config_.reply_error_rate > 0.0 &&
-                   rng_.bernoulli(config_.reply_error_rate);
-    if (!slot_garbled && injector_.link_active())
-      slot_garbled = injector_.corrupt_reply();
-  }
-  if (slot_garbled) {
-    // A garbled singleton wastes the slot exactly like a collision.
-    slot.decoded = false;
-    const double dt = config_.timing.collision_slot_us(config_.info_bits);
-    metrics_.time_us += dt;
-    add_phase(obs::Phase::kWastedSlot, dt);
-    ++metrics_.corrupted;
-    ++metrics_.slots_total;
-    ++metrics_.slots_wasted;
-    if (config_.tracer != nullptr)
-      trace_event(obs::EventKind::kCorrupted, dt, 0, 0, 0, 0.0,
-                  config_.timing.tag_tx_us(config_.info_bits));
-    return slot;
-  }
-  switch (slot.outcome) {
-    case air::SlotOutcome::kEmpty: {
-      const double dt = config_.timing.idle_slot_us();
-      metrics_.time_us += dt;
-      add_phase(obs::Phase::kWastedSlot, dt);
-      ++metrics_.slots_total;
-      ++metrics_.slots_wasted;
-      if (config_.tracer != nullptr)
-        trace_event(obs::EventKind::kSlotEmpty, dt, 0, 0, 0, 0.0, 0.0);
-      break;
-    }
-    case air::SlotOutcome::kCollision: {
-      const double dt =
-          config_.timing.collision_slot_us(config_.info_bits);
-      metrics_.time_us += dt;
-      add_phase(obs::Phase::kWastedSlot, dt);
-      ++metrics_.slots_total;
-      ++metrics_.slots_wasted;
-      if (config_.tracer != nullptr)
-        trace_event(obs::EventKind::kSlotCollision, dt, 0, 0, 0, 0.0, 0.0);
-      break;
-    }
-    case air::SlotOutcome::kSingleton: {
-      const double dt = config_.timing.poll_us(0, config_.info_bits);
-      const double reader_us =
-          config_.timing.reader_tx_us(config_.timing.query_rep_bits);
-      const double tag_us = config_.timing.tag_tx_us(config_.info_bits);
-      metrics_.time_us += dt;
-      add_phase(obs::Phase::kReaderVector, reader_us);
-      add_phase(obs::Phase::kTurnaround,
-                config_.timing.t1_us + config_.timing.t2_us);
-      add_phase(obs::Phase::kTagReply, tag_us);
-      metrics_.tag_bits += config_.info_bits;
-      ++metrics_.polls;
-      ++metrics_.slots_total;
-      ++metrics_.slots_useful;
-      if (config_.keep_records) {
-        records_.push_back(
-            CollectedRecord{slot.responder->id(),
-                            slot.responder->reply_payload(config_.info_bits)});
-      }
-      if (config_.tracer != nullptr)
-        trace_event(obs::EventKind::kReply, dt, 0, 0, config_.info_bits,
-                    reader_us, tag_us);
-      break;
-    }
-  }
-  return slot;
 }
 
 void Session::begin_round() {
@@ -483,46 +59,13 @@ void Session::begin_round() {
                                    metrics_.phases});
   }
   if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kRoundBegin, 0.0, 0, 0, 0, 0.0, 0.0);
+    air_.trace_event(obs::EventKind::kRoundBegin, 0.0, 0, 0, 0, 0.0, 0.0);
 }
 
 void Session::begin_circle() {
   ++metrics_.circles;
   if (config_.tracer != nullptr)
-    trace_event(obs::EventKind::kCircleBegin, 0.0, 0, 0, 0, 0.0, 0.0);
-}
-
-bool Session::presence_slot(std::span<const tags::Tag* const> responders) {
-  const air::SlotResult slot = channel_.arbitrate(responders);
-  const bool busy = slot.outcome != air::SlotOutcome::kEmpty;
-  // Energy sensing: a busy slot carries one bit of backscatter; an empty
-  // slot only the turn-arounds. Noise is irrelevant at this granularity —
-  // the reader detects power, not payload.
-  const double reader_us =
-      config_.timing.reader_tx_us(config_.timing.query_rep_bits);
-  const double dt =
-      config_.timing.reader_tx_us(config_.timing.query_rep_bits) +
-      config_.timing.t1_us + (busy ? config_.timing.tag_tx_us(1) : 0.0) +
-      config_.timing.t2_us;
-  metrics_.time_us += dt;
-  if (busy) {
-    add_phase(obs::Phase::kReaderVector, reader_us);
-    add_phase(obs::Phase::kTurnaround,
-              config_.timing.t1_us + config_.timing.t2_us);
-    add_phase(obs::Phase::kTagReply, config_.timing.tag_tx_us(1));
-    metrics_.tag_bits += slot.responder_count;
-  } else {
-    add_phase(obs::Phase::kWastedSlot, dt);
-  }
-  ++metrics_.slots_total;
-  if (config_.tracer != nullptr) {
-    if (busy)
-      trace_event(obs::EventKind::kReply, dt, 0, 0, slot.responder_count,
-                  reader_us, config_.timing.tag_tx_us(1));
-    else
-      trace_event(obs::EventKind::kSlotEmpty, dt, 0, 0, 0, reader_us, 0.0);
-  }
-  return busy;
+    air_.trace_event(obs::EventKind::kCircleBegin, 0.0, 0, 0, 0, 0.0, 0.0);
 }
 
 void Session::mark_undelivered(const TagId& id) {

@@ -1,150 +1,41 @@
 // A polling session: one protocol execution against one tag population.
 //
-// The Session owns the per-run mutable state — RNG stream, channel, metrics,
-// collected records — and exposes the reader's physical primitives
-// (broadcast, poll, frame slots) with the C1G2 timing model applied. A
-// protocol implementation is then a pure algorithm over these primitives.
+// The Session is the composition root of the simulation stack. It owns the
+// per-run mutable state — RNG stream, channel, metrics, collected records —
+// and wires together the layered components that do the actual work:
+//
+//   phy::Downlink   — reader broadcasts, CRC framing, retransmission ladder
+//   sim::AirLoop    — poll/reply/turn-around primitives, slot variants
+//   (protocols::RoundEngine and fault::RecoveryCoordinator sit above, in
+//    their own layers, and reach the session through its narrow surface)
+//
+// The Session itself keeps only the cross-cutting concerns: run lifecycle
+// (rounds/circles/finish), adaptive degradation, and the two interfaces the
+// lower/upper layers report through — phy::AirtimeSink (downlink bit and
+// airtime accounting) and fault::RecoveryHost (recovery-phase attribution
+// and undelivered reporting). A protocol implementation is then a pure
+// algorithm over session.air() and session.downlink().
+// See docs/architecture.md for the layer diagram and charging rules.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "air/channel.hpp"
 #include "analysis/degradation.hpp"
-#include "common/bitvec.hpp"
 #include "common/rng.hpp"
-#include "fault/fault_model.hpp"
 #include "fault/injector.hpp"
-#include "obs/trace.hpp"
-#include "phy/c1g2.hpp"
-#include "phy/framing.hpp"
-#include "sim/metrics.hpp"
+#include "fault/recovery.hpp"
+#include "phy/downlink.hpp"
+#include "sim/air_loop.hpp"
+#include "sim/session_types.hpp"
 #include "tags/population.hpp"
 
 namespace rfid::sim {
 
-/// Why the last poll returned no tag. Protocols branch on this to decide
-/// between rescheduling (the tag is awake and reachable), recovery parking,
-/// and loud abandonment.
-enum class PollFailure : std::uint8_t {
-  kNone,               ///< last poll succeeded
-  kAbsent,             ///< addressed tag is outside the field (timeout)
-  kGarbledReply,       ///< uplink reply corrupted; tag stays awake
-  kDownlinkCorrupted,  ///< unframed vector hit by BER; tag never addressed
-  kDownlinkExhausted,  ///< framed vector undeliverable within retry budget
-};
-
-/// Adaptive protocol-degradation policy (the TPP -> EHPP -> HPP ladder of
-/// analysis/degradation.hpp). Evaluated by protocols that opt in (ADAPT)
-/// through Session::degradation_tier; pure math on observed corruption
-/// statistics, so an enabled policy never perturbs the RNG streams and is a
-/// strict no-op at BER 0.
-struct DegradationConfig final {
-  bool enabled = false;
-  /// Downlink corruption observations (framed attempts or unframed BER
-  /// draws) required before the estimate is trusted.
-  std::uint64_t min_observations = 16;
-  /// Cost advantage a lower tier must show before the session downgrades
-  /// (guards against estimate noise; see analysis::select_tier).
-  double hysteresis = 1.05;
-};
-
-/// Per-run configuration shared by all protocols.
-struct SessionConfig final {
-  std::size_t info_bits = 1;     ///< l: payload bits collected per tag
-  std::uint64_t seed = 1;        ///< master seed; identical seeds replay
-  phy::C1G2Timing timing{};      ///< air-interface timing model
-  bool keep_records = true;      ///< store per-tag collected payloads
-  std::size_t max_rounds = 1u << 20;  ///< safety cap against livelock
-  /// Tags physically in the interrogation zone; nullptr means all of them.
-  /// With a subset, polls addressed to absent tags time out empty and the
-  /// tag is reported missing — the paper's anti-theft use case (Section I).
-  /// Not owned; must outlive the run.
-  const std::unordered_set<TagId, TagIdHash>* present = nullptr;
-  /// Probability that a tag's reply is garbled in flight (detected by the
-  /// reader's PHY CRC). The airtime is spent but nothing is decoded; under
-  /// C1G2 the unacknowledged tag stays awake, so polling protocols simply
-  /// catch it in a later round. 0 models the paper's clean channel.
-  double reply_error_rate = 0.0;
-  /// Capture effect: probability that a collision slot still decodes as
-  /// the strongest single reply (a real UHF phenomenon; helps the ALOHA
-  /// family, irrelevant to polling which never collides). Applies to
-  /// frame_slot_aloha only.
-  double capture_probability = 0.0;
-  /// Record a per-round snapshot trace in the result (diagnostics/plots).
-  bool keep_trace = false;
-  /// Event tracer receiving one typed event per air-interface action (see
-  /// obs/trace.hpp). Not owned; must outlive the run. Null disables tracing
-  /// entirely — the hot-path cost is a single branch on this pointer, and
-  /// seeded runs stay byte-identical with or without it.
-  obs::Tracer* tracer = nullptr;
-  /// Structured fault plan (burst-error link model, tag-churn schedule).
-  /// Executed by a fault::FaultInjector on a dedicated RNG stream derived
-  /// from `seed`; the default (disabled) plan draws nothing and leaves
-  /// seeded runs byte-identical to builds without the fault layer. See
-  /// docs/fault_injection.md.
-  fault::FaultConfig fault{};
-  /// Reader-side recovery policy (bounded re-polls, end-of-round mop-up).
-  /// Honoured by the hash-polling family (HPP/EHPP/TPP); retry airtime is
-  /// charged to obs::Phase::kRecovery and budget-exhausted tags land in
-  /// RunResult::undelivered_ids instead of missing_ids.
-  fault::RecoveryConfig recovery{};
-  /// CRC-framed segmented broadcast (see phy/framing.hpp). Off by default:
-  /// the unframed path is bit-identical to older builds. When enabled,
-  /// polling vectors and the TPP tree travel as CRC-16-trailed segments
-  /// with bounded retransmission, making downlink corruption detectable
-  /// per segment instead of desynchronizing whole rounds.
-  phy::FramingConfig framing{};
-  /// Adaptive TPP -> EHPP -> HPP degradation policy (see above).
-  DegradationConfig degradation{};
-};
-
-/// Cumulative snapshot taken at the start of each round/frame.
-struct RoundSnapshot final {
-  std::uint64_t round = 0;
-  std::uint64_t polls_so_far = 0;
-  std::uint64_t vector_bits_so_far = 0;
-  double time_us_so_far = 0.0;
-  /// Per-phase split of time_us_so_far (cumulative, like the other fields).
-  obs::PhaseBreakdown phases_so_far{};
-};
-
-/// One collected (tag, payload) pair.
-struct CollectedRecord final {
-  TagId id{};
-  BitVec payload{};
-};
-
-/// Outcome of a protocol run.
-struct RunResult final {
-  std::string protocol;
-  std::size_t population = 0;
-  Metrics metrics{};
-  air::ChannelStats channel{};
-  std::vector<CollectedRecord> records;
-  std::vector<TagId> missing_ids;  ///< expected tags that never replied
-  /// Tags the recovery policy gave up on (retry budget exhausted), in the
-  /// order they were abandoned. Disjoint from records and missing_ids.
-  std::vector<TagId> undelivered_ids;
-  std::vector<RoundSnapshot> trace;  ///< filled when keep_trace is set
-  /// True when the run was configured with a fault plan or recovery policy;
-  /// report/trace writers emit the extra fault columns only in that case,
-  /// keeping zero-fault output byte-identical to older builds.
-  bool fault_layer = false;
-
-  [[nodiscard]] double avg_vector_bits() const noexcept {
-    return metrics.avg_vector_bits();
-  }
-  [[nodiscard]] double exec_time_s() const noexcept {
-    return metrics.exec_time_s();
-  }
-};
-
-class Session final {
+class Session final : private phy::AirtimeSink, public fault::RecoveryHost {
  public:
   Session(const tags::TagPopulation& population, SessionConfig config);
 
@@ -156,128 +47,39 @@ class Session final {
   [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
 
-  // --- Reader transmissions -------------------------------------------------
+  // --- Layered components ---------------------------------------------------
 
-  /// Broadcasts `bits` reader bits that the paper counts into w.
-  void broadcast_vector_bits(std::size_t bits);
+  /// Poll/reply/turn-around primitives (polls, frame slots, presence slots).
+  [[nodiscard]] AirLoop& air() noexcept { return air_; }
 
-  /// Broadcasts `bits` reader bits outside the w accounting (round/circle
-  /// initialization, framing fields).
-  void broadcast_command_bits(std::size_t bits);
+  /// Reader-to-tag broadcasts: unframed bit accounting and the CRC-framed
+  /// retransmission ladder.
+  [[nodiscard]] phy::Downlink& downlink() noexcept { return downlink_; }
 
   [[nodiscard]] bool framing_enabled() const noexcept {
-    return config_.framing.enabled;
+    return downlink_.framing_enabled();
   }
-
-  /// Pushes `payload_bits` through the CRC-framed segmented downlink:
-  /// splits into segments of at most framing.segment_payload_bits, wraps
-  /// each in the 20-bit <seq><crc16> frame, and retransmits corrupted
-  /// segments with exponential backoff up to framing.max_retransmissions
-  /// times. First-attempt payload bits are counted into vector_bits when
-  /// `count_in_w` (else command_bits); all framing overhead and every
-  /// retransmission land in command_bits + framing_overhead_bits, with
-  /// retransmission airtime charged to obs::Phase::kRecovery. Returns false
-  /// when any segment stayed corrupt through its whole attempt budget — the
-  /// payload was NOT delivered and the caller must handle the affected tags
-  /// loudly (recovery parking or mark_undelivered).
-  [[nodiscard]] bool broadcast_framed(std::size_t payload_bits,
-                                      bool count_in_w);
-
-  /// A poll the reader issues that no tag can answer (register
-  /// desynchronized by an earlier unframed downlink corruption): the
-  /// vector, QueryRep and both turn-arounds elapse, nothing decodes. The
-  /// vector bits still count into w — the reader transmitted them.
-  void poll_unanswered(std::size_t vector_bits);
-
-  // --- Poll interactions ----------------------------------------------------
 
   /// True unless a `present` filter excludes `id` or the fault plan's churn
-  /// schedule currently has it outside the field. Protocols that support
-  /// churn re-evaluate this per poll rather than snapshotting it.
-  [[nodiscard]] bool is_present(const TagId& id) const noexcept;
-
-  /// One complete poll: QueryRep + `vector_bits` vector, turn-arounds, reply.
-  /// `responders` are the tags whose tag-side predicate fired; `expected` is
-  /// the reader's precomputed target. Returns the interrogated tag, or
-  /// nullptr in two recoverable cases: the expected tag is configured
-  /// absent (poll times out; tag recorded missing) or the reply was garbled
-  /// by channel noise (airtime spent; tag stays awake — the caller must
-  /// keep scheduling it). Protocols distinguish the two via the device's
-  /// presence flag. Any other deviation from a singleton reply throws
-  /// ProtocolError.
-  const tags::Tag* poll(std::span<const tags::Tag* const> responders,
-                        const tags::Tag* expected, std::size_t vector_bits);
-
-  /// Why the most recent poll/poll_bare/poll_slot returned nullptr
-  /// (kNone after a success). Valid until the next poll.
-  [[nodiscard]] PollFailure last_poll_failure() const noexcept {
-    return last_failure_;
+  /// schedule currently has it outside the field (see AirLoop::is_present).
+  [[nodiscard]] bool is_present(const TagId& id) const noexcept {
+    return air_.is_present(id);
   }
 
-  /// Conventional-polling variant: bare broadcast without the QueryRep
-  /// prefix (see phy::C1G2Timing::poll_bare_us).
-  const tags::Tag* poll_bare(std::span<const tags::Tag* const> responders,
-                             const tags::Tag* expected,
-                             std::size_t vector_bits);
-
-  /// A reply phase with no further reader vector (the vector or frame
-  /// position was already transmitted): QueryRep + turn-arounds + reply.
-  const tags::Tag* poll_slot(std::span<const tags::Tag* const> responders,
-                             const tags::Tag* expected);
-
-  /// A reply phase appended to an already-transmitted reader frame with no
-  /// QueryRep of its own (coded polling's second responder).
-  const tags::Tag* await_extra_reply(
-      std::span<const tags::Tag* const> responders, const tags::Tag* expected);
-
-  // --- Frame slots (ALOHA-family baselines) ---------------------------------
-
-  /// A frame slot the reader expects to be empty (MIC's wasted slots).
-  /// Throws ProtocolError if any tag answers. With `full_duration` the
-  /// reader waits out the entire fixed-length slot (QueryRep, turn-arounds
-  /// and the reply airtime) — the slotted-frame accounting under which the
-  /// published MIC numbers reproduce; without it only the QueryRep and
-  /// turn-arounds elapse (early empty-slot termination).
-  void expect_empty_slot(std::span<const tags::Tag* const> responders,
-                         bool full_duration = false);
-
-  /// A frame slot whose outcome is not predetermined (classic framed-slotted
-  /// ALOHA): empty, singleton (collected), or collision (airtime wasted).
-  air::SlotResult frame_slot_aloha(
-      std::span<const tags::Tag* const> responders);
-
-  /// A 1-bit presence slot (missing-tag detection protocols): the reader
-  /// only senses whether any energy was backscattered. Returns true when at
-  /// least one tag replied; collisions are indistinguishable from single
-  /// replies and equally useful. No payload is collected.
-  bool presence_slot(std::span<const tags::Tag* const> responders);
-
-  // --- Fault recovery -------------------------------------------------------
+  // --- Fault recovery (fault::RecoveryHost) ---------------------------------
 
   [[nodiscard]] bool recovery_enabled() const noexcept {
     return config_.recovery.enabled;
   }
 
-  /// While a recovery scope is open every phase increment — vector,
-  /// turn-around, reply, timeout — is attributed to obs::Phase::kRecovery
-  /// and every poll counts as a retry; the clock itself advances exactly as
-  /// it would outside the scope. Protocols open one scope around each
-  /// mop-up pass. Scopes must not nest.
-  class RecoveryScope final {
-   public:
-    explicit RecoveryScope(Session& session) noexcept : session_(session) {
-      session_.in_recovery_ = true;
-    }
-    ~RecoveryScope() { session_.in_recovery_ = false; }
-    RecoveryScope(const RecoveryScope&) = delete;
-    RecoveryScope& operator=(const RecoveryScope&) = delete;
-
-   private:
-    Session& session_;
-  };
-
   /// Records that the recovery policy abandoned `id` (budget exhausted).
-  void mark_undelivered(const TagId& id);
+  void mark_undelivered(const TagId& id) override;
+
+  /// Redirects all phase accounting to obs::Phase::kRecovery until the
+  /// matching recovery_phase_end. Driven by fault::RecoveryCoordinator::
+  /// Scope — protocols never call these directly.
+  void recovery_phase_begin() override { air_.set_in_recovery(true); }
+  void recovery_phase_end() override { air_.set_in_recovery(false); }
 
   // --- Adaptive degradation -------------------------------------------------
 
@@ -291,10 +93,6 @@ class Session final {
   [[nodiscard]] analysis::PollingTier degradation_tier(
       std::size_t active_count);
 
-  /// Downlink BER estimate inverted from the observed per-frame corruption
-  /// rate (0 before any observation).
-  [[nodiscard]] double estimated_ber() const noexcept;
-
   // --- Round/circle bookkeeping ---------------------------------------------
 
   void begin_round();
@@ -307,35 +105,39 @@ class Session final {
   [[nodiscard]] RunResult finish(std::string protocol_name);
 
  private:
-  const tags::Tag* complete_reply(
-      std::span<const tags::Tag* const> responders, const tags::Tag* expected,
-      double reader_time_us);
-
-  /// Draws the BER fate of an unframed `vector_bits` downlink (false — and
-  /// no draw — when BER is off), folding the observation into the
-  /// estimated_ber statistics.
-  [[nodiscard]] bool unframed_downlink_corrupts(std::size_t vector_bits);
-
-  /// Accounting for a poll whose unframed vector was corrupted in flight:
-  /// the addressed tag never decoded its index, so the reader waits out the
-  /// turn-arounds in silence. Sets last_failure_ = kDownlinkCorrupted.
-  void downlink_corrupt_timeout(double reader_time_us);
-
-  /// Phase attribution honouring an open recovery scope: inside one, the
-  /// whole increment lands in kRecovery regardless of `phase`.
-  void add_phase(obs::Phase phase, double delta_us) noexcept {
-    metrics_.phases.add(in_recovery_ ? obs::Phase::kRecovery : phase,
-                        delta_us);
+  // --- phy::AirtimeSink (downlink accounting) -------------------------------
+  // Each override mirrors one primitive metric mutation of the pre-split
+  // Session, in the same order the Downlink invokes them, so seeded runs
+  // stay byte-identical across the decomposition.
+  void on_reader_payload_bits(std::uint64_t bits, bool count_in_w) override {
+    if (count_in_w)
+      metrics_.vector_bits += bits;
+    else
+      metrics_.command_bits += bits;
   }
-
-  /// Builds and emits one trace event stamped with the current clock and
-  /// round/circle counters. Callers must have applied the metric updates
-  /// first and must guard on config_.tracer themselves (keeps the disabled
-  /// path to one branch).
-  void trace_event(obs::EventKind kind, double duration_us,
-                   std::uint64_t vector_bits, std::uint64_t command_bits,
-                   std::uint64_t tag_bits, double reader_us, double tag_us,
-                   std::uint64_t detail = 0);
+  void on_framing_overhead_bits(std::uint64_t bits) override {
+    metrics_.command_bits += bits;
+    metrics_.framing_overhead_bits += bits;
+  }
+  void on_segment_sent() override { ++metrics_.segments_sent; }
+  void on_segment_retransmitted() override {
+    ++metrics_.segments_retransmitted;
+  }
+  void on_segment_corrupted() override { ++metrics_.segments_corrupted; }
+  void on_clock_advance(double dt_us) override { metrics_.time_us += dt_us; }
+  void on_phase(obs::Phase phase, double dt_us) override {
+    air_.add_phase(phase, dt_us);
+  }
+  [[nodiscard]] bool tracing() const override {
+    return config_.tracer != nullptr;
+  }
+  void on_trace(obs::EventKind kind, double duration_us,
+                std::uint64_t vector_bits, std::uint64_t command_bits,
+                std::uint64_t tag_bits, double reader_us, double tag_us,
+                std::uint64_t detail) override {
+    air_.trace_event(kind, duration_us, vector_bits, command_bits, tag_bits,
+                     reader_us, tag_us, detail);
+  }
 
   const tags::TagPopulation* population_;
   SessionConfig config_;
@@ -347,13 +149,11 @@ class Session final {
   std::vector<TagId> missing_ids_;
   std::vector<TagId> undelivered_ids_;
   std::vector<RoundSnapshot> trace_;
-  bool in_recovery_ = false;
-  PollFailure last_failure_ = PollFailure::kNone;
   analysis::PollingTier tier_ = analysis::PollingTier::kTpp;
-  // Observed downlink corruption statistics feeding estimated_ber().
-  std::uint64_t downlink_attempts_ = 0;
-  std::uint64_t downlink_attempt_bits_ = 0;
-  std::uint64_t downlink_failures_ = 0;
+  // Layered components; both borrow the members above, so they are
+  // declared (and constructed) last.
+  phy::Downlink downlink_;
+  AirLoop air_;
 };
 
 }  // namespace rfid::sim

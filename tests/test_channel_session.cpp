@@ -47,7 +47,7 @@ TEST(Session, PollAccountsBitsAndTime) {
   config.info_bits = 1;
   Session session(pop, config);
   const Tag* responder = &pop[0];
-  const Tag* polled = session.poll({&responder, 1}, &pop[0], 10);
+  const Tag* polled = session.air().poll({&responder, 1}, &pop[0], 10);
   ASSERT_NE(polled, nullptr);
   EXPECT_EQ(polled, &pop[0]);
   EXPECT_EQ(session.metrics().polls, 1u);
@@ -60,28 +60,28 @@ TEST(Session, PollBareSkipsQueryRep) {
   const auto pop = two_tags();
   Session session(pop, SessionConfig{});
   const Tag* responder = &pop[0];
-  (void)session.poll_bare({&responder, 1}, &pop[0], 96);
+  (void)session.air().poll_bare({&responder, 1}, &pop[0], 96);
   EXPECT_NEAR(session.metrics().time_us, 37.45 * 96 + 175, 1e-9);
 }
 
 TEST(Session, PollEmptyWithoutAbsenceThrows) {
   const auto pop = two_tags();
   Session session(pop, SessionConfig{});
-  EXPECT_THROW((void)session.poll({}, &pop[0], 4), ProtocolError);
+  EXPECT_THROW((void)session.air().poll({}, &pop[0], 4), ProtocolError);
 }
 
 TEST(Session, PollCollisionThrows) {
   const auto pop = two_tags();
   Session session(pop, SessionConfig{});
   const std::array<const Tag*, 2> both{&pop[0], &pop[1]};
-  EXPECT_THROW((void)session.poll(both, &pop[0], 4), ProtocolError);
+  EXPECT_THROW((void)session.air().poll(both, &pop[0], 4), ProtocolError);
 }
 
 TEST(Session, WrongResponderThrows) {
   const auto pop = two_tags();
   Session session(pop, SessionConfig{});
   const Tag* responder = &pop[1];
-  EXPECT_THROW((void)session.poll({&responder, 1}, &pop[0], 4),
+  EXPECT_THROW((void)session.air().poll({&responder, 1}, &pop[0], 4),
                ProtocolError);
 }
 
@@ -91,7 +91,7 @@ TEST(Session, AbsentExpectedTagBecomesMissing) {
   SessionConfig config;
   config.present = &present;
   Session session(pop, config);
-  const Tag* polled = session.poll({}, &pop[0], 4);
+  const Tag* polled = session.air().poll({}, &pop[0], 4);
   EXPECT_EQ(polled, nullptr);
   EXPECT_EQ(session.metrics().missing, 1u);
   EXPECT_EQ(session.metrics().polls, 0u);
@@ -110,8 +110,8 @@ TEST(Session, PresentFilterNullMeansAllPresent) {
 TEST(Session, CommandBitsSeparateFromVectorBits) {
   const auto pop = two_tags();
   Session session(pop, SessionConfig{});
-  session.broadcast_command_bits(32);
-  session.broadcast_vector_bits(128);
+  session.downlink().broadcast_command_bits(32);
+  session.downlink().broadcast_vector_bits(128);
   EXPECT_EQ(session.metrics().command_bits, 32u);
   EXPECT_EQ(session.metrics().vector_bits, 128u);
   EXPECT_NEAR(session.metrics().time_us, 160 * 37.45, 1e-9);
@@ -121,13 +121,13 @@ TEST(Session, ExpectEmptySlotThrowsOnResponder) {
   const auto pop = two_tags();
   Session session(pop, SessionConfig{});
   const Tag* responder = &pop[0];
-  EXPECT_THROW(session.expect_empty_slot({&responder, 1}), ProtocolError);
+  EXPECT_THROW(session.air().expect_empty_slot({&responder, 1}), ProtocolError);
 }
 
 TEST(Session, ExpectEmptySlotAccountsWaste) {
   const auto pop = two_tags();
   Session session(pop, SessionConfig{});
-  session.expect_empty_slot({});
+  session.air().expect_empty_slot({});
   EXPECT_EQ(session.metrics().slots_wasted, 1u);
   EXPECT_NEAR(session.metrics().time_us, 4 * 37.45 + 150, 1e-9);
 }
@@ -140,10 +140,10 @@ TEST(Session, FrameSlotAlohaHandlesAllOutcomes) {
   const Tag* one = &pop[0];
   const std::array<const Tag*, 2> both{&pop[0], &pop[1]};
 
-  EXPECT_EQ(session.frame_slot_aloha({}).outcome, air::SlotOutcome::kEmpty);
-  EXPECT_EQ(session.frame_slot_aloha({&one, 1}).outcome,
+  EXPECT_EQ(session.air().frame_slot_aloha({}).outcome, air::SlotOutcome::kEmpty);
+  EXPECT_EQ(session.air().frame_slot_aloha({&one, 1}).outcome,
             air::SlotOutcome::kSingleton);
-  EXPECT_EQ(session.frame_slot_aloha(both).outcome,
+  EXPECT_EQ(session.air().frame_slot_aloha(both).outcome,
             air::SlotOutcome::kCollision);
   EXPECT_EQ(session.metrics().slots_total, 3u);
   EXPECT_EQ(session.metrics().slots_wasted, 2u);
@@ -169,7 +169,7 @@ TEST(Session, FinishCarriesRecords) {
   Session session(pop, config);
   for (const Tag& tag : pop) {
     const Tag* responder = &tag;
-    (void)session.poll({&responder, 1}, &tag, 2);
+    (void)session.air().poll({&responder, 1}, &tag, 2);
   }
   const auto result = session.finish("demo");
   EXPECT_EQ(result.protocol, "demo");
@@ -186,7 +186,7 @@ TEST(Session, KeepRecordsFalseSkipsStorage) {
   config.keep_records = false;
   Session session(pop, config);
   const Tag* responder = &pop[0];
-  (void)session.poll({&responder, 1}, &pop[0], 2);
+  (void)session.air().poll({&responder, 1}, &pop[0], 2);
   EXPECT_TRUE(session.finish("x").records.empty());
 }
 
@@ -194,7 +194,7 @@ TEST(Verify, DetectsMissingRecord) {
   const auto pop = two_tags();
   Session session(pop, SessionConfig{});
   const Tag* responder = &pop[0];
-  (void)session.poll({&responder, 1}, &pop[0], 2);
+  (void)session.air().poll({&responder, 1}, &pop[0], 2);
   const auto result = session.finish("x");
   const auto verify = sim::verify_complete_collection(pop, result);
   EXPECT_FALSE(verify.ok);
@@ -204,8 +204,8 @@ TEST(Verify, DetectsDuplicateInterrogation) {
   const auto pop = two_tags();
   Session session(pop, SessionConfig{});
   const Tag* responder = &pop[0];
-  (void)session.poll({&responder, 1}, &pop[0], 2);
-  (void)session.poll({&responder, 1}, &pop[0], 2);
+  (void)session.air().poll({&responder, 1}, &pop[0], 2);
+  (void)session.air().poll({&responder, 1}, &pop[0], 2);
   const auto result = session.finish("x");
   const auto verify = sim::verify_complete_collection(pop, result);
   EXPECT_FALSE(verify.ok);
@@ -217,7 +217,7 @@ TEST(Verify, DetectsPayloadCorruption) {
   Session session(pop, SessionConfig{});
   for (const Tag& tag : pop) {
     const Tag* responder = &tag;
-    (void)session.poll({&responder, 1}, &tag, 2);
+    (void)session.air().poll({&responder, 1}, &tag, 2);
   }
   auto result = session.finish("x");
   result.records[0].payload = BitVec("0");

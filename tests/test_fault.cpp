@@ -143,13 +143,28 @@ TEST(Recovery, TrackerEnforcesBudget) {
   fault::RecoveryConfig config;
   config.enabled = true;
   config.retry_budget = 2;
-  fault::RecoveryTracker tracker(config);
+  fault::RecoveryCoordinator tracker(config);
   const TagId id = make_population(1, 9)[0].id();
   EXPECT_TRUE(tracker.take_attempt(id));
   EXPECT_TRUE(tracker.take_attempt(id));
   EXPECT_FALSE(tracker.take_attempt(id));
   EXPECT_TRUE(tracker.exhausted(id));
   EXPECT_EQ(tracker.attempts(id), 2u);
+}
+
+TEST(Recovery, NestedScopesViolateContract) {
+  // Phase charging assumes at most one recovery scope is open: a nested
+  // scope would re-enter recovery_phase_begin() and let the inner dtor
+  // silently end the outer phase, mischarging airtime. The coordinator
+  // rejects the second scope up front.
+  const auto pop = make_population(4, 5);
+  sim::SessionConfig session_config;
+  session_config.recovery.enabled = true;
+  sim::Session session(pop, session_config);
+  fault::RecoveryCoordinator coordinator(session_config.recovery);
+  fault::RecoveryCoordinator::Scope outer(coordinator, session);
+  EXPECT_THROW(fault::RecoveryCoordinator::Scope(coordinator, session),
+               ContractViolation);
 }
 
 TEST(Recovery, MopUpPassesMustBePositiveWhenEnabled) {
