@@ -19,12 +19,10 @@
 // Output: one table + optional RFID_CSV_DIR CSV with a manifest sidecar
 // recording seeds and workloads (the perf-baseline provenance).
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <iostream>
-#include <new>
 
+#include "alloc_guard.hpp"
 #include "bench_util.hpp"
 #include "common/env.hpp"
 #include "fault/recovery.hpp"
@@ -32,54 +30,13 @@
 #include "protocols/round_engine.hpp"
 #include "protocols/tree_polling.hpp"
 
-// --- Global allocation counter ----------------------------------------------
-// Counts every operator-new in the process; the bench reads deltas around
-// individual engine rounds. Relaxed atomics: the single-session sections
-// are single-threaded, and the pooled section only reports an aggregate.
+// The process-wide operator-new counter lives in tests/alloc_guard.hpp
+// (shared with tests/test_alloc_guard.cpp, which gates the same invariant
+// in the main suite); this TU is the one inclusion for this binary.
 
 namespace {
-std::atomic<std::uint64_t> g_allocations{0};
 
-std::uint64_t allocation_count() {
-  return g_allocations.load(std::memory_order_relaxed);
-}
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) { return ::operator new(size); }
-
-void* operator new(std::size_t size, std::align_val_t align) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  void* p = nullptr;
-  const std::size_t al = std::max(sizeof(void*),
-                                  static_cast<std::size_t>(align));
-  if (posix_memalign(&p, al, size == 0 ? 1 : size) != 0) throw std::bad_alloc();
-  return p;
-}
-
-void* operator new[](std::size_t size, std::align_val_t align) {
-  return ::operator new(size, align);
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-
-namespace {
+using rfid::alloc_guard::allocation_count;
 
 using namespace rfid;
 

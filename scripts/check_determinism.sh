@@ -38,6 +38,10 @@ check_pair() {
   for ext in json txt; do
     if ! cmp -s "$workdir/$tag-serial.$ext" "$workdir/$tag-pooled.$ext"; then
       echo "check_determinism[$tag]: serial and pooled .$ext outputs differ:" >&2
+      # First differing byte (cmp reports 1-based byte and line), then the
+      # textual diff for context. The byte offset is the useful part when
+      # the divergence is inside a long report line.
+      cmp "$workdir/$tag-serial.$ext" "$workdir/$tag-pooled.$ext" >&2 || true
       diff "$workdir/$tag-serial.$ext" "$workdir/$tag-pooled.$ext" >&2 || true
       status=1
     fi

@@ -1,0 +1,56 @@
+// Annotated lock types for the Clang thread-safety analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so code locking
+// it is invisible to -Wthread-safety. Mutex wraps std::mutex as an
+// annotated capability and MutexLock is the annotated scoped guard; both
+// are zero-overhead forwards. Condition-variable waits go through
+// std::condition_variable_any, which accepts Mutex directly (it is
+// BasicLockable); predicates that read GUARDED_BY members call
+// Mutex::assert_held() first, because the analysis cannot see through the
+// wait's unlock/relock cycle into the predicate lambda.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace rfid {
+
+/// std::mutex as a Clang thread-safety capability.
+class RFID_CAPABILITY("mutex") Mutex final {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RFID_ACQUIRE() { mutex_.lock(); }
+  void unlock() RFID_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() RFID_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+  /// Declares (to the analysis) that the calling thread holds the mutex.
+  /// Call at the top of condition-variable predicates.
+  void assert_held() const RFID_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock of a Mutex, visible to the thread-safety analysis.
+class RFID_SCOPED_CAPABILITY MutexLock final {
+ public:
+  explicit MutexLock(Mutex& mutex) RFID_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RFID_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace rfid

@@ -9,6 +9,7 @@
 #include <array>
 #include <compare>
 #include <cstdint>
+#include <set>
 #include <string>
 
 namespace rfid {
@@ -70,5 +71,13 @@ struct TagIdHash final {
     return static_cast<std::size_t>(id.fold64());
   }
 };
+
+/// The house container for sets of tag IDs that cross an API boundary.
+/// Ordered on purpose: iteration order is the ID order, so anything derived
+/// from walking the set (reports, metrics, RNG-consuming loops) is
+/// deterministic by construction — the property tools/detlint's
+/// unordered-container rules enforce. Hash sets remain fine for
+/// membership-only scratch that is never iterated.
+using TagIdSet = std::set<TagId>;
 
 }  // namespace rfid

@@ -1,0 +1,74 @@
+// Clang thread-safety-analysis capability annotations.
+//
+// The macros expand to Clang's `capability` attribute family when the
+// compiler understands it and to nothing otherwise (GCC builds compile the
+// same sources unannotated). Building with
+//
+//   -Wthread-safety -Werror=thread-safety-analysis
+//
+// turns lock-discipline violations — touching a GUARDED_BY member without
+// its mutex, returning with a capability still held, calling a REQUIRES
+// function unlocked — into compile errors instead of TSan findings at
+// runtime. The annotated lock types live in common/mutex.hpp; the analysis
+// conventions are documented in docs/static_analysis.md.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RFID_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RFID_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a capability (a lock). The string names the capability
+/// kind in diagnostics ("mutex").
+#define RFID_CAPABILITY(x) RFID_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define RFID_SCOPED_CAPABILITY RFID_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define RFID_GUARDED_BY(x) RFID_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define RFID_PT_GUARDED_BY(x) RFID_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and does not release it).
+#define RFID_ACQUIRE(...) \
+  RFID_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RFID_ACQUIRE_SHARED(...) \
+  RFID_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define RFID_RELEASE(...) \
+  RFID_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RFID_RELEASE_SHARED(...) \
+  RFID_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function may be called only while holding the capability.
+#define RFID_REQUIRES(...) \
+  RFID_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RFID_REQUIRES_SHARED(...) \
+  RFID_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function may be called only while NOT holding the capability (deadlock
+/// guard for non-reentrant locks).
+#define RFID_EXCLUDES(...) RFID_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// try_lock-style function: acquires the capability iff it returns `r`.
+#define RFID_TRY_ACQUIRE(r, ...) \
+  RFID_THREAD_ANNOTATION(try_acquire_capability(r, __VA_ARGS__))
+
+/// Runtime assertion that the calling thread already holds the capability.
+/// Used inside lambdas (condition-variable predicates) whose enclosing
+/// lock the intra-procedural analysis cannot see.
+#define RFID_ASSERT_CAPABILITY(x) \
+  RFID_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define RFID_RETURN_CAPABILITY(x) RFID_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only for
+/// init/teardown paths the analysis cannot model, with a comment saying why.
+#define RFID_NO_THREAD_SAFETY_ANALYSIS \
+  RFID_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -47,7 +47,9 @@ struct MissingTagReport final {
 
 /// Interrogates the expected inventory with 1-bit presence polls; tags not
 /// in `present` are reported missing. `kind` must be a polling protocol
-/// (DFSA cannot detect absences).
+/// (DFSA cannot detect absences). `present` is queried by membership only
+/// (never iterated), so its hash order cannot reach the report; the
+/// missing list is sorted before it is returned.
 [[nodiscard]] MissingTagReport find_missing_tags(
     ProtocolKind kind, const tags::TagPopulation& expected,
     const std::unordered_set<TagId, TagIdHash>& present,

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 namespace rfid::fault {
 
 FaultInjector::FaultInjector(FaultConfig config, std::uint64_t seed)
-    : config_(std::move(config)), rng_(seed) {
+    : config_(std::move(config)), fault_rng_(seed) {
   // Stable sort keeps same-round events in schedule order, so "depart at 5,
   // re-arrive at 5" behaves as written.
   std::stable_sort(config_.churn.begin(), config_.churn.end(),
@@ -15,12 +14,13 @@ FaultInjector::FaultInjector(FaultConfig config, std::uint64_t seed)
                      return a.round < b.round;
                    });
   // A tag whose first scheduled event is an arrival starts outside the
-  // field; one that departs first starts inside it.
-  std::unordered_map<TagId, ChurnEvent::Kind, TagIdHash> first_event;
-  for (const ChurnEvent& event : config_.churn)
-    first_event.try_emplace(event.id, event.kind);
-  for (const auto& [id, kind] : first_event)
-    if (kind == ChurnEvent::Kind::kArrive) absent_.insert(id);
+  // field; one that departs first starts inside it. Decided in schedule
+  // order with an ordered seen-set: no hash-order iteration feeds state.
+  TagIdSet seen;
+  for (const ChurnEvent& event : config_.churn) {
+    if (!seen.insert(event.id).second) continue;
+    if (event.kind == ChurnEvent::Kind::kArrive) absent_.insert(event.id);
+  }
 }
 
 bool FaultInjector::corrupt_reply() noexcept {
@@ -29,15 +29,15 @@ bool FaultInjector::corrupt_reply() noexcept {
       return false;
     case LinkModel::kBernoulli:
       return config_.bernoulli_loss > 0.0 &&
-             rng_.bernoulli(config_.bernoulli_loss);
+             fault_rng_.bernoulli(config_.bernoulli_loss);
     case LinkModel::kGilbertElliott: {
       const GilbertElliottParams& ge = config_.gilbert_elliott;
       // The current state decides this reply's fate; then the chain steps,
       // so burst lengths are geometric in decode attempts.
       const double loss = bad_state_ ? ge.loss_bad : ge.loss_good;
-      const bool lost = loss > 0.0 && rng_.bernoulli(loss);
+      const bool lost = loss > 0.0 && fault_rng_.bernoulli(loss);
       const double flip = bad_state_ ? ge.p_bad_to_good : ge.p_good_to_bad;
-      if (flip > 0.0 && rng_.bernoulli(flip)) bad_state_ = !bad_state_;
+      if (flip > 0.0 && fault_rng_.bernoulli(flip)) bad_state_ = !bad_state_;
       return lost;
     }
   }
@@ -49,7 +49,7 @@ bool FaultInjector::corrupt_downlink(std::size_t bits) noexcept {
   if (config_.downlink_ber >= 1.0) return true;
   const double p_clean =
       std::pow(1.0 - config_.downlink_ber, static_cast<double>(bits));
-  return rng_.bernoulli(1.0 - p_clean);
+  return fault_rng_.bernoulli(1.0 - p_clean);
 }
 
 void FaultInjector::advance_to_round(std::uint64_t round) {

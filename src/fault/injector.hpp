@@ -64,9 +64,11 @@ class FaultInjector final {
 
  private:
   FaultConfig config_{};  ///< churn sorted by round (stable) at construction
-  Xoshiro256ss rng_{0};
+  Xoshiro256ss fault_rng_{0};
   bool bad_state_ = false;  ///< Gilbert–Elliott chain starts good
   std::size_t next_event_ = 0;
+  /// Membership-only (insert/erase/contains) and never iterated, so a hash
+  /// set is safe here — see the unordered-iteration rule in tools/detlint.
   std::unordered_set<TagId, TagIdHash> absent_;
 };
 

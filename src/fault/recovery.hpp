@@ -19,7 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -170,7 +170,10 @@ class RecoveryCoordinator final {
 
  private:
   RecoveryConfig config_;
-  std::unordered_map<TagId, std::uint32_t, TagIdHash> attempts_;
+  /// Ordered on purpose: should a future diagnostic ever walk the retry
+  /// ledger (dumping per-tag attempts into a report), the iteration order
+  /// is the ID order, not the hash order — deterministic by construction.
+  std::map<TagId, std::uint32_t> attempts_;
   std::vector<std::size_t> still_;  ///< mop-up pass scratch (reused)
   std::uint32_t scope_depth_ = 0;
 };

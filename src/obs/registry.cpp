@@ -145,6 +145,8 @@ void RegistrySink::on_event(const Event& event) {
       break;
     case EventKind::kReaderBroadcast:
     case EventKind::kCircleBegin:
+    case EventKind::kSegmentCorrupted:
+    case EventKind::kDegrade:
       break;
   }
 }

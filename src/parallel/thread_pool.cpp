@@ -22,23 +22,32 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  const MutexLock lock(mutex_);
+  // condition_variable_any waits on the Mutex itself (BasicLockable); the
+  // predicate re-asserts the capability because the analysis cannot see
+  // the wait's unlock/relock cycle into the lambda.
+  idle_.wait(mutex_, [this] {
+    mutex_.assert_held();
+    return queue_.empty() && in_flight_ == 0;
+  });
 }
 
 void ThreadPool::worker_loop(const std::stop_token& stop) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock, stop, [this] { return !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      work_available_.wait(mutex_, stop, [this] {
+        mutex_.assert_held();
+        return !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop requested and nothing left to do
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -46,7 +55,7 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
     }
     task();
     {
-      const std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       --in_flight_;
     }
     idle_.notify_all();

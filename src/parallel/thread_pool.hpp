@@ -7,15 +7,22 @@
 //     caller-owned slots, keeping the pool itself allocation-light.
 // Determinism of the simulation is unaffected by scheduling because every
 // trial owns its seed-derived RNG stream.
+//
+// The queue state is annotated for the Clang thread-safety analysis
+// (common/thread_annotations.hpp): every member below is GUARDED_BY(mutex_)
+// and a build with -Wthread-safety fails if an access slips outside the
+// lock. The TSan CI job checks the same discipline dynamically.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace rfid::parallel {
 
@@ -36,19 +43,19 @@ class ThreadPool final {
 
   /// Enqueues a task. Tasks must not throw; wrap fallible work and capture
   /// errors into caller-owned slots.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) RFID_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and all running tasks have finished.
-  void wait_idle();
+  void wait_idle() RFID_EXCLUDES(mutex_);
 
  private:
-  void worker_loop(const std::stop_token& stop);
+  void worker_loop(const std::stop_token& stop) RFID_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable_any work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
+  std::condition_variable_any idle_;
+  std::deque<std::function<void()>> queue_ RFID_GUARDED_BY(mutex_);
+  std::size_t in_flight_ RFID_GUARDED_BY(mutex_) = 0;
   std::vector<std::jthread> workers_;
 };
 

@@ -1,8 +1,11 @@
 #include "parallel/trial_runner.hpp"
 
 #include <exception>
+#include <utility>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace rfid::parallel {
 
@@ -21,6 +24,65 @@ struct TrialSlot final {
   TrialOutcome outcome;
   sim::Metrics metrics;
   obs::MetricsRegistry registry;
+};
+
+/// The cross-thread meeting point of a trial series. Pool workers deposit
+/// one TrialSlot per trial; after ThreadPool::wait_idle the main thread
+/// folds the slots — in trial order, never in completion order — through
+/// sim::Metrics::merge and obs::MetricsRegistry::merge. Every slot access
+/// is GUARDED_BY the aggregator mutex, so the merge paths carry a
+/// compile-checked lock discipline (and a clean TSan run) on top of the
+/// byte-identity contract the determinism gate enforces.
+class TrialAggregator final {
+ public:
+  explicit TrialAggregator(std::size_t trials)
+      : slots_(trials), errors_(trials) {}
+
+  /// Called once per trial, from whichever thread ran it.
+  void deposit(std::size_t trial, TrialSlot&& slot) RFID_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    slots_[trial] = std::move(slot);
+  }
+
+  void deposit_error(std::size_t trial, std::exception_ptr error)
+      RFID_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    errors_[trial] = std::move(error);
+  }
+
+  /// Rethrows the first (by trial index) captured exception, if any.
+  void rethrow_first_error() RFID_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    for (const std::exception_ptr& error : errors_)
+      if (error) std::rethrow_exception(error);
+  }
+
+  /// The deterministic cross-trial fold: outcomes copied and metrics /
+  /// registries merged in trial order regardless of how the trials were
+  /// scheduled — merge order is what makes the aggregates (sums,
+  /// histograms) bit-identical between serial and pooled execution.
+  [[nodiscard]] TrialSeries fold(bool collect_registry)
+      RFID_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return fold_locked(collect_registry);
+  }
+
+ private:
+  [[nodiscard]] TrialSeries fold_locked(bool collect_registry)
+      RFID_REQUIRES(mutex_) {
+    TrialSeries series;
+    series.outcomes.resize(slots_.size());
+    for (std::size_t t = 0; t < slots_.size(); ++t) {
+      series.outcomes[t] = slots_[t].outcome;
+      series.totals.merge(slots_[t].metrics);
+      if (collect_registry) series.registry.merge(slots_[t].registry);
+    }
+    return series;
+  }
+
+  Mutex mutex_;
+  std::vector<TrialSlot> slots_ RFID_GUARDED_BY(mutex_);
+  std::vector<std::exception_ptr> errors_ RFID_GUARDED_BY(mutex_);
 };
 
 TrialSlot run_one(const protocols::PollingProtocol& protocol,
@@ -72,43 +134,31 @@ RunningStats TrialSeries::waste() const {
 TrialSeries run_trials(const protocols::PollingProtocol& protocol,
                        const PopulationFactory& make_population,
                        const TrialPlan& plan, ThreadPool* pool) {
-  std::vector<TrialSlot> slots(plan.trials);
+  TrialAggregator aggregator(plan.trials);
 
   if (pool == nullptr) {
     for (std::size_t t = 0; t < plan.trials; ++t)
-      slots[t] = run_one(protocol, make_population, plan, t);
+      aggregator.deposit(t, run_one(protocol, make_population, plan, t));
   } else {
-    std::vector<std::exception_ptr> errors(plan.trials);
     for (std::size_t t = 0; t < plan.trials; ++t) {
       pool->submit([&, t] {
         try {
-          slots[t] = run_one(protocol, make_population, plan, t);
+          aggregator.deposit(t, run_one(protocol, make_population, plan, t));
         } catch (...) {
-          errors[t] = std::current_exception();
+          aggregator.deposit_error(t, std::current_exception());
         }
       });
     }
     pool->wait_idle();
-    for (const std::exception_ptr& error : errors)
-      if (error) std::rethrow_exception(error);
+    aggregator.rethrow_first_error();
   }
 
-  // The cross-trial fold runs serially in trial order regardless of how the
-  // trials were scheduled: merge order is what makes the aggregates (sums,
-  // histograms) bit-identical between serial and pooled execution.
-  TrialSeries series;
-  series.outcomes.resize(plan.trials);
-  for (std::size_t t = 0; t < plan.trials; ++t) {
-    series.outcomes[t] = slots[t].outcome;
-    series.totals.merge(slots[t].metrics);
-    if (plan.collect_registry) series.registry.merge(slots[t].registry);
-  }
-  return series;
+  return aggregator.fold(plan.collect_registry);
 }
 
 PopulationFactory uniform_population(std::size_t n) {
-  return [n](Xoshiro256ss& rng) {
-    return tags::TagPopulation::uniform_random(n, rng);
+  return [n](Xoshiro256ss& pop_rng) {
+    return tags::TagPopulation::uniform_random(n, pop_rng);
   };
 }
 

@@ -38,7 +38,7 @@ sim::RunResult Dfsa::run(const tags::TagPopulation& population,
     const auto f = static_cast<std::size_t>(std::max<long long>(
         floor_slots,
         std::llround(config_.frame_factor * sizing_base)));
-    const std::uint64_t seed = session.rng()();
+    const std::uint64_t seed = session.protocol_rng()();
     session.downlink().broadcast_command_bits(config_.frame_command_bits);
 
     // Tag side: each unread tag picks its slot from the broadcast seed.

@@ -47,7 +47,7 @@ bool run_ehpp_circle(sim::Session& session, RoundEngine& engine,
       static_cast<std::uint32_t>(config.selection_modulus * subset_target /
                                  active.size()),  // f = F * n* / n_rem
       static_cast<std::uint32_t>(config.selection_modulus),
-      session.rng()() & 0xFFFFFFFFFFFFull};
+      session.protocol_rng()() & 0xFFFFFFFFFFFFull};
   const auto decoded = phy::CircleCommand::decode(frame.encode());
   RFID_ENSURES(decoded && decoded->threshold == frame.threshold &&
                decoded->modulus == frame.modulus &&

@@ -12,7 +12,7 @@ RoundInit HppRoundPolicy::begin_round(sim::Session& session,
   // act on the *decoded* parameters, so reader and tags can only agree
   // through the air interface.
   const phy::QueryRoundCommand init{
-      h, static_cast<std::uint32_t>(session.rng()() & 0x3FFFFu)};
+      h, static_cast<std::uint32_t>(session.protocol_rng()() & 0x3FFFFu)};
   init.encode_into(frame_);
   const auto decoded = phy::QueryRoundCommand::decode(frame_);
   RFID_ENSURES(decoded && decoded->index_length == h &&

@@ -52,7 +52,7 @@ sim::RunResult Mic::run(const tags::TagPopulation& population,
     const auto f = static_cast<std::size_t>(std::max<long long>(
         floor_slots, std::llround(config_.frame_factor *
                                   static_cast<double>(active.size()))));
-    const std::uint64_t seed = session.rng()();
+    const std::uint64_t seed = session.protocol_rng()();
 
     // Frame command <f, r>, then the indicator vector (entry_bits per slot).
     session.downlink().broadcast_command_bits(config_.frame_command_bits);

@@ -64,7 +64,7 @@ TrustedReaderDetection::Report TrustedReaderDetection::detect(
   for (std::size_t frame = 0; frame < frames && !report.missing_detected;
        ++frame) {
     session.begin_round();
-    const std::uint64_t seed = session.rng()();
+    const std::uint64_t seed = session.protocol_rng()();
     session.downlink().broadcast_command_bits(config_.frame_command_bits);
 
     std::fill(expected_count.begin(), expected_count.end(), 0u);
@@ -104,7 +104,7 @@ PollingAssistedIdentification::identify(
     // One bitmap frame.
     session.begin_round();
     const std::size_t f = frame_size(config_.frame_factor, devices.size());
-    const std::uint64_t seed = session.rng()();
+    const std::uint64_t seed = session.protocol_rng()();
     session.downlink().broadcast_command_bits(config_.frame_command_bits);
 
     std::vector<std::uint32_t> counts(f, 0);
@@ -165,7 +165,7 @@ BitmapMissingIdentification::Report BitmapMissingIdentification::identify(
     const std::size_t f = active.size() > 1
                               ? frame_size(config_.frame_factor, active.size())
                               : 1;
-    const std::uint64_t seed = session.rng()();
+    const std::uint64_t seed = session.protocol_rng()();
     session.downlink().broadcast_command_bits(config_.frame_command_bits);
 
     counts.assign(f, 0);

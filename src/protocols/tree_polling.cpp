@@ -19,7 +19,7 @@ RoundInit TppRoundPolicy::begin_round(sim::Session& session,
   // would never produce a singleton, so the ablation offset is floored.
   const int min_h = active_count >= 2 ? 1 : 0;
   const unsigned h = static_cast<unsigned>(std::clamp(offset_h, min_h, 30));
-  const std::uint64_t seed = session.rng()();
+  const std::uint64_t seed = session.protocol_rng()();
   if (session.framing_enabled()) {
     if (!session.downlink().broadcast_framed(config_.round_init_bits,
                                              /*count_in_w=*/false))

@@ -81,7 +81,7 @@ const tags::Tag* AirLoop::complete_reply(
   // the injector's private stream, so enabling them (or leaving everything
   // off) does not perturb the session's own sequence of draws.
   bool garbled = config_.reply_error_rate > 0.0 &&
-                 rng_.bernoulli(config_.reply_error_rate);
+                 protocol_rng_.bernoulli(config_.reply_error_rate);
   if (!garbled && injector_.link_active()) garbled = injector_.corrupt_reply();
   if (garbled) {
     // Reply garbled in flight: the full interaction airtime is spent, the
@@ -244,17 +244,17 @@ air::SlotResult AirLoop::frame_slot_aloha(
   air::SlotResult slot = channel_.arbitrate(responders);
   if (slot.outcome == air::SlotOutcome::kCollision &&
       config_.capture_probability > 0.0 &&
-      rng_.bernoulli(config_.capture_probability)) {
+      protocol_rng_.bernoulli(config_.capture_probability)) {
     // Capture effect: one reply dominates the superposition and decodes.
     // The "strongest" tag is drawn uniformly (the simulator has no power
     // model); the losers stay unread, exactly as if they had been silent.
     slot.outcome = air::SlotOutcome::kSingleton;
-    slot.responder = responders[rng_.below(responders.size())];
+    slot.responder = responders[protocol_rng_.below(responders.size())];
   }
   bool slot_garbled = false;
   if (slot.outcome == air::SlotOutcome::kSingleton) {
     slot_garbled = config_.reply_error_rate > 0.0 &&
-                   rng_.bernoulli(config_.reply_error_rate);
+                   protocol_rng_.bernoulli(config_.reply_error_rate);
     if (!slot_garbled && injector_.link_active())
       slot_garbled = injector_.corrupt_reply();
   }

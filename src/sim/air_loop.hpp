@@ -40,12 +40,12 @@ class AirLoop final {
   /// All references are borrowed from the owning session and must outlive
   /// the loop. `missing_ids` and `records` are the session's result stores;
   /// the loop appends to them under the same conditions Session always did.
-  AirLoop(const SessionConfig& config, Xoshiro256ss& rng, air::Channel& channel,
+  AirLoop(const SessionConfig& config, Xoshiro256ss& protocol_rng, air::Channel& channel,
           fault::FaultInjector& injector, phy::Downlink& downlink,
           Metrics& metrics, std::vector<CollectedRecord>& records,
           std::vector<TagId>& missing_ids) noexcept
       : config_(config),
-        rng_(rng),
+        protocol_rng_(protocol_rng),
         channel_(channel),
         injector_(injector),
         downlink_(downlink),
@@ -161,7 +161,7 @@ class AirLoop final {
   void downlink_corrupt_timeout(double reader_time_us);
 
   const SessionConfig& config_;
-  Xoshiro256ss& rng_;
+  Xoshiro256ss& protocol_rng_;
   air::Channel& channel_;
   fault::FaultInjector& injector_;
   phy::Downlink& downlink_;

@@ -17,10 +17,10 @@ constexpr std::uint64_t kFaultStreamIndex = 0xFA17'0000'0000'0001ull;
 Session::Session(const tags::TagPopulation& population, SessionConfig config)
     : population_(&population),
       config_(std::move(config)),
-      rng_(config_.seed),
+      protocol_rng_(config_.seed),
       injector_(config_.fault, derive_seed(config_.seed, kFaultStreamIndex)),
       downlink_(config_.timing, config_.framing, injector_, *this),
-      air_(config_, rng_, channel_, injector_, downlink_, metrics_, records_,
+      air_(config_, protocol_rng_, channel_, injector_, downlink_, metrics_, records_,
            missing_ids_) {
   // A recovery policy with no mop-up passes can never consume any retry
   // budget, so an absent tag would be rescheduled forever; reject the

@@ -43,7 +43,7 @@ class Session final : private phy::AirtimeSink, public fault::RecoveryHost {
     return *population_;
   }
   [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
-  [[nodiscard]] Xoshiro256ss& rng() noexcept { return rng_; }
+  [[nodiscard]] Xoshiro256ss& protocol_rng() noexcept { return protocol_rng_; }
   [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
 
@@ -141,7 +141,7 @@ class Session final : private phy::AirtimeSink, public fault::RecoveryHost {
 
   const tags::TagPopulation* population_;
   SessionConfig config_;
-  Xoshiro256ss rng_;
+  Xoshiro256ss protocol_rng_;
   air::Channel channel_;
   fault::FaultInjector injector_;
   Metrics metrics_{};

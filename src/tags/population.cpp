@@ -8,10 +8,10 @@ namespace rfid::tags {
 
 namespace {
 
-TagId random_id(Xoshiro256ss& rng) {
+TagId random_id(Xoshiro256ss& id_rng) {
   TagId id;
-  const std::uint64_t hi = rng();
-  const std::uint64_t lo = rng();
+  const std::uint64_t hi = id_rng();
+  const std::uint64_t lo = id_rng();
   id.words[0] = static_cast<std::uint32_t>(hi >> 32);
   id.words[1] = static_cast<std::uint32_t>(hi);
   id.words[2] = static_cast<std::uint32_t>(lo);
@@ -29,13 +29,13 @@ TagPopulation::TagPopulation(std::vector<Tag> tags) : tags_(std::move(tags)) {
   }
 }
 
-TagPopulation TagPopulation::uniform_random(std::size_t n, Xoshiro256ss& rng) {
+TagPopulation TagPopulation::uniform_random(std::size_t n, Xoshiro256ss& id_rng) {
   std::unordered_set<TagId, TagIdHash> seen;
   seen.reserve(n);
   std::vector<Tag> tags;
   tags.reserve(n);
   while (tags.size() < n) {
-    const TagId id = random_id(rng);
+    const TagId id = random_id(id_rng);
     if (seen.insert(id).second) tags.emplace_back(id);
   }
   return TagPopulation(std::move(tags));
@@ -57,14 +57,14 @@ TagPopulation TagPopulation::sequential(std::size_t n, std::uint64_t first) {
 TagPopulation TagPopulation::prefix_clustered(std::size_t n,
                                               std::size_t categories,
                                               std::size_t prefix_bits,
-                                              Xoshiro256ss& rng) {
+                                              Xoshiro256ss& id_rng) {
   RFID_EXPECTS(categories >= 1);
   RFID_EXPECTS(prefix_bits <= kTagIdBits);
   // One random prefix per category; suffixes random, deduplicated.
   std::vector<TagId> prefixes;
   prefixes.reserve(categories);
   for (std::size_t c = 0; c < categories; ++c)
-    prefixes.push_back(random_id(rng));
+    prefixes.push_back(random_id(id_rng));
 
   std::unordered_set<TagId, TagIdHash> seen;
   seen.reserve(n);
@@ -72,7 +72,7 @@ TagPopulation TagPopulation::prefix_clustered(std::size_t n,
   tags.reserve(n);
   while (tags.size() < n) {
     const std::size_t category = tags.size() % categories;
-    TagId id = random_id(rng);
+    TagId id = random_id(id_rng);
     for (std::size_t b = 0; b < prefix_bits; ++b)
       id.set_bit(b, prefixes[category].bit(b));
     if (seen.insert(id).second) tags.emplace_back(id);
@@ -81,13 +81,13 @@ TagPopulation TagPopulation::prefix_clustered(std::size_t n,
 }
 
 TagPopulation TagPopulation::with_random_payloads(std::size_t bits,
-                                                  Xoshiro256ss& rng) const {
+                                                  Xoshiro256ss& id_rng) const {
   std::vector<Tag> tags;
   tags.reserve(tags_.size());
   for (const Tag& tag : tags_) {
     BitVec payload;
     for (std::size_t i = 0; i < bits; ++i)
-      payload.push_back(rng.bernoulli(0.5));
+      payload.push_back(id_rng.bernoulli(0.5));
     tags.emplace_back(tag.id(), std::move(payload));
   }
   return TagPopulation(std::move(tags));

@@ -42,7 +42,7 @@ class TagPopulation final {
 
   /// n tags with uniformly random unique 96-bit IDs.
   [[nodiscard]] static TagPopulation uniform_random(std::size_t n,
-                                                    Xoshiro256ss& rng);
+                                                    Xoshiro256ss& id_rng);
 
   /// n tags with consecutive IDs starting at `first` (low word increments).
   [[nodiscard]] static TagPopulation sequential(std::size_t n,
@@ -53,11 +53,11 @@ class TagPopulation final {
   [[nodiscard]] static TagPopulation prefix_clustered(std::size_t n,
                                                       std::size_t categories,
                                                       std::size_t prefix_bits,
-                                                      Xoshiro256ss& rng);
+                                                      Xoshiro256ss& id_rng);
 
   /// Returns a copy whose tags carry `bits`-long random sensor payloads.
   [[nodiscard]] TagPopulation with_random_payloads(std::size_t bits,
-                                                   Xoshiro256ss& rng) const;
+                                                   Xoshiro256ss& id_rng) const;
 
  private:
   std::vector<Tag> tags_;

@@ -1,0 +1,149 @@
+// Allocation-free steady state, gated in the main suite (ctest label
+// `static`). bench/bench_round_engine measures and *reports* the same
+// invariant; this test *fails* when it regresses.
+//
+// The contract (established by the RoundEngine refactor): one engine
+// instance spans a protocol run, all round-scoped scratch lives in the
+// engine and the round policies, so after the first round of a drain —
+// which grows every buffer to its high-water capacity — each further round
+// performs ZERO heap allocations. The gate covers the steady-state round
+// shape of all four polling protocols:
+//   HPP    — HppRoundPolicy, init bits outside w;
+//   EHPP   — the HPP rounds inside a circle (init bits folded into w; the
+//            per-circle setup (circle frame encode, subset split) is
+//            paid per circle, not per round, and is gated separately as
+//            "bounded by circles, not rounds");
+//   TPP    — TppRoundPolicy with the differential tree dispatch;
+//   ADAPT  — TPP rounds with the degradation monitor enabled (the clean-
+//            channel tier ADAPT actually runs).
+//
+// This TU is the binary's single inclusion of alloc_guard.hpp (it replaces
+// global operator new/delete).
+#include "alloc_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/recovery.hpp"
+#include "protocols/enhanced_hash_polling.hpp"
+#include "protocols/hash_polling.hpp"
+#include "protocols/round_engine.hpp"
+#include "protocols/tree_polling.hpp"
+#include "sim/session.hpp"
+#include "tags/population.hpp"
+
+namespace rfid {
+namespace {
+
+constexpr std::size_t kPopulation = 512;
+constexpr std::uint64_t kSeed = 20260806;
+
+/// Drains `policy` rounds over a fresh population and returns the total
+/// allocations in rounds 2..N (the steady state). `degradation` switches
+/// on ADAPT's monitor so its round shape is measured, not plain TPP's.
+template <typename Policy, typename PolicyConfig>
+std::uint64_t steady_allocs(const PolicyConfig& policy_config,
+                            bool degradation = false) {
+  Xoshiro256ss id_rng(kSeed);
+  const tags::TagPopulation population =
+      tags::TagPopulation::uniform_random(kPopulation, id_rng);
+  sim::SessionConfig config;
+  config.seed = kSeed ^ 0x9E3779B97F4A7C15ull;
+  config.keep_records = false;  // record storage is output data, not scratch
+  config.degradation.enabled = degradation;
+  sim::Session session(population, config);
+  std::vector<protocols::HashDevice> active = protocols::make_devices(session);
+  fault::RecoveryCoordinator recovery(config.recovery);
+  protocols::RoundEngine engine(session, recovery);
+  Policy policy(policy_config);
+
+  std::uint64_t rounds = 0;
+  std::uint64_t steady = 0;
+  while (!active.empty()) {
+    const alloc_guard::Probe probe;
+    engine.run_round(active, policy);
+    if (rounds > 0) steady += probe.delta();
+    ++rounds;
+  }
+  // A drain of 512 tags takes several rounds; if it somehow finished in
+  // one, the "steady state" below would be vacuous.
+  EXPECT_GE(rounds, 3u);
+  return steady;
+}
+
+TEST(AllocGuard, ProbeCountsAllocations) {
+  const alloc_guard::Probe probe;
+  EXPECT_EQ(probe.delta(), 0u);
+  {
+    std::vector<int> v(1024);
+    EXPECT_GE(probe.delta(), 1u);
+  }
+}
+
+TEST(AllocGuard, HppSteadyStateRoundsAllocationFree) {
+  EXPECT_EQ(steady_allocs<protocols::HppRoundPolicy>(
+                protocols::HppRoundConfig{}),
+            0u);
+}
+
+TEST(AllocGuard, EhppInnerRoundsAllocationFree) {
+  // The round shape EHPP runs inside every circle (run_ehpp_circle):
+  // HPP rounds with the init frame counted into w.
+  const protocols::Ehpp::Config ehpp;
+  EXPECT_EQ(steady_allocs<protocols::HppRoundPolicy>(protocols::HppRoundConfig{
+                ehpp.round_init_bits, /*count_init_in_w=*/true}),
+            0u);
+}
+
+TEST(AllocGuard, TppSteadyStateRoundsAllocationFree) {
+  EXPECT_EQ(steady_allocs<protocols::TppRoundPolicy>(protocols::Tpp::Config{}),
+            0u);
+}
+
+TEST(AllocGuard, AdaptSteadyStateRoundsAllocationFree) {
+  // Clean channel: ADAPT's degradation monitor never fires and every round
+  // is a TPP round with the monitor's bookkeeping active.
+  EXPECT_EQ(steady_allocs<protocols::TppRoundPolicy>(protocols::Tpp::Config{},
+                                                     /*degradation=*/true),
+            0u);
+}
+
+TEST(AllocGuard, EhppCircleSetupBoundedByCircles) {
+  // Per-circle setup (circle frame encode + subset split) may allocate,
+  // but the cost must stay per *circle*, not per round: a full EHPP drain
+  // allocates O(circles) times, far below one allocation per round.
+  Xoshiro256ss id_rng(kSeed + 1);
+  const tags::TagPopulation population =
+      tags::TagPopulation::uniform_random(kPopulation, id_rng);
+  sim::SessionConfig config;
+  config.seed = kSeed;
+  config.keep_records = false;
+  sim::Session session(population, config);
+  std::vector<protocols::HashDevice> active = protocols::make_devices(session);
+  fault::RecoveryCoordinator recovery(config.recovery);
+  protocols::RoundEngine engine(session, recovery);
+  const protocols::Ehpp ehpp_protocol;
+  const std::size_t subset_target = ehpp_protocol.effective_subset_size();
+
+  std::uint64_t circles = 0;
+  std::uint64_t steady = 0;
+  const protocols::Ehpp::Config ehpp_config;
+  while (!active.empty()) {
+    const alloc_guard::Probe probe;
+    ASSERT_TRUE(protocols::run_ehpp_circle(session, engine, active,
+                                           ehpp_config, subset_target));
+    if (circles > 0) steady += probe.delta();
+    ++circles;
+  }
+  EXPECT_GE(circles, 2u);
+  // Generous per-circle budget: frame encode, subset vector, engine growth
+  // for a subset larger than any predecessor. What it must never be is
+  // per-poll or per-round-scratch reallocation (hundreds per circle).
+  EXPECT_LE(steady, circles * 32);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,145 @@
+// tools/detlint fixture tests: exact rule IDs and line numbers per
+// violation fixture, clean passes for the passing and allowlist fixtures,
+// and direct lint_source cases for the tokenizer edge cases (comments,
+// strings, raw strings, preprocessor lines).
+#include "detlint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(DETLINT_FIXTURE_DIR) + "/" + name;
+}
+
+/// (rule, line) pairs of a fixture's findings, in report order.
+std::vector<std::pair<std::string, std::size_t>> findings_of(
+    const std::string& name) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (const detlint::Finding& finding : detlint::lint_file(fixture(name)))
+    out.emplace_back(finding.rule, finding.line);
+  return out;
+}
+
+using Expected = std::vector<std::pair<std::string, std::size_t>>;
+
+TEST(Detlint, CleanFixturePasses) {
+  EXPECT_EQ(findings_of("clean.cpp"), Expected{});
+}
+
+TEST(Detlint, WallClockFixture) {
+  EXPECT_EQ(findings_of("wall_clock.cpp"),
+            (Expected{{"wall-clock", 8}, {"wall-clock", 12}}));
+}
+
+TEST(Detlint, BannedRngFixture) {
+  EXPECT_EQ(findings_of("banned_rng.cpp"),
+            (Expected{{"banned-rng", 8},
+                      {"banned-rng", 9},
+                      {"banned-rng", 13}}));
+}
+
+TEST(Detlint, UnorderedIterationFixture) {
+  EXPECT_EQ(findings_of("unordered_iteration.cpp"),
+            (Expected{{"unordered-iteration", 15},
+                      {"unordered-iteration", 17}}));
+}
+
+TEST(Detlint, UnnamedRngStreamFixture) {
+  EXPECT_EQ(findings_of("unnamed_rng_stream.cpp"),
+            (Expected{{"unnamed-rng-stream", 16},
+                      {"unnamed-rng-stream", 17}}));
+}
+
+TEST(Detlint, AllowPragmaSuppresses) {
+  EXPECT_EQ(findings_of("allow_pragma.cpp"), Expected{});
+}
+
+TEST(Detlint, MalformedPragmasAreFindingsAndDoNotSuppress) {
+  EXPECT_EQ(findings_of("bad_pragma.cpp"), (Expected{{"bad-pragma", 9},
+                                                     {"banned-rng", 9},
+                                                     {"bad-pragma", 13},
+                                                     {"banned-rng", 13},
+                                                     {"bad-pragma", 17},
+                                                     {"banned-rng", 17}}));
+}
+
+// --- lint_source edge cases -------------------------------------------------
+
+TEST(Detlint, CommentsAndStringsAreInvisible) {
+  const auto findings = detlint::lint_source(
+      "t.cpp",
+      "// std::rand() in a comment\n"
+      "/* system_clock in a block\n   comment spanning lines */\n"
+      "const char* s = \"random_device\";\n"
+      "const char* r = R\"(for (x : some_unordered_set.begin()))\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Detlint, PreprocessorLinesAreSkipped) {
+  const auto findings = detlint::lint_source(
+      "t.cpp",
+      "#include <unordered_map>\n"
+      "#include <ctime>\n"
+      "#define DRAW() rng()\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Detlint, MultiLineRangeForIsStillCaught) {
+  // The declared name and the `:` land on the same physical line even when
+  // the for-header wraps — the token-level check keys on that.
+  const auto findings = detlint::lint_source(
+      "t.cpp",
+      "std::unordered_map<int, long> table;\n"
+      "for (const auto& [k, v]\n"
+      "     : table)\n"
+      "  use(k, v);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iteration");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(Detlint, StandalonePragmaCoversOnlyNextCodeLine) {
+  const auto findings = detlint::lint_source(
+      "t.cpp",
+      "// detlint: allow(banned-rng) — first call audited\n"
+      "int a = std::rand();\n"
+      "int b = std::rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_EQ(findings[0].rule, "banned-rng");
+}
+
+TEST(Detlint, PragmaForOneRuleDoesNotSuppressAnother) {
+  const auto findings = detlint::lint_source(
+      "t.cpp",
+      "int a = std::rand();  // detlint: allow(wall-clock) — wrong rule\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-rng");
+}
+
+TEST(Detlint, RuleIdsAreStable) {
+  const std::vector<std::string> expected{"wall-clock", "banned-rng",
+                                          "unordered-iteration",
+                                          "unnamed-rng-stream", "bad-pragma"};
+  EXPECT_EQ(detlint::rule_ids(), expected);
+}
+
+TEST(Detlint, UnreadableFileIsAnIoError) {
+  const auto findings = detlint::lint_file(fixture("does_not_exist.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io-error");
+}
+
+TEST(Detlint, CollectSourcesIsSortedAndComplete) {
+  const auto files = detlint::collect_sources(DETLINT_FIXTURE_DIR);
+  ASSERT_EQ(files.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+}
+
+}  // namespace

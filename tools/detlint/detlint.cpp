@@ -1,0 +1,514 @@
+#include "detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace detlint {
+
+namespace {
+
+constexpr std::string_view kRuleWallClock = "wall-clock";
+constexpr std::string_view kRuleBannedRng = "banned-rng";
+constexpr std::string_view kRuleUnorderedIteration = "unordered-iteration";
+constexpr std::string_view kRuleUnnamedRngStream = "unnamed-rng-stream";
+constexpr std::string_view kRuleBadPragma = "bad-pragma";
+
+[[nodiscard]] bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text[pos..pos+word.size())` equals `word` and both sides are
+/// word boundaries.
+[[nodiscard]] bool word_at(std::string_view text, std::size_t pos,
+                           std::string_view word) {
+  if (pos + word.size() > text.size()) return false;
+  if (text.substr(pos, word.size()) != word) return false;
+  if (pos > 0 && is_word(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end == text.size() || !is_word(text[end]);
+}
+
+/// First word-boundary occurrence of `word` in `text` at or after `from`,
+/// or npos.
+[[nodiscard]] std::size_t find_word(std::string_view text,
+                                    std::string_view word,
+                                    std::size_t from = 0) {
+  for (std::size_t pos = text.find(word, from); pos != std::string_view::npos;
+       pos = text.find(word, pos + 1)) {
+    if (word_at(text, pos, word)) return pos;
+  }
+  return std::string_view::npos;
+}
+
+[[nodiscard]] std::size_t skip_spaces(std::string_view text,
+                                      std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0)
+    ++pos;
+  return pos;
+}
+
+/// Position of the last non-space character before `pos`, or npos.
+[[nodiscard]] std::size_t rskip_spaces(std::string_view text,
+                                       std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(text[pos])) == 0) return pos;
+  }
+  return std::string_view::npos;
+}
+
+/// One physical source line, split into the code part (comments, string
+/// and character literals blanked with spaces; preprocessor lines fully
+/// blanked) and the comment text (for pragma parsing).
+struct SplitLine final {
+  std::string code;
+  std::string comment;
+};
+
+/// Comment/string-aware splitter. Tracks block comments and raw string
+/// literals across lines; ordinary string/char literals never span lines.
+class LineSplitter final {
+ public:
+  [[nodiscard]] SplitLine split(std::string_view line) {
+    SplitLine out;
+    out.code.assign(line.size(), ' ');
+    std::size_t i = 0;
+
+    // A preprocessor directive has no lintable code; its comment part can
+    // still carry a pragma, so comments are extracted as usual.
+    if (!in_block_comment_ && !in_raw_string_) {
+      const std::size_t first = skip_spaces(line, 0);
+      if (first < line.size() && line[first] == '#') {
+        // Look for a trailing // comment (block comments on directive
+        // lines are rare enough to ignore).
+        const std::size_t slash = line.find("//", first);
+        if (slash != std::string_view::npos)
+          out.comment.assign(line.substr(slash + 2));
+        return out;
+      }
+    }
+
+    while (i < line.size()) {
+      if (in_block_comment_) {
+        const std::size_t end = line.find("*/", i);
+        if (end == std::string_view::npos) {
+          out.comment += line.substr(i);
+          return out;
+        }
+        out.comment += line.substr(i, end - i);
+        in_block_comment_ = false;
+        i = end + 2;
+        continue;
+      }
+      if (in_raw_string_) {
+        const std::string closer = ")" + raw_delimiter_ + "\"";
+        const std::size_t end = line.find(closer, i);
+        if (end == std::string_view::npos) return out;
+        in_raw_string_ = false;
+        i = end + closer.size();
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        out.comment += line.substr(i + 2);
+        return out;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment_ = true;
+        i += 2;
+        continue;
+      }
+      if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+          (i == 0 || !is_word(line[i - 1]))) {
+        const std::size_t open = line.find('(', i + 2);
+        if (open != std::string_view::npos) {
+          raw_delimiter_.assign(line.substr(i + 2, open - (i + 2)));
+          in_raw_string_ = true;
+          i = open + 1;
+          continue;
+        }
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      out.code[i] = c;
+      ++i;
+    }
+    return out;
+  }
+
+ private:
+  bool in_block_comment_ = false;
+  bool in_raw_string_ = false;
+  std::string raw_delimiter_;
+};
+
+/// An allow pragma parsed out of a line's comment text.
+struct Pragma final {
+  std::string rule;
+  bool has_reason = false;
+  bool well_formed = false;
+};
+
+/// Parses `// detlint: allow(<rule>) — reason` from comment text. Returns
+/// pragmas in order of appearance; `well_formed` is false when the
+/// `allow(...)` shape itself is broken.
+[[nodiscard]] std::vector<Pragma> parse_pragmas(std::string_view comment) {
+  std::vector<Pragma> pragmas;
+  for (std::size_t pos = comment.find("detlint:");
+       pos != std::string_view::npos;
+       pos = comment.find("detlint:", pos + 1)) {
+    Pragma pragma;
+    std::size_t i = skip_spaces(comment, pos + std::string_view("detlint:").size());
+    if (!word_at(comment, i, "allow")) {
+      pragmas.push_back(pragma);  // malformed: not an allow(...)
+      continue;
+    }
+    i = skip_spaces(comment, i + 5);
+    if (i >= comment.size() || comment[i] != '(') {
+      pragmas.push_back(pragma);
+      continue;
+    }
+    const std::size_t close = comment.find(')', i);
+    if (close == std::string_view::npos) {
+      pragmas.push_back(pragma);
+      continue;
+    }
+    pragma.well_formed = true;
+    pragma.rule.assign(comment.substr(i + 1, close - i - 1));
+    // Trim the rule id.
+    while (!pragma.rule.empty() && pragma.rule.front() == ' ')
+      pragma.rule.erase(pragma.rule.begin());
+    while (!pragma.rule.empty() && pragma.rule.back() == ' ')
+      pragma.rule.pop_back();
+    // A reason is any word character after the closing paren (separators
+    // like "—" / "-" / ":" alone do not count).
+    for (std::size_t r = close + 1; r < comment.size(); ++r) {
+      if (is_word(comment[r])) {
+        pragma.has_reason = true;
+        break;
+      }
+    }
+    pragmas.push_back(std::move(pragma));
+  }
+  return pragmas;
+}
+
+/// Names declared with an unordered container type in this file, found by
+/// bracket-matching `unordered_map<...>` / `unordered_set<...>` and
+/// reading the declarator that follows. Function declarations (identifier
+/// followed by `(`) are skipped: a factory *returning* a hash container is
+/// not an iteration hazard at its declaration site.
+[[nodiscard]] std::vector<std::string> unordered_names(
+    std::string_view code) {
+  std::vector<std::string> names;
+  for (const std::string_view container :
+       {std::string_view("unordered_map"), std::string_view("unordered_set"),
+        std::string_view("unordered_multimap"),
+        std::string_view("unordered_multiset")}) {
+    for (std::size_t pos = find_word(code, container);
+         pos != std::string_view::npos;
+         pos = find_word(code, container, pos + 1)) {
+      std::size_t i = skip_spaces(code, pos + container.size());
+      if (i >= code.size() || code[i] != '<') continue;
+      int depth = 0;
+      while (i < code.size()) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++i;
+      }
+      if (i >= code.size()) continue;
+      ++i;  // past the closing '>'
+      // Skip reference/pointer declarators and whitespace.
+      i = skip_spaces(code, i);
+      while (i < code.size() && (code[i] == '&' || code[i] == '*'))
+        i = skip_spaces(code, i + 1);
+      const std::size_t begin = i;
+      while (i < code.size() && is_word(code[i])) ++i;
+      if (i == begin) continue;  // temporary / using-alias / return type
+      const std::size_t next = skip_spaces(code, i);
+      if (next < code.size() && code[next] == '(') continue;  // function
+      names.emplace_back(code.substr(begin, i - begin));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+void add_finding(std::vector<Finding>& findings, const std::string& file,
+                 std::size_t line, std::string_view rule,
+                 std::string message) {
+  findings.push_back(
+      Finding{file, line, std::string(rule), std::move(message)});
+}
+
+/// wall-clock: any wall-time source. The simulated clock
+/// (sim::Metrics::time_us) is the only clock results may depend on.
+void check_wall_clock(std::vector<Finding>& findings, const std::string& file,
+                      std::size_t line_no, std::string_view code) {
+  for (const std::string_view token :
+       {std::string_view("system_clock"), std::string_view("gettimeofday"),
+        std::string_view("localtime"), std::string_view("strftime")}) {
+    if (find_word(code, token) != std::string_view::npos)
+      add_finding(findings, file, line_no, kRuleWallClock,
+                  "wall-clock source '" + std::string(token) +
+                      "' in simulator code; results must depend only on "
+                      "the simulated clock");
+  }
+  // time(nullptr) / time(NULL) / time(0)
+  for (std::size_t pos = find_word(code, "time");
+       pos != std::string_view::npos; pos = find_word(code, "time", pos + 1)) {
+    std::size_t i = skip_spaces(code, pos + 4);
+    if (i >= code.size() || code[i] != '(') continue;
+    i = skip_spaces(code, i + 1);
+    for (const std::string_view arg :
+         {std::string_view("nullptr"), std::string_view("NULL"),
+          std::string_view("0")}) {
+      if (word_at(code, i, arg) &&
+          skip_spaces(code, i + arg.size()) < code.size() &&
+          code[skip_spaces(code, i + arg.size())] == ')') {
+        add_finding(findings, file, line_no, kRuleWallClock,
+                    "wall-clock call 'time(" + std::string(arg) +
+                        ")' in simulator code");
+        break;
+      }
+    }
+  }
+}
+
+/// banned-rng: randomness not drawn from a seeded Xoshiro256ss stream.
+void check_banned_rng(std::vector<Finding>& findings, const std::string& file,
+                      std::size_t line_no, std::string_view code) {
+  if (find_word(code, "random_device") != std::string_view::npos)
+    add_finding(findings, file, line_no, kRuleBannedRng,
+                "std::random_device is nondeterministic; seed a "
+                "Xoshiro256ss stream instead");
+  if (find_word(code, "srand") != std::string_view::npos)
+    add_finding(findings, file, line_no, kRuleBannedRng,
+                "srand() seeds hidden global state; use a Xoshiro256ss "
+                "stream");
+  for (std::size_t pos = find_word(code, "rand");
+       pos != std::string_view::npos; pos = find_word(code, "rand", pos + 1)) {
+    const std::size_t i = skip_spaces(code, pos + 4);
+    if (i < code.size() && code[i] == '(')
+      add_finding(findings, file, line_no, kRuleBannedRng,
+                  "rand() draws from hidden global state; use a "
+                  "Xoshiro256ss stream");
+  }
+}
+
+/// unordered-iteration: walking a hash container declared in this file.
+void check_unordered_iteration(std::vector<Finding>& findings,
+                               const std::string& file, std::size_t line_no,
+                               std::string_view code,
+                               const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    for (std::size_t pos = find_word(code, name);
+         pos != std::string_view::npos;
+         pos = find_word(code, name, pos + 1)) {
+      // Range-for: `for (... : name)` — the name is preceded by a lone
+      // ':' (not '::').
+      const std::size_t before = rskip_spaces(code, pos);
+      const bool range_for = before != std::string_view::npos &&
+                             code[before] == ':' &&
+                             (before == 0 || code[before - 1] != ':');
+      // Iterator walk: `name.begin()` and friends.
+      std::size_t after = skip_spaces(code, pos + name.size());
+      bool begin_call = false;
+      if (after < code.size() && code[after] == '.') {
+        after = skip_spaces(code, after + 1);
+        for (const std::string_view it :
+             {std::string_view("begin"), std::string_view("cbegin"),
+              std::string_view("rbegin"), std::string_view("crbegin")}) {
+          if (word_at(code, after, it)) begin_call = true;
+        }
+      }
+      if (range_for || begin_call)
+        add_finding(findings, file, line_no, kRuleUnorderedIteration,
+                    "iteration over unordered container '" + name +
+                        "': hash order is implementation-defined; use an "
+                        "ordered container or sort first");
+    }
+  }
+}
+
+/// unnamed-rng-stream: a draw through a handle named bare `rng`/`rng_`.
+void check_unnamed_rng_stream(std::vector<Finding>& findings,
+                              const std::string& file, std::size_t line_no,
+                              std::string_view code) {
+  for (const std::string_view name :
+       {std::string_view("rng"), std::string_view("rng_")}) {
+    for (std::size_t pos = find_word(code, name);
+         pos != std::string_view::npos;
+         pos = find_word(code, name, pos + 1)) {
+      const std::size_t after = skip_spaces(code, pos + name.size());
+      if (after < code.size() &&
+          (code[after] == '.' || code[after] == '(' ||
+           (code[after] == '-' && after + 1 < code.size() &&
+            code[after + 1] == '>'))) {
+        add_finding(findings, file, line_no, kRuleUnnamedRngStream,
+                    "RNG handle named bare '" + std::string(name) +
+                        "': draws must go through a named stream "
+                        "(protocol_rng, fault_rng_, id_rng, ...) so "
+                        "streams cannot cross");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = {
+      std::string(kRuleWallClock), std::string(kRuleBannedRng),
+      std::string(kRuleUnorderedIteration),
+      std::string(kRuleUnnamedRngStream), std::string(kRuleBadPragma)};
+  return kIds;
+}
+
+std::vector<Finding> lint_source(const std::string& file,
+                                 std::string_view content) {
+  // Pass 1: split every line into code and comment, collect pragmas.
+  std::vector<SplitLine> lines;
+  LineSplitter splitter;
+  {
+    std::size_t start = 0;
+    while (start <= content.size()) {
+      const std::size_t end = content.find('\n', start);
+      const std::string_view line =
+          content.substr(start, end == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : end - start);
+      lines.push_back(splitter.split(line));
+      if (end == std::string_view::npos) break;
+      start = end + 1;
+    }
+  }
+
+  std::vector<Finding> findings;
+
+  // suppressed[i] holds the rule ids allowed on line i+1.
+  std::vector<std::vector<std::string>> suppressed(lines.size());
+  const auto trimmed_empty = [](const std::string& s) {
+    return std::all_of(s.begin(), s.end(), [](char c) {
+      return std::isspace(static_cast<unsigned char>(c)) != 0;
+    });
+  };
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const Pragma& pragma : parse_pragmas(lines[i].comment)) {
+      if (!pragma.well_formed) {
+        add_finding(findings, file, i + 1, kRuleBadPragma,
+                    "malformed detlint pragma; expected "
+                    "'detlint: allow(<rule>) — reason'");
+        continue;
+      }
+      const auto& ids = rule_ids();
+      if (std::find(ids.begin(), ids.end(), pragma.rule) == ids.end()) {
+        add_finding(findings, file, i + 1, kRuleBadPragma,
+                    "unknown rule '" + pragma.rule + "' in detlint pragma");
+        continue;
+      }
+      if (!pragma.has_reason) {
+        add_finding(findings, file, i + 1, kRuleBadPragma,
+                    "detlint pragma for '" + pragma.rule +
+                        "' has no reason; write "
+                        "'detlint: allow(" +
+                        pragma.rule + ") — why'");
+        continue;
+      }
+      // Inline pragma suppresses its own line; a standalone comment line
+      // suppresses the next line that carries code.
+      std::size_t target = i;
+      if (trimmed_empty(lines[i].code)) {
+        target = i + 1;
+        while (target < lines.size() && trimmed_empty(lines[target].code))
+          ++target;
+      }
+      if (target < lines.size()) suppressed[target].push_back(pragma.rule);
+    }
+  }
+
+  // Pass 2: declarations, then per-line rules.
+  std::string all_code;
+  for (const SplitLine& line : lines) {
+    all_code += line.code;
+    all_code += '\n';
+  }
+  const std::vector<std::string> names = unordered_names(all_code);
+
+  std::vector<Finding> raw;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view code = lines[i].code;
+    check_wall_clock(raw, file, i + 1, code);
+    check_banned_rng(raw, file, i + 1, code);
+    check_unordered_iteration(raw, file, i + 1, code, names);
+    check_unnamed_rng_stream(raw, file, i + 1, code);
+  }
+  for (Finding& finding : raw) {
+    const auto& allowed = suppressed[finding.line - 1];
+    if (std::find(allowed.begin(), allowed.end(), finding.rule) !=
+        allowed.end())
+      continue;
+    findings.push_back(std::move(finding));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Finding{path, 0, "io-error", "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_source(path, buffer.str());
+}
+
+std::vector<std::string> collect_sources(const std::string& root) {
+  std::vector<std::string> files;
+  namespace fs = std::filesystem;
+  if (!fs::exists(root)) return files;
+  for (const fs::directory_entry& entry :
+       fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string to_string(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace detlint

@@ -1,0 +1,70 @@
+// detlint — the repo-specific determinism linter.
+//
+// The simulator's ground truth is byte-identical seeded output (see
+// scripts/check_determinism.sh and tests/test_golden_runs.cpp). detlint
+// turns the conventions that keep runs deterministic into mechanical,
+// token-level checks over src/ — no libclang, no compile database, just
+// comment/string-aware line scanning — so a violation fails CI in
+// milliseconds instead of surfacing as a flaky golden test.
+//
+// Rule catalogue (docs/static_analysis.md has the long-form rationale):
+//   wall-clock          system_clock / time(nullptr) / gettimeofday /
+//                       localtime / strftime / ctime — wall time in the
+//                       simulator would leak into results; the simulated
+//                       clock is the only clock. (Bench/manifest stamping
+//                       lives outside src/ and is not scanned.)
+//   banned-rng          std::rand / srand / random_device — all randomness
+//                       must come from seeded Xoshiro256ss streams.
+//   unordered-iteration iterating a std::unordered_map/unordered_set
+//                       declared in the same file — hash-table iteration
+//                       order is implementation-defined, so anything
+//                       derived from the walk (metrics, reports, RNG
+//                       draws) silently loses determinism. Membership-only
+//                       hash containers are fine and are not flagged.
+//   unnamed-rng-stream  an RNG variable named bare `rng`/`rng_` — draws
+//                       must go through a named-stream handle
+//                       (protocol_rng, fault_rng_, id_rng, ...) so the
+//                       fault stream can never be confused with the
+//                       protocol stream at a call site.
+//   bad-pragma          a malformed allowlist pragma (unknown rule id or
+//                       missing reason), so suppressions cannot rot.
+//
+// Allowlist pragma, inline (same line) or standalone (applies to the next
+// code line):
+//   ... flagged code ...  // detlint: allow(wall-clock) — reason why
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlint {
+
+struct Finding final {
+  std::string file;     ///< path as given to lint_file / lint_source
+  std::size_t line = 0; ///< 1-based
+  std::string rule;     ///< rule id, e.g. "unordered-iteration"
+  std::string message;  ///< human-readable detail
+};
+
+/// All known rule ids (valid targets for the allow pragma).
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// Lints one translation unit given its content (fixture- and test-
+/// friendly: no filesystem access). `file` is used verbatim in findings.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& file,
+                                               std::string_view content);
+
+/// Reads and lints one file. A file that cannot be read yields a single
+/// finding with rule "io-error".
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& path);
+
+/// Recursively collects the .hpp/.cpp files under `root`, sorted so runs
+/// are reproducible across filesystems.
+[[nodiscard]] std::vector<std::string> collect_sources(
+    const std::string& root);
+
+/// Formats a finding as "file:line: [rule] message".
+[[nodiscard]] std::string to_string(const Finding& finding);
+
+}  // namespace detlint

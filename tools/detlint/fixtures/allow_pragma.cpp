@@ -1,0 +1,16 @@
+// Allowlist fixture: real violations, every one suppressed by a
+// well-formed pragma (inline and standalone forms). Expected: clean.
+#include <cstdlib>
+
+namespace fixture {
+
+inline int suppressed_inline() {
+  return std::rand();  // detlint: allow(banned-rng) — fixture exercises the inline form
+}
+
+inline int suppressed_standalone() {
+  // detlint: allow(banned-rng) — fixture exercises the standalone form
+  return std::rand();
+}
+
+}  // namespace fixture

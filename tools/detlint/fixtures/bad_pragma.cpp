@@ -1,0 +1,20 @@
+// Malformed pragmas: unknown rule, missing reason, broken shape. Each is
+// itself a bad-pragma finding, and none suppresses the violation it sits
+// on. Expected findings: bad-pragma + banned-rng on lines 9, 13 and 17.
+#include <cstdlib>
+
+namespace fixture {
+
+inline int unknown_rule() {
+  return std::rand();  // detlint: allow(no-such-rule) — unknown rule id
+}
+
+inline int missing_reason() {
+  return std::rand();  // detlint: allow(banned-rng)
+}
+
+inline int broken_shape() {
+  return std::rand();  // detlint: allow banned-rng — no parens
+}
+
+}  // namespace fixture

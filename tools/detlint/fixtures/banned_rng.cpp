@@ -1,0 +1,17 @@
+// banned-rng rule fixture. Expected findings: lines 8, 9 and 13.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline int hidden_global_state() {
+  std::srand(42);
+  return std::rand();
+}
+
+inline unsigned entropy() {
+  std::random_device device;
+  return device();
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Passing fixture: seeded named streams, ordered containers, simulated
+// time only — plus the patterns that must NOT trip the linter (banned
+// tokens inside comments and string literals, membership-only queries).
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Stream {
+  std::uint64_t state = 1;
+  std::uint64_t operator()() { return state *= 6364136223846793005ull; }
+};
+
+inline std::uint64_t draw_all() {
+  Stream protocol_rng;
+  Stream fault_rng_;
+  std::uint64_t sum = protocol_rng() + fault_rng_();
+  std::map<int, int> ordered;
+  ordered[1] = 2;
+  for (const auto& [key, value] : ordered)
+    sum += static_cast<std::uint64_t>(key + value);
+  // Mentioning rand(), time(nullptr), system_clock or iterating an
+  // unordered_map in a comment is fine; so is naming them in a string:
+  const char* text = "std::rand() time(nullptr) system_clock";
+  const char* raw = R"(for (auto& kv : some_unordered_map.begin()))";
+  std::unordered_set<int> members;  // membership-only: never iterated
+  members.insert(3);
+  sum += members.count(3);
+  return sum + (text != nullptr) + (raw != nullptr);
+}
+
+}  // namespace fixture

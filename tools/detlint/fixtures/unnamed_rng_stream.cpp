@@ -1,0 +1,22 @@
+// unnamed-rng-stream rule fixture. Expected findings: lines 16 and 17;
+// the named stream on line 18 and the bare declaration on line 14 are fine.
+#include <cstdint>
+
+namespace fixture {
+
+struct Stream {
+  std::uint64_t state = 1;
+  std::uint64_t operator()() { return state *= 6364136223846793005ull; }
+  bool bernoulli(double p) { return p > 0 && ((*this)() & 1) != 0; }
+};
+
+inline std::uint64_t draw() {
+  Stream rng;
+  Stream protocol_rng;
+  std::uint64_t sum = rng();
+  if (rng.bernoulli(0.5)) sum += 1;
+  sum += protocol_rng();
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// unordered-iteration rule fixture. Expected findings: lines 15 and 17;
+// the membership-only query on line 19 must not be flagged.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+inline std::uint64_t walk() {
+  std::unordered_map<int, int> counters;
+  std::unordered_set<int> members;
+  counters[1] = 2;
+  members.insert(3);
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : counters)
+    sum += static_cast<std::uint64_t>(key + value);
+  for (auto it = members.begin(); it != members.end(); ++it)
+    sum += static_cast<std::uint64_t>(*it);
+  return sum + members.count(3);
+}
+
+}  // namespace fixture

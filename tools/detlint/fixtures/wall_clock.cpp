@@ -1,0 +1,18 @@
+// wall-clock rule fixture. Expected findings: lines 8 and 12.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+inline long now_epoch() {
+  return static_cast<long>(time(nullptr));
+}
+
+inline long now_chrono() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

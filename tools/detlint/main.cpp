@@ -1,0 +1,67 @@
+// detlint CLI.
+//
+//   detlint [--root <repo-root>] [files...]
+//
+// With no file arguments, lints every .hpp/.cpp under <root>/src (the
+// simulator sources; tests, bench, tools and examples are out of scope —
+// they may stamp wall-clock manifests). With explicit file arguments it
+// lints exactly those files, which is how the fixture tests drive it.
+// Exit status: 0 when clean, 1 when any finding, 2 on usage error.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "detlint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : detlint::rule_ids())
+        std::cout << rule << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: detlint [--root <repo-root>] [files...]\n"
+                   "       detlint --list-rules\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (files.empty()) {
+    files = detlint::collect_sources(root + "/src");
+    if (files.empty()) {
+      std::cerr << "detlint: no sources under " << root << "/src\n";
+      return 2;
+    }
+  }
+
+  std::size_t findings = 0;
+  for (const std::string& file : files) {
+    for (const detlint::Finding& finding : detlint::lint_file(file)) {
+      std::cout << detlint::to_string(finding) << "\n";
+      ++findings;
+    }
+  }
+  if (findings > 0) {
+    std::cout << "detlint: " << findings << " finding"
+              << (findings == 1 ? "" : "s") << " in " << files.size()
+              << " file" << (files.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  std::cout << "detlint: clean (" << files.size() << " files)\n";
+  return 0;
+}
