@@ -26,6 +26,7 @@
 #include "bench_util.hpp"
 #include "common/env.hpp"
 #include "fault/recovery.hpp"
+#include "obs/stream.hpp"
 #include "protocols/hash_polling.hpp"
 #include "protocols/round_engine.hpp"
 #include "protocols/tree_polling.hpp"
@@ -51,7 +52,8 @@ struct DrainResult final {
 
 template <typename Policy, typename PolicyConfig>
 DrainResult drain_once(const PolicyConfig& policy_config, std::size_t n,
-                       std::uint64_t seed, bool keep_records) {
+                       std::uint64_t seed, bool keep_records,
+                       obs::StreamingAggregator* stream = nullptr) {
   Xoshiro256ss pop_rng(seed);
   const tags::TagPopulation population =
       tags::TagPopulation::uniform_random(n, pop_rng);
@@ -73,6 +75,13 @@ DrainResult drain_once(const PolicyConfig& policy_config, std::size_t n,
   while (!active.empty()) {
     const std::uint64_t before = allocation_count();
     engine.run_round(active, policy);
+    // The live-telemetry hook the simserved daemon runs every round: a
+    // Metrics copy into the aggregator under its mutex. The `+stream` rows
+    // gate that this stays allocation-free (publish() is the serving
+    // layer's job and runs on its own cadence, not per round).
+    if (stream != nullptr)
+      stream->update_reader(0, session.metrics(),
+                            session.downlink().estimated_ber());
     const std::uint64_t delta = allocation_count() - before;
     if (result.rounds == 0)
       result.first_round_allocs = delta;
@@ -96,13 +105,19 @@ struct EngineSeries final {
 template <typename Policy, typename PolicyConfig>
 EngineSeries measure_engine(const PolicyConfig& policy_config, std::size_t n,
                             std::size_t reps, std::uint64_t master_seed,
-                            bool keep_records) {
+                            bool keep_records,
+                            obs::StreamingAggregator* stream = nullptr) {
   EngineSeries series;
   // One untimed warm-up drain pages in code and the allocator.
-  (void)drain_once<Policy>(policy_config, n, master_seed, keep_records);
+  (void)drain_once<Policy>(policy_config, n, master_seed, keep_records,
+                           stream);
   for (std::size_t rep = 0; rep < reps; ++rep) {
-    const DrainResult r =
-        drain_once<Policy>(policy_config, n, master_seed + rep, keep_records);
+    const DrainResult r = drain_once<Policy>(policy_config, n,
+                                             master_seed + rep, keep_records,
+                                             stream);
+    // Publishing between drains mirrors the daemon's snapshot cadence and
+    // keeps the (allocating) snapshot build out of the per-round window.
+    if (stream != nullptr) (void)stream->publish(r.wall_s);
     series.rounds_per_sec.add(static_cast<double>(r.rounds) / r.wall_s);
     series.rounds += r.rounds;
     series.first_round_allocs += r.first_round_allocs;
@@ -184,6 +199,26 @@ int main() {
                         protocols::Tpp::Config{}, n, reps, master_seed,
                         /*keep_records=*/false),
              /*gate=*/true);
+  // The aggregator hook rows: identical drains with the simserved
+  // per-round telemetry fold attached. Gated like the bare rows — the
+  // hook must not reintroduce steady-state allocation — and comparable
+  // against them for rounds/sec (BENCH_round_engine.json tracks both).
+  {
+    obs::StreamingAggregator stream(1);
+    engine_row("HPP+stream", measure_engine<protocols::HppRoundPolicy>(
+                                 protocols::HppRoundConfig{}, n, reps,
+                                 master_seed, /*keep_records=*/false,
+                                 &stream),
+               /*gate=*/true);
+  }
+  {
+    obs::StreamingAggregator stream(1);
+    engine_row("TPP+stream", measure_engine<protocols::TppRoundPolicy>(
+                                 protocols::Tpp::Config{}, n, reps,
+                                 master_seed, /*keep_records=*/false,
+                                 &stream),
+               /*gate=*/true);
+  }
   engine_row("HPP+records", measure_engine<protocols::HppRoundPolicy>(
                                 protocols::HppRoundConfig{}, n, reps,
                                 master_seed, /*keep_records=*/true),

@@ -1,17 +1,30 @@
 // Replays a JSONL air-interface trace (examples/telemetry_export
-// --trace-jsonl) into a per-phase time-accounting summary: where the
-// microseconds went (vector transmission, commands, turn-arounds, tag
-// replies, wasted slots), per-event-kind tallies, and slot-airtime
-// quantiles via the streaming P2 estimator. Pure offline tool — it knows
-// nothing about the simulator, only the trace schema.
+// --trace-jsonl, or simserved --trace) into a per-phase time-accounting
+// summary: where the microseconds went (vector transmission, commands,
+// turn-arounds, tag replies, wasted slots), per-event-kind tallies, and
+// slot-airtime quantiles via the streaming P2 estimator. Pure offline
+// tool — it knows nothing about the simulator, only the trace schema.
 //
-//   ./trace_inspect TRACE.jsonl
+//   ./trace_inspect [--follow] [--poll-ms N] TRACE.jsonl
+//
+// --follow tails a live trace (a file a running daemon keeps appending
+// to), folding new lines in as they arrive and printing a one-line
+// progress ticker; SIGINT stops following and prints the full summary.
+// Only complete lines are consumed — a JSON object caught mid-write waits
+// in the carry buffer for its closing newline instead of being miscounted
+// as garbage. Integers are strictly parsed (parse_size_arg conventions:
+// base-10 digits only, zero rejected).
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "obs/histogram.hpp"
 #include "obs/phase_timer.hpp"
@@ -20,6 +33,10 @@
 namespace {
 
 using namespace rfid;
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void on_interrupt(int) { g_interrupted = 1; }
 
 /// Pulls `"key":<number>` out of a JSONL line; 0 when absent. Good enough
 /// for the fixed flat schema JsonlSink writes — not a general JSON parser.
@@ -41,142 +58,246 @@ std::string field_str(std::string_view line, std::string_view key) {
   return std::string(line.substr(start, end - start));
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: " << argv[0] << " TRACE.jsonl\n";
-    return EXIT_FAILURE;
-  }
-  std::ifstream in(argv[1]);
-  if (!in.is_open()) {
-    std::cerr << "cannot open " << argv[1] << '\n';
-    return EXIT_FAILURE;
-  }
-
-  obs::PhaseBreakdown phases;
-  std::uint64_t kind_counts[obs::kEventKindCount] = {};
-  std::uint64_t vector_bits = 0, command_bits = 0, tag_bits = 0;
-  std::uint64_t rounds = 0, circles = 0, polls = 0;
-  double clock_us = 0.0;
-  obs::P2Quantile slot_p50(0.5), slot_p99(0.99);
-  obs::Histogram slot_airtime = obs::Histogram::exponential(100.0, 1.2, 32);
-  std::uint64_t lines = 0, skipped = 0;
-
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    ++lines;
+/// Streaming fold of trace lines into the summary accumulators, so the
+/// one-shot and --follow paths share every attribution rule.
+class TraceStats final {
+ public:
+  /// Folds one complete JSONL line. Returns false when the line claims to
+  /// be a meta header of some other schema (fatal for the whole file).
+  bool feed(std::string_view line) {
+    if (line.empty()) return true;
+    ++lines_;
     const std::string type = field_str(line, "type");
-    if (type == "meta") {
-      if (field_str(line, "schema") != "rfid-trace") {
-        std::cerr << "not an rfid-trace JSONL file\n";
-        return EXIT_FAILURE;
-      }
-      continue;
-    }
+    if (type == "meta")
+      return field_str(line, "schema") == "rfid-trace";
     obs::EventKind kind;
-    if (type != "event" || !obs::parse_event_kind(field_str(line, "event"),
-                                                  kind)) {
-      ++skipped;
-      continue;
+    if (type != "event" ||
+        !obs::parse_event_kind(field_str(line, "event"), kind)) {
+      ++skipped_;
+      return true;
     }
-    ++kind_counts[static_cast<std::size_t>(kind)];
+    ++kind_counts_[static_cast<std::size_t>(kind)];
     const double duration = field_num(line, "duration_us");
     const double reader_us = field_num(line, "reader_us");
     const double tag_us = field_num(line, "tag_us");
-    vector_bits += static_cast<std::uint64_t>(field_num(line, "vector_bits"));
-    command_bits +=
+    vector_bits_ +=
+        static_cast<std::uint64_t>(field_num(line, "vector_bits"));
+    command_bits_ +=
         static_cast<std::uint64_t>(field_num(line, "command_bits"));
-    tag_bits += static_cast<std::uint64_t>(field_num(line, "tag_bits"));
-    clock_us += duration;
+    tag_bits_ += static_cast<std::uint64_t>(field_num(line, "tag_bits"));
+    clock_us_ += duration;
 
-    // The same attribution rules the live session uses (docs/observability.md).
+    // The same attribution rules the live session uses
+    // (docs/observability.md).
     switch (kind) {
       case obs::EventKind::kReaderBroadcast:
-        phases.add(field_num(line, "vector_bits") > 0
-                       ? obs::Phase::kReaderVector
-                       : obs::Phase::kCommand,
-                   duration);
+        phases_.add(field_num(line, "vector_bits") > 0
+                        ? obs::Phase::kReaderVector
+                        : obs::Phase::kCommand,
+                    duration);
         break;
       case obs::EventKind::kReply:
-        ++polls;
-        phases.add(obs::Phase::kReaderVector, reader_us);
-        phases.add(obs::Phase::kTagReply, tag_us);
-        phases.add(obs::Phase::kTurnaround, duration - reader_us - tag_us);
-        slot_p50.record(duration);
-        slot_p99.record(duration);
-        slot_airtime.record(duration);
+        ++polls_;
+        phases_.add(obs::Phase::kReaderVector, reader_us);
+        phases_.add(obs::Phase::kTagReply, tag_us);
+        phases_.add(obs::Phase::kTurnaround, duration - reader_us - tag_us);
+        record_slot(duration);
         break;
       case obs::EventKind::kTimeout:
       case obs::EventKind::kCorrupted:
       case obs::EventKind::kSlotEmpty:
       case obs::EventKind::kSlotCollision:
-        phases.add(obs::Phase::kWastedSlot, duration);
-        slot_p50.record(duration);
-        slot_p99.record(duration);
-        slot_airtime.record(duration);
+        phases_.add(obs::Phase::kWastedSlot, duration);
+        record_slot(duration);
         break;
       case obs::EventKind::kRoundBegin:
-        ++rounds;
+        ++rounds_;
         break;
       case obs::EventKind::kCircleBegin:
-        ++circles;
+        ++circles_;
         break;
       case obs::EventKind::kPoll:
         break;  // airtime rides on the outcome event
     }
+    return true;
   }
 
-  std::uint64_t total_events = 0;
-  for (std::size_t k = 0; k < obs::kEventKindCount; ++k)
-    total_events += kind_counts[k];
-  if (total_events == 0) {
-    std::cerr << "no trace events in " << argv[1] << " (" << lines
-              << " lines, " << skipped
+  [[nodiscard]] std::uint64_t total_events() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t k = 0; k < obs::kEventKindCount; ++k)
+      total += kind_counts_[k];
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t lines() const noexcept { return lines_; }
+  [[nodiscard]] std::uint64_t skipped() const noexcept { return skipped_; }
+  [[nodiscard]] double clock_us() const noexcept { return clock_us_; }
+
+  void print_summary(std::ostream& os, const std::string& path) const {
+    os << "=== trace summary: " << path << " ===\n" << lines_ << " lines";
+    if (skipped_ > 0) os << " (" << skipped_ << " unrecognized, skipped)";
+    os << "\n\n";
+
+    TablePrinter events({"event", "count"});
+    for (std::size_t k = 0; k < obs::kEventKindCount; ++k)
+      events.add_row(
+          {std::string(to_string(static_cast<obs::EventKind>(k))),
+           std::to_string(kind_counts_[k])});
+    events.print(os);
+
+    os << '\n';
+    TablePrinter table({"phase", "time (us)", "share"});
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+      const auto phase = static_cast<obs::Phase>(p);
+      table.add_row(
+          {std::string(to_string(phase)),
+           TablePrinter::num(phases_.get(phase), 1),
+           TablePrinter::num(100.0 * phases_.fraction(phase), 1) + "%"});
+    }
+    table.add_row(
+        {"total", TablePrinter::num(phases_.total_us(), 1), "100.0%"});
+    table.print(os);
+
+    os << "\nbits: vector " << vector_bits_ << ", command " << command_bits_
+       << ", tag " << tag_bits_ << '\n'
+       << "rounds " << rounds_ << ", circles " << circles_ << ", polls "
+       << polls_ << '\n';
+    if (polls_ > 0)
+      os << "avg vector bits/poll: "
+         << TablePrinter::num(static_cast<double>(vector_bits_) /
+                                  static_cast<double>(polls_),
+                              3)
+         << '\n';
+    if (slot_airtime_.count() > 0)
+      os << "slot airtime us: mean "
+         << TablePrinter::num(slot_airtime_.mean(), 1) << ", p50 "
+         << TablePrinter::num(slot_p50_.value(), 1) << ", p99 "
+         << TablePrinter::num(slot_p99_.value(), 1) << " (P2)\n";
+    os << "clock total: " << TablePrinter::num(clock_us_, 1) << " us\n";
+  }
+
+ private:
+  void record_slot(double duration) {
+    slot_p50_.record(duration);
+    slot_p99_.record(duration);
+    slot_airtime_.record(duration);
+  }
+
+  obs::PhaseBreakdown phases_{};
+  std::uint64_t kind_counts_[obs::kEventKindCount] = {};
+  std::uint64_t vector_bits_ = 0, command_bits_ = 0, tag_bits_ = 0;
+  std::uint64_t rounds_ = 0, circles_ = 0, polls_ = 0;
+  double clock_us_ = 0.0;
+  obs::P2Quantile slot_p50_{0.5}, slot_p99_{0.99};
+  obs::Histogram slot_airtime_ = obs::Histogram::exponential(100.0, 1.2, 32);
+  std::uint64_t lines_ = 0, skipped_ = 0;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--follow] [--poll-ms N] TRACE.jsonl\n"
+               "  --follow    keep reading as the file grows (SIGINT for the"
+               " summary)\n"
+               "  --poll-ms N growth-poll interval, default 500 (strictly"
+               " parsed, > 0)\n";
+  return EXIT_FAILURE;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool follow = false;
+  std::size_t poll_ms = 500;
+  std::string path;
+
+  for (int arg = 1; arg < argc; ++arg) {
+    const std::string_view flag = argv[arg];
+    if (flag == "--follow") {
+      follow = true;
+    } else if (flag == "--poll-ms") {
+      if (arg + 1 >= argc) return usage(argv[0]);
+      const std::optional<std::size_t> parsed = parse_size_arg(argv[++arg]);
+      if (!parsed) {
+        std::cerr << "bad --poll-ms value: " << argv[arg] << '\n';
+        return usage(argv[0]);
+      }
+      poll_ms = *parsed;
+    } else if (flag.substr(0, 2) == "--") {
+      std::cerr << "unknown flag: " << flag << '\n';
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = flag;
+    } else {
+      std::cerr << "unexpected argument: " << flag << '\n';
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::cerr << "cannot open " << path << '\n';
+    return EXIT_FAILURE;
+  }
+  if (follow) {
+    std::signal(SIGINT, on_interrupt);
+    std::signal(SIGTERM, on_interrupt);
+  }
+
+  TraceStats stats;
+  std::string carry;
+  char buffer[4096];
+  std::uint64_t last_reported = 0;
+  bool schema_ok = true;
+
+  while (schema_ok) {
+    in.clear();
+    in.read(buffer, sizeof(buffer));
+    const std::streamsize got = in.gcount();
+    if (got > 0) {
+      carry.append(buffer, static_cast<std::size_t>(got));
+      std::size_t start = 0;
+      for (std::size_t nl = carry.find('\n'); nl != std::string::npos;
+           nl = carry.find('\n', start)) {
+        if (!stats.feed(std::string_view(carry).substr(start, nl - start))) {
+          std::cerr << "not an rfid-trace JSONL file\n";
+          schema_ok = false;
+          break;
+        }
+        start = nl + 1;
+      }
+      carry.erase(0, start);
+      continue;
+    }
+    // EOF. One-shot mode folds any unterminated final line and stops;
+    // follow mode leaves it in the carry (the writer is mid-line) and
+    // waits for the file to grow.
+    if (!follow) {
+      if (!carry.empty() && !stats.feed(carry)) {
+        std::cerr << "not an rfid-trace JSONL file\n";
+        schema_ok = false;
+      }
+      break;
+    }
+    if (g_interrupted != 0) break;
+    if (const std::uint64_t events = stats.total_events();
+        events != last_reported) {
+      last_reported = events;
+      std::cerr << "\rfollowing " << path << ": " << events << " events, "
+                << TablePrinter::num(stats.clock_us() / 1e6, 3)
+                << " s sim clock (^C for summary)   " << std::flush;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+  if (!schema_ok) return EXIT_FAILURE;
+  if (follow) std::cerr << '\n';
+
+  if (stats.total_events() == 0) {
+    std::cerr << "no trace events in " << path << " (" << stats.lines()
+              << " lines, " << stats.skipped()
               << " unrecognized) — is this a telemetry_export"
                  " --trace-jsonl file?\n";
     return EXIT_FAILURE;
   }
-
-  std::cout << "=== trace summary: " << argv[1] << " ===\n"
-            << lines << " lines";
-  if (skipped > 0) std::cout << " (" << skipped << " unrecognized, skipped)";
-  std::cout << "\n\n";
-
-  TablePrinter events({"event", "count"});
-  for (std::size_t k = 0; k < obs::kEventKindCount; ++k)
-    events.add_row({std::string(to_string(static_cast<obs::EventKind>(k))),
-                    std::to_string(kind_counts[k])});
-  events.print(std::cout);
-
-  std::cout << '\n';
-  TablePrinter table({"phase", "time (us)", "share"});
-  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
-    const auto phase = static_cast<obs::Phase>(p);
-    table.add_row({std::string(to_string(phase)),
-                   TablePrinter::num(phases.get(phase), 1),
-                   TablePrinter::num(100.0 * phases.fraction(phase), 1) + "%"});
-  }
-  table.add_row({"total", TablePrinter::num(phases.total_us(), 1), "100.0%"});
-  table.print(std::cout);
-
-  std::cout << "\nbits: vector " << vector_bits << ", command "
-            << command_bits << ", tag " << tag_bits << '\n'
-            << "rounds " << rounds << ", circles " << circles << ", polls "
-            << polls << '\n';
-  if (polls > 0)
-    std::cout << "avg vector bits/poll: "
-              << TablePrinter::num(
-                     static_cast<double>(vector_bits) /
-                         static_cast<double>(polls),
-                     3)
-              << '\n';
-  if (slot_airtime.count() > 0)
-    std::cout << "slot airtime us: mean "
-              << TablePrinter::num(slot_airtime.mean(), 1) << ", p50 "
-              << TablePrinter::num(slot_p50.value(), 1) << ", p99 "
-              << TablePrinter::num(slot_p99.value(), 1) << " (P2)\n";
-  std::cout << "clock total: " << TablePrinter::num(clock_us, 1) << " us\n";
+  stats.print_summary(std::cout, path);
   return EXIT_SUCCESS;
 }

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Appends one perf-trajectory snapshot of the RoundEngine microbench to
+# BENCH_round_engine.json at the repo root, so successive PRs accumulate
+# comparable datapoints (same bench, same schema) instead of overwriting
+# each other. Each snapshot records the commit, the bench CSV rows, and the
+# manifest sidecar (seeds, workloads, compiler) as provenance.
+#
+#   scripts/snapshot_bench.sh [BIN_DIR]
+#
+# BIN_DIR is the CMake binary dir holding bench/ (default: build). Honours
+# RFID_RUNS / RFID_MAX_N like the bench itself; the snapshot records them.
+# The bench's own allocation gate stays live: a nonzero steady-state
+# allocations/round fails this script before anything is written.
+set -euo pipefail
+
+bin_dir="${1:-build}"
+bench="$bin_dir/bench/bench_round_engine"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out="$repo_root/BENCH_round_engine.json"
+
+if [ ! -x "$bench" ]; then
+  echo "snapshot_bench: missing $bench (build with RFID_BUILD_BENCH=ON)" >&2
+  exit 1
+fi
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "snapshot_bench: python3 is required to assemble the snapshot" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# The bench exits nonzero when steady-state rounds allocate — let that
+# propagate (set -e): a regressing build must not produce a snapshot.
+RFID_CSV_DIR="$workdir" "$bench" > "$workdir/stdout.txt"
+
+commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+python3 - "$out" "$workdir" "$commit" <<'PY'
+import csv, json, sys, time
+out_path, workdir, commit = sys.argv[1], sys.argv[2], sys.argv[3]
+
+with open(f"{workdir}/bench_round_engine.csv") as f:
+    rows = list(csv.DictReader(f))
+with open(f"{workdir}/bench_round_engine.manifest.json") as f:
+    manifest = json.load(f)
+
+snapshot = {
+    "commit": commit,
+    "unix_time": int(time.time()),
+    "rows": rows,
+    "manifest": manifest,
+}
+
+try:
+    with open(out_path) as f:
+        history = json.load(f)
+    assert isinstance(history.get("snapshots"), list)
+except (FileNotFoundError, json.JSONDecodeError, AssertionError):
+    history = {"bench": "bench_round_engine", "snapshots": []}
+
+history["snapshots"].append(snapshot)
+with open(out_path, "w") as f:
+    json.dump(history, f, indent=2)
+    f.write("\n")
+
+print(f"snapshot_bench: appended commit {commit} "
+      f"({len(history['snapshots'])} snapshot(s) in {out_path})")
+PY

@@ -1,6 +1,6 @@
-#include "sim/metrics.hpp"
+#include "obs/metrics.hpp"
 
-namespace rfid::sim {
+namespace rfid::obs {
 
 void Metrics::merge(const Metrics& other) noexcept {
   polls += other.polls;
@@ -26,4 +26,4 @@ void Metrics::merge(const Metrics& other) noexcept {
   phases.merge(other.phases);
 }
 
-}  // namespace rfid::sim
+}  // namespace rfid::obs

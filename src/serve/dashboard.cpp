@@ -1,0 +1,415 @@
+#include "serve/dashboard.hpp"
+
+namespace rfid::serve {
+
+// Palette and chart chrome follow the validated reference palette
+// (categorical slots in fixed order, mode-stepped for dark; series identity
+// is carried by legend chips and direct labels, never color alone; the
+// per-reader table is the screen-reader/low-contrast relief view).
+namespace {
+
+constexpr std::string_view kDashboardHtml = R"dash(<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>rfid simserved — live telemetry</title>
+<style>
+  :root {
+    color-scheme: light;
+    --page: #f9f9f7; --surface-1: #fcfcfb;
+    --ink-1: #0b0b0b; --ink-2: #52514e; --ink-muted: #898781;
+    --grid: #e1e0d9; --baseline: #c3c2b7;
+    --border: rgba(11,11,11,0.10);
+    --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+    --s5: #e87ba4; --s6: #008300; --s7: #4a3aa7; --s8: #e34948;
+    --good: #0ca30c; --warning: #fab219; --serious: #ec835a;
+    --critical: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) {
+      color-scheme: dark;
+      --page: #0d0d0d; --surface-1: #1a1a19;
+      --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-muted: #898781;
+      --grid: #2c2c2a; --baseline: #383835;
+      --border: rgba(255,255,255,0.10);
+      --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+      --s5: #d55181; --s6: #008300; --s7: #9085e9; --s8: #e66767;
+    }
+  }
+  :root[data-theme="dark"] {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+    --s5: #d55181; --s6: #008300; --s7: #9085e9; --s8: #e66767;
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; background: var(--page); color: var(--ink-1);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  header {
+    display: flex; align-items: baseline; gap: 12px;
+    padding: 14px 20px 6px;
+  }
+  header h1 { font-size: 17px; font-weight: 650; margin: 0; }
+  header .sub { color: var(--ink-2); font-size: 13px; }
+  #conn {
+    margin-left: auto; font-size: 12px; color: var(--ink-2);
+    display: inline-flex; align-items: center; gap: 6px;
+  }
+  #conn .dot {
+    width: 8px; height: 8px; border-radius: 50%;
+    background: var(--ink-muted);
+  }
+  #conn.live .dot { background: var(--good); }
+  #conn.down .dot { background: var(--critical); }
+  main { padding: 8px 20px 28px; max-width: 1180px; margin: 0 auto; }
+  .tiles {
+    display: grid; gap: 10px; margin-bottom: 12px;
+    grid-template-columns: repeat(auto-fit, minmax(150px, 1fr));
+  }
+  .tile {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 10px 14px;
+  }
+  .tile .k { font-size: 12px; color: var(--ink-2); }
+  .tile .v { font-size: 24px; font-weight: 650; }
+  .tile .v small { font-size: 13px; font-weight: 400; color: var(--ink-2); }
+  .cards { display: grid; gap: 12px; grid-template-columns: 1fr 1fr; }
+  @media (max-width: 880px) { .cards { grid-template-columns: 1fr; } }
+  .card {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 12px 14px; position: relative;
+  }
+  .card h2 { font-size: 13px; font-weight: 650; margin: 0 0 2px; }
+  .card .hint { font-size: 12px; color: var(--ink-muted); margin: 0 0 6px; }
+  .card.wide { grid-column: 1 / -1; }
+  .legend {
+    display: flex; flex-wrap: wrap; gap: 4px 14px; margin: 4px 0 2px;
+    font-size: 12px; color: var(--ink-2);
+  }
+  .legend .chip {
+    display: inline-block; width: 10px; height: 10px; border-radius: 3px;
+    margin-right: 5px; vertical-align: -1px;
+  }
+  svg { display: block; width: 100%; height: auto; }
+  svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; }
+  .axis { fill: var(--ink-muted); }
+  .dlabel { fill: var(--ink-2); font-weight: 600; }
+  .vlabel { fill: var(--ink-2); }
+  #tooltip {
+    position: fixed; pointer-events: none; display: none; z-index: 10;
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 6px; padding: 6px 9px; font-size: 12px;
+    color: var(--ink-1); box-shadow: 0 2px 8px rgba(0,0,0,0.18);
+    max-width: 260px;
+  }
+  #tooltip .t { color: var(--ink-2); margin-bottom: 2px; }
+  table { border-collapse: collapse; width: 100%; font-size: 13px; }
+  th, td {
+    text-align: right; padding: 4px 10px;
+    border-bottom: 1px solid var(--grid);
+    font-variant-numeric: tabular-nums;
+  }
+  th { color: var(--ink-2); font-weight: 600; }
+  th:first-child, td:first-child { text-align: left; }
+  #eventlog { list-style: none; margin: 0; padding: 0; font-size: 13px; }
+  #eventlog li {
+    display: flex; gap: 8px; padding: 3px 0; align-items: baseline;
+    border-bottom: 1px solid var(--grid);
+  }
+  #eventlog .icon { font-weight: 700; width: 14px; text-align: center; }
+  #eventlog .kind { width: 92px; font-weight: 600; }
+  #eventlog .meta { color: var(--ink-2); }
+  #eventlog li.degrade .icon { color: var(--warning); }
+  #eventlog li.undelivered .icon { color: var(--serious); }
+  #eventlog li.epoch .icon { color: var(--good); }
+  #eventlog li.drops .icon { color: var(--critical); }
+  .empty { color: var(--ink-muted); font-size: 13px; padding: 8px 0; }
+</style>
+</head>
+<body>
+<header>
+  <h1>rfid simserved</h1>
+  <span class="sub">live telemetry &middot; <a href="/metrics.json">metrics.json</a> &middot; <a href="/healthz">healthz</a></span>
+  <span id="conn"><span class="dot"></span><span id="connText">connecting…</span></span>
+</header>
+<main>
+  <div class="tiles">
+    <div class="tile"><div class="k">rounds / sec</div><div class="v" id="tileRps">—</div></div>
+    <div class="tile"><div class="k">tags polled</div><div class="v" id="tilePolls">—</div></div>
+    <div class="tile"><div class="k">undelivered</div><div class="v" id="tileUndeliv">—</div></div>
+    <div class="tile"><div class="k">degradations</div><div class="v" id="tileDegrade">—</div></div>
+    <div class="tile"><div class="k">mean BER estimate</div><div class="v" id="tileBer">—</div></div>
+    <div class="tile"><div class="k">stream drops <small>(this client)</small></div><div class="v" id="tileDrops">0</div></div>
+  </div>
+  <div class="cards">
+    <div class="card">
+      <h2>Throughput — rounds per second</h2>
+      <p class="hint">per publish interval, last 120 snapshots</p>
+      <div id="chartRps" class="chart"><p class="empty">waiting for snapshots…</p></div>
+    </div>
+    <div class="card">
+      <h2>Downlink BER estimate per reader</h2>
+      <p class="hint">live estimate from delivery feedback</p>
+      <div class="legend" id="legendBer"></div>
+      <div id="chartBer" class="chart"><p class="empty">waiting for snapshots…</p></div>
+    </div>
+    <div class="card">
+      <h2>Recovery budget consumption</h2>
+      <p class="hint">retries spent and tags abandoned, per reader</p>
+      <div class="legend" id="legendBudget"></div>
+      <div id="chartBudget" class="chart"><p class="empty">waiting for snapshots…</p></div>
+    </div>
+    <div class="card">
+      <h2>Event log</h2>
+      <p class="hint">typed fault / degradation / epoch events</p>
+      <ul id="eventlog"></ul>
+      <p class="empty" id="eventlogEmpty">no events yet</p>
+    </div>
+    <div class="card wide">
+      <h2>Per-reader detail</h2>
+      <p class="hint">exact values behind the charts</p>
+      <div id="readerTable"></div>
+    </div>
+  </div>
+</main>
+<div id="tooltip"></div>
+<script>
+"use strict";
+const MAX_POINTS = 120, MAX_EVENTS = 40;
+const SLOTS = ["--s1","--s2","--s3","--s4","--s5","--s6","--s7","--s8"];
+const hist = [];
+let dropsSeen = 0;
+
+const $ = id => document.getElementById(id);
+const css = v => getComputedStyle(document.documentElement)
+  .getPropertyValue(v).trim();
+const slot = i => css(SLOTS[i % SLOTS.length]);
+const fmtInt = n => n.toLocaleString("en-US");
+const fmt = n => {
+  if (!isFinite(n)) return "—";
+  if (n === 0) return "0";
+  const a = Math.abs(n);
+  if (a >= 100) return n.toFixed(0);
+  if (a >= 1) return n.toFixed(1);
+  return n.toPrecision(2);
+};
+const esc = s => String(s).replace(/[&<>"]/g,
+  c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+
+// --- tooltip -----------------------------------------------------------
+const tip = $("tooltip");
+function showTip(html, x, y) {
+  tip.innerHTML = html; tip.style.display = "block";
+  const w = tip.offsetWidth;
+  tip.style.left = Math.min(x + 14, innerWidth - w - 8) + "px";
+  tip.style.top = (y + 14) + "px";
+}
+function hideTip() { tip.style.display = "none"; }
+
+// --- line chart (shared by throughput + BER) ---------------------------
+// series: [{name, color, points:[{x, y}]}]; one y axis, hairline grid,
+// 2px lines, direct label at each line's end.
+function lineChart(el, series, opts) {
+  const W = 520, H = 190, L = 46, R = 46, T = 10, B = 22;
+  const pts = series.flatMap(s => s.points);
+  if (pts.length < 2) return;
+  const xs = pts.map(p => p.x), ys = pts.map(p => p.y);
+  const x0 = Math.min(...xs), x1 = Math.max(...xs);
+  let y0 = 0, y1 = Math.max(...ys, opts.yFloor || 0);
+  if (y1 <= y0) y1 = y0 + 1;
+  y1 *= 1.08;
+  const px = x => L + (x - x0) / Math.max(1e-9, x1 - x0) * (W - L - R);
+  const py = y => T + (1 - (y - y0) / (y1 - y0)) * (H - T - B);
+  let g = "";
+  for (let i = 0; i <= 3; i++) {
+    const y = y0 + (y1 - y0) * i / 3, yy = py(y).toFixed(1);
+    g += `<line x1="${L}" y1="${yy}" x2="${W - R}" y2="${yy}"
+      stroke="var(--grid)" stroke-width="1"/>`;
+    g += `<text class="axis" x="${L - 6}" y="${+yy + 3}"
+      text-anchor="end">${opts.yFmt(y)}</text>`;
+  }
+  g += `<line x1="${L}" y1="${py(y0)}" x2="${W - R}" y2="${py(y0)}"
+    stroke="var(--baseline)" stroke-width="1"/>`;
+  g += `<text class="axis" x="${L}" y="${H - 6}">seq ${fmtInt(x0)}</text>`;
+  g += `<text class="axis" x="${W - R}" y="${H - 6}"
+    text-anchor="end">seq ${fmtInt(x1)}</text>`;
+  for (const s of series) {
+    const d = s.points.map(p => px(p.x).toFixed(1) + "," +
+      py(p.y).toFixed(1)).join(" ");
+    g += `<polyline points="${d}" fill="none" stroke="${s.color}"
+      stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`;
+    const last = s.points[s.points.length - 1];
+    g += `<text class="dlabel" x="${W - R + 4}"
+      y="${py(last.y).toFixed(1)}" dominant-baseline="middle"
+      >${esc(s.name)}</text>`;
+  }
+  el.innerHTML = `<svg viewBox="0 0 ${W} ${H}" role="img"
+    aria-label="${esc(opts.aria)}">${g}</svg>`;
+  const svg = el.querySelector("svg");
+  svg.addEventListener("mousemove", ev => {
+    const r = svg.getBoundingClientRect();
+    const mx = (ev.clientX - r.left) / r.width * W;
+    const seq = x0 + (mx - L) / Math.max(1e-9, W - L - R) * (x1 - x0);
+    let best = null, bd = Infinity;
+    for (const p of series[0].points) {
+      const d = Math.abs(p.x - seq);
+      if (d < bd) { bd = d; best = p.x; }
+    }
+    if (best == null) return;
+    let html = `<div class="t">snapshot ${fmtInt(best)}</div>`;
+    for (const s of series) {
+      const p = s.points.find(q => q.x === best);
+      if (p) html += `<div><span class="chip" style="background:${s.color};
+        display:inline-block;width:9px;height:9px;border-radius:2px;
+        margin-right:5px"></span>${esc(s.name)}: <b>${opts.yFmt(p.y)}</b></div>`;
+    }
+    showTip(html, ev.clientX, ev.clientY);
+  });
+  svg.addEventListener("mouseleave", hideTip);
+}
+
+// --- grouped horizontal bars (budget card) -----------------------------
+function budgetChart(el, readers) {
+  const rows = readers.length, BH = 12, GAP = 2, GROUP = 10;
+  const W = 520, L = 46, R = 84;
+  const H = 14 + rows * (2 * BH + GAP + GROUP) + 18;
+  const maxV = Math.max(1,
+    ...readers.map(r => Math.max(r.metrics.retries, r.metrics.undelivered)));
+  const px = v => v / (maxV * 1.05) * (W - L - R);
+  let g = "";
+  let y = 10;
+  const cols = [css("--s1"), css("--s2")];
+  readers.forEach((r, i) => {
+    g += `<text class="dlabel" x="${L - 6}" y="${y + BH + 2}"
+      text-anchor="end">R${i}</text>`;
+    const bars = [
+      { v: r.metrics.retries, c: cols[0], n: "retries" },
+      { v: r.metrics.undelivered, c: cols[1], n: "undelivered" },
+    ];
+    for (const b of bars) {
+      const w = Math.max(px(b.v), b.v > 0 ? 2 : 0);
+      g += `<rect x="${L}" y="${y}" width="${w.toFixed(1)}" height="${BH}"
+        rx="2" fill="${b.c}"><title>reader ${i} ${b.n}: ${fmtInt(b.v)}
+(budget ${fmtInt(r.retry_budget)} retries/tag)</title></rect>`;
+      g += `<text class="vlabel" x="${(L + w + 5).toFixed(1)}"
+        y="${y + BH - 2}">${fmtInt(b.v)}</text>`;
+      y += BH + GAP;
+    }
+    y += GROUP;
+  });
+  g += `<line x1="${L}" y1="8" x2="${L}" y2="${y - GROUP + 2}"
+    stroke="var(--baseline)" stroke-width="1"/>`;
+  el.innerHTML = `<svg viewBox="0 0 ${W} ${H}" role="img"
+    aria-label="recovery retries and undelivered tags per reader">${g}</svg>`;
+}
+
+function legend(el, entries) {
+  el.innerHTML = entries.map(e =>
+    `<span><span class="chip" style="background:${e.color}"></span>` +
+    `${esc(e.name)}</span>`).join("");
+}
+
+// --- event log ---------------------------------------------------------
+const KIND_ICON = { degrade: "▾", undelivered: "✕", epoch: "✓", drops: "!" };
+function logEvent(kind, detail) {
+  const log = $("eventlog");
+  $("eventlogEmpty").style.display = "none";
+  const li = document.createElement("li");
+  li.className = kind;
+  li.innerHTML = `<span class="icon">${KIND_ICON[kind] || "•"}</span>` +
+    `<span class="kind">${esc(kind)}</span><span class="meta">${esc(detail)}</span>`;
+  log.prepend(li);
+  while (log.children.length > MAX_EVENTS) log.removeChild(log.lastChild);
+}
+
+// --- render ------------------------------------------------------------
+function render() {
+  const s = hist[hist.length - 1];
+  if (!s) return;
+  const readers = s.readers;
+  $("tileRps").textContent = fmt(s.rounds_per_sec);
+  $("tilePolls").textContent = fmtInt(s.totals.polls);
+  $("tileUndeliv").textContent = fmtInt(s.totals.undelivered);
+  $("tileDegrade").textContent = fmtInt(s.totals.degradations);
+  const meanBer = readers.length === 0 ? 0 :
+    readers.reduce((a, r) => a + r.ber_estimate, 0) / readers.length;
+  $("tileBer").textContent = meanBer.toExponential(2);
+
+  lineChart($("chartRps"), [{
+    name: "rounds/s", color: css("--s1"),
+    points: hist.map(h => ({ x: h.sequence, y: h.rounds_per_sec })),
+  }], { yFmt: fmt, aria: "rounds per second over snapshots" });
+
+  const berSeries = readers.slice(0, 8).map((_, i) => ({
+    name: "R" + i, color: slot(i),
+    points: hist.filter(h => h.readers.length > i)
+      .map(h => ({ x: h.sequence, y: h.readers[i].ber_estimate })),
+  }));
+  if (readers.length > 1) {
+    legend($("legendBer"), berSeries.map(s2 =>
+      ({ name: s2.name, color: s2.color })));
+  }
+  lineChart($("chartBer"), berSeries,
+    { yFmt: v => v.toExponential(1), yFloor: 1e-4,
+      aria: "bit error rate estimate per reader" });
+
+  legend($("legendBudget"), [
+    { name: "retries spent", color: css("--s1") },
+    { name: "undelivered (budget exhausted)", color: css("--s2") },
+  ]);
+  budgetChart($("chartBudget"), readers);
+
+  $("readerTable").innerHTML = "<table><thead><tr>" +
+    "<th>reader</th><th>epochs</th><th>rounds</th><th>polled</th>" +
+    "<th>retries</th><th>undelivered</th><th>BER est.</th>" +
+    "<th>budget/tag</th></tr></thead><tbody>" +
+    readers.map((r, i) => `<tr><td>R${i}</td>` +
+      `<td>${fmtInt(r.epochs)}</td><td>${fmtInt(r.metrics.rounds)}</td>` +
+      `<td>${fmtInt(r.metrics.polls)}</td>` +
+      `<td>${fmtInt(r.metrics.retries)}</td>` +
+      `<td>${fmtInt(r.metrics.undelivered)}</td>` +
+      `<td>${r.ber_estimate.toExponential(2)}</td>` +
+      `<td>${fmtInt(r.retry_budget)}</td></tr>`).join("") +
+    "</tbody></table>";
+}
+
+// --- event source ------------------------------------------------------
+const conn = $("conn"), connText = $("connText");
+const es = new EventSource("/events");
+es.onopen = () => { conn.className = "live"; connText.textContent = "live"; };
+es.onerror = () => {
+  conn.className = "down"; connText.textContent = "reconnecting…";
+};
+es.addEventListener("snapshot", ev => {
+  hist.push(JSON.parse(ev.data));
+  if (hist.length > MAX_POINTS) hist.shift();
+  render();
+});
+for (const kind of ["degrade", "undelivered", "epoch"]) {
+  es.addEventListener(kind, ev => {
+    const d = JSON.parse(ev.data);
+    logEvent(kind, `reader ${d.reader} ×${d.count} @ snapshot ${d.sequence}`);
+  });
+}
+es.addEventListener("drops", ev => {
+  const d = JSON.parse(ev.data);
+  dropsSeen = d.dropped;
+  $("tileDrops").textContent = fmtInt(dropsSeen);
+  logEvent("drops", `queue overflowed; ${d.dropped} items dropped so far`);
+});
+</script>
+</body>
+</html>
+)dash";
+
+}  // namespace
+
+std::string_view dashboard_html() noexcept { return kDashboardHtml; }
+
+}  // namespace rfid::serve

@@ -1,0 +1,15 @@
+// The embedded live dashboard: one self-contained HTML page (inline CSS
+// and vanilla JS, no external assets, works offline) served at GET /.
+// It subscribes to /events via EventSource and renders live throughput,
+// per-reader BER, recovery-budget consumption, a per-reader data table,
+// and a typed event log. The page is compiled into the binary so the
+// daemon stays a single artifact.
+#pragma once
+
+#include <string_view>
+
+namespace rfid::serve {
+
+[[nodiscard]] std::string_view dashboard_html() noexcept;
+
+}  // namespace rfid::serve

@@ -1,0 +1,142 @@
+// Minimal dependency-free HTTP/1.1 server for the telemetry service.
+//
+// This is deliberately not a general web server: it serves a handful of
+// GET routes (JSON documents, one static page, and Server-Sent Event
+// streams) to localhost dashboards and smoke tests, over plain POSIX
+// sockets, with no third-party dependencies. Design constraints, in order:
+//
+//   * the simulation must never feel the server: all socket work happens
+//     on the acceptor thread and one detached-style worker thread per
+//     connection, and handlers only touch the obs layer's thread-safe
+//     telemetry objects;
+//   * shutdown is graceful and bounded: stop() closes the listener,
+//     shuts down every live connection socket (which unblocks any
+//     in-flight send/recv), and joins every worker before returning, so
+//     the daemon can flush sinks after stop() with no racing writers;
+//   * slow clients are bounded, not trusted: SO_SNDTIMEO/SO_RCVTIMEO
+//     timeouts turn a stalled peer into a failed write, and MSG_NOSIGNAL
+//     keeps a dead peer from raising SIGPIPE.
+//
+// The server itself never reads a wall clock; socket timeouts are kernel
+// relative intervals. Wall time is confined to the telemetry handlers
+// behind documented detlint pragmas (see telemetry_service.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace rfid::serve {
+
+/// A parsed request line. Only what the telemetry routes need: the method,
+/// the path (target with the query string split off), and the raw query.
+struct HttpRequest final {
+  std::string method;  ///< "GET" or "HEAD" (anything else is rejected early)
+  std::string path;    ///< target up to '?', e.g. "/metrics.json"
+  std::string query;   ///< target after '?', "" when absent
+};
+
+/// A buffered response for plain (non-streaming) routes.
+struct HttpResponse final {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Handle for streaming handlers (SSE). write() sends bytes to the peer
+/// and returns false once the client disconnected, the send timed out, or
+/// the server began shutting down — the handler must then return promptly.
+class StreamWriter {
+ public:
+  virtual ~StreamWriter() = default;
+
+  /// Sends `data` fully. Returns false on any failure; failures are
+  /// sticky (once false, always false).
+  virtual bool write(std::string_view data) = 0;
+
+  /// True while the connection is healthy and the server keeps running.
+  [[nodiscard]] virtual bool alive() const = 0;
+};
+
+/// The server. Register routes, start(), and stop() exactly once.
+class HttpServer final {
+ public:
+  struct Config final {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+    int backlog = 16;
+    std::size_t max_connections = 32;  ///< excess connections get 503
+    unsigned send_timeout_ms = 5000;
+    unsigned recv_timeout_ms = 5000;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using StreamHandler = std::function<void(const HttpRequest&, StreamWriter&)>;
+
+  HttpServer();
+  explicit HttpServer(Config config);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a buffered handler for an exact path. Must precede start().
+  void route(std::string path, Handler handler);
+
+  /// Registers a streaming (SSE) handler for an exact path. The response
+  /// header is written by the server; the handler writes the event body.
+  /// Must precede start().
+  void route_stream(std::string path, StreamHandler handler);
+
+  /// Binds, listens, and spawns the acceptor thread. Throws
+  /// std::system_error when the socket cannot be bound.
+  void start();
+
+  /// Stops accepting, unblocks and joins every connection, closes all
+  /// sockets. Idempotent; safe to call from a signal-watcher thread.
+  void stop();
+
+  /// The bound port (resolves ephemeral port 0). Valid after start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] bool running() const noexcept {
+    return started_.load(std::memory_order_acquire) &&
+           !stopping_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Connection final {
+    int fd = -1;
+    std::thread worker;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection& connection);
+  void reap_finished() RFID_EXCLUDES(mutex_);
+
+  Config config_;
+  std::vector<std::pair<std::string, Handler>> handlers_;
+  std::vector<std::pair<std::string, StreamHandler>> stream_handlers_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      RFID_GUARDED_BY(mutex_);
+};
+
+}  // namespace rfid::serve

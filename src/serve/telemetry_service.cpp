@@ -1,0 +1,131 @@
+#include "serve/telemetry_service.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+#include "serve/dashboard.hpp"
+
+namespace rfid::serve {
+
+namespace {
+
+std::string num(double value) {
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << value;
+  return oss.str();
+}
+
+}  // namespace
+
+TelemetryService::TelemetryService(obs::StreamingAggregator& aggregator)
+    : TelemetryService(aggregator, Config{}) {}
+
+TelemetryService::TelemetryService(obs::StreamingAggregator& aggregator,
+                                   Config config)
+    : aggregator_(aggregator),
+      config_(config),
+      start_(std::chrono::steady_clock::now()) {}
+
+void TelemetryService::install(HttpServer& server) {
+  server.route("/", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/html; charset=utf-8";
+    response.body = std::string(dashboard_html());
+    return response;
+  });
+  server.route("/healthz",
+               [this](const HttpRequest&) { return healthz(); });
+  server.route("/metrics.json",
+               [this](const HttpRequest&) { return metrics_json(); });
+  server.route_stream("/events", [this](const HttpRequest&,
+                                        StreamWriter& writer) {
+    events(writer);
+  });
+}
+
+HttpResponse TelemetryService::healthz() const {
+  const auto uptime = std::chrono::steady_clock::now() - start_;
+  const double uptime_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(uptime)
+          .count();
+  // The serving layer is the one place the repo reads wall time: a
+  // dashboard or curl-based probe wants a real timestamp to correlate
+  // with its own logs, and nothing deterministic consumes this value.
+  // detlint: allow(wall-clock) — /healthz reports real time to external probes; never feeds the simulation
+  const auto wall = std::chrono::system_clock::now().time_since_epoch();
+  const auto wall_unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(wall).count();
+
+  const auto snapshot = aggregator_.latest();
+  HttpResponse response;
+  response.body = R"({"status":"ok","uptime_s":)" + num(uptime_s) +
+                  R"(,"wall_unix_ms":)" + std::to_string(wall_unix_ms) +
+                  R"(,"readers":)" +
+                  std::to_string(aggregator_.reader_count()) +
+                  R"(,"snapshots":)" +
+                  std::to_string(snapshot ? snapshot->sequence : 0) + "}";
+  return response;
+}
+
+HttpResponse TelemetryService::metrics_json() const {
+  const auto snapshot = aggregator_.latest();
+  HttpResponse response;
+  if (snapshot == nullptr) {
+    response.status = 503;
+    response.body = R"({"error":"no snapshot published yet"})";
+    return response;
+  }
+  response.body = obs::to_json(*snapshot);
+  return response;
+}
+
+void TelemetryService::events(StreamWriter& writer) const {
+  const auto subscription = aggregator_.subscribe(config_.sse_queue_capacity);
+  std::uint64_t reported_drops = 0;
+  unsigned idle_waits = 0;
+
+  // Late joiners get the current state immediately instead of waiting a
+  // full publish interval for their first frame.
+  if (const auto latest = aggregator_.latest(); latest != nullptr) {
+    writer.write("event: snapshot\ndata: " + obs::to_json(*latest) + "\n\n");
+  }
+
+  while (writer.alive()) {
+    auto item = subscription->wait(config_.sse_wait_ms);
+    if (!item.has_value()) {
+      if (subscription->closed()) break;  // daemon shut the stream down
+      if (++idle_waits >= config_.keepalive_every_waits) {
+        idle_waits = 0;
+        if (!writer.write(": keepalive\n\n")) break;
+      }
+      continue;
+    }
+    idle_waits = 0;
+
+    bool ok = true;
+    if (item->type == obs::StreamSubscription::Item::Type::kSnapshot) {
+      ok = writer.write("event: snapshot\ndata: " +
+                        obs::to_json(*item->snapshot) + "\n\n");
+    } else {
+      ok = writer.write("event: " +
+                        std::string(obs::to_string(item->event.kind)) +
+                        "\ndata: " + obs::to_json(item->event) + "\n\n");
+    }
+    if (!ok) break;
+
+    // Tell the client its own queue overflowed (drop-oldest policy): the
+    // stream stays live under backpressure but is no longer gap-free.
+    if (const std::uint64_t drops = subscription->dropped();
+        drops != reported_drops) {
+      reported_drops = drops;
+      if (!writer.write("event: drops\ndata: {\"dropped\":" +
+                        std::to_string(drops) + "}\n\n"))
+        break;
+    }
+  }
+  aggregator_.unsubscribe(subscription);
+}
+
+}  // namespace rfid::serve

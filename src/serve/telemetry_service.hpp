@@ -1,0 +1,56 @@
+// Telemetry routes over the streaming aggregator.
+//
+// TelemetryService binds an obs::StreamingAggregator to an HttpServer:
+//
+//   GET /            single-file live dashboard (serve/dashboard.hpp)
+//   GET /healthz     liveness + uptime + publish counters
+//   GET /metrics.json  the latest MetricsSnapshot as one JSON object
+//                      (503 until the first publish)
+//   GET /events      Server-Sent Events: every published snapshot plus
+//                    typed fault/degradation events, one subscription
+//                    (bounded drop-oldest queue) per client; a `drops`
+//                    event reports queue overflow to the client itself
+//
+// This file is the wall-clock boundary of the repository: uptime comes
+// from the monotonic clock and /healthz's wall_unix_ms from the system
+// clock behind a documented detlint pragma. Simulation layers below never
+// see either (docs/observability.md, "Wall-clock policy").
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/stream.hpp"
+#include "serve/http.hpp"
+
+namespace rfid::serve {
+
+class TelemetryService final {
+ public:
+  struct Config final {
+    std::size_t sse_queue_capacity = 64;  ///< items buffered per client
+    unsigned sse_wait_ms = 250;           ///< queue poll interval
+    unsigned keepalive_every_waits = 20;  ///< idle waits per ": keepalive"
+  };
+
+  explicit TelemetryService(obs::StreamingAggregator& aggregator);
+  TelemetryService(obs::StreamingAggregator& aggregator, Config config);
+
+  /// Registers /, /healthz, /metrics.json, and /events on `server`.
+  /// Call before server.start().
+  void install(HttpServer& server);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  HttpResponse healthz() const;
+  HttpResponse metrics_json() const;
+  void events(StreamWriter& writer) const;
+
+  obs::StreamingAggregator& aggregator_;
+  Config config_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rfid::serve

@@ -14,6 +14,7 @@
 #include "core/polling.hpp"
 #include "obs/histogram.hpp"
 #include "obs/registry.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "parallel/trial_runner.hpp"
 #include "protocols/tree_polling.hpp"
@@ -472,6 +473,93 @@ TEST(TrialRunner, RegistryOffByDefault) {
 }
 
 // --- Strict numeric parsing (shared by the examples) ------------------------
+
+// --- RingBufferSink wraparound and snapshot interleaving --------------------
+
+TEST(Trace, RingBufferWraparoundIsExactAtTheBoundary) {
+  obs::RingBufferSink ring(4);
+  obs::Event event;
+  // Exactly at capacity: nothing dropped, order preserved.
+  for (int i = 0; i < 4; ++i) {
+    event.round = static_cast<std::uint64_t>(i);
+    ring.on_event(event);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+  auto kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().round, 0u);
+  EXPECT_EQ(kept.back().round, 3u);
+  // One past capacity: exactly the oldest event leaves.
+  event.round = 4;
+  ring.on_event(event);
+  EXPECT_EQ(ring.dropped(), 1u);
+  kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().round, 1u);
+  EXPECT_EQ(kept.back().round, 4u);
+}
+
+TEST(Trace, RingBufferSnapshotInterleavingDisturbsNothing) {
+  // snapshot() mid-stream is a pure read: alternating on_event/snapshot
+  // must leave totals and retention identical to an uninterrupted run.
+  obs::RingBufferSink interleaved(3);
+  obs::RingBufferSink straight(3);
+  obs::Event event;
+  for (int i = 0; i < 11; ++i) {
+    event.round = static_cast<std::uint64_t>(i);
+    event.duration_us = 0.5 * i;
+    event.vector_bits = static_cast<std::uint64_t>(i);
+    interleaved.on_event(event);
+    straight.on_event(event);
+    const auto mid = interleaved.snapshot();  // interleaved read each write
+    ASSERT_FALSE(mid.empty());
+    EXPECT_EQ(mid.back().round, static_cast<std::uint64_t>(i));
+    EXPECT_LE(mid.size(), 3u);
+  }
+  EXPECT_EQ(interleaved.total_events(), straight.total_events());
+  EXPECT_EQ(interleaved.dropped(), straight.dropped());
+  EXPECT_EQ(interleaved.sum_vector_bits(), straight.sum_vector_bits());
+  EXPECT_DOUBLE_EQ(interleaved.sum_duration_us(),
+                   straight.sum_duration_us());
+  const auto a = interleaved.snapshot();
+  const auto b = straight.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].round, b[i].round);
+}
+
+// --- MetricsSnapshot JSON: byte-stability across execution modes ------------
+
+TEST(Stream, SnapshotJsonIsByteStableSerialVsPooled) {
+  // The determinism gate pins serial and RFID_THREADS=4 pooled folds
+  // byte-identical; the streaming snapshot JSON on top of them must
+  // inherit that: same totals in, same bytes out.
+  protocols::Tpp tpp;
+  parallel::TrialPlan plan;
+  plan.trials = 8;
+  plan.master_seed = 77;
+  const auto serial = run_trials(tpp, parallel::uniform_population(300), plan);
+  parallel::ThreadPool pool(4);
+  const auto pooled =
+      run_trials(tpp, parallel::uniform_population(300), plan, &pool);
+
+  const auto snapshot_json = [](const sim::Metrics& totals) {
+    obs::StreamingAggregator aggregator(2);
+    aggregator.update_reader(0, totals, 1.25e-4);
+    aggregator.complete_epoch(1, totals);
+    aggregator.set_retry_budget(1, 8);
+    return obs::to_json(*aggregator.publish(0.5));
+  };
+  const std::string from_serial = snapshot_json(serial.totals);
+  const std::string from_pooled = snapshot_json(pooled.totals);
+  EXPECT_EQ(from_serial, from_pooled);  // byte-for-byte
+
+  // And the JSON is structurally what /metrics.json serves.
+  EXPECT_NE(from_serial.find(R"("type":"snapshot")"), std::string::npos);
+  EXPECT_NE(from_serial.find(R"("sequence":1)"), std::string::npos);
+  EXPECT_NE(from_serial.find(R"("readers":[)"), std::string::npos);
+  EXPECT_NE(from_serial.find(R"("phases":{)"), std::string::npos);
+}
 
 TEST(ParseArgs, ParseU64AcceptsOnlyCleanDigits) {
   EXPECT_EQ(parse_u64("0"), 0u);
