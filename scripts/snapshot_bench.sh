@@ -59,6 +59,17 @@ try:
 except (FileNotFoundError, json.JSONDecodeError, AssertionError):
     history = {"bench": "bench_round_engine", "snapshots": []}
 
+# One snapshot per commit: re-running the bench on the same tree replaces
+# the stale datapoint instead of inflating the history with duplicates
+# (an "unknown" commit — no git — is never deduped).
+if commit != "unknown":
+    before = len(history["snapshots"])
+    history["snapshots"] = [
+        s for s in history["snapshots"] if s.get("commit") != commit
+    ]
+    if len(history["snapshots"]) != before:
+        print(f"snapshot_bench: replacing prior snapshot for commit {commit}")
+
 history["snapshots"].append(snapshot)
 with open(out_path, "w") as f:
     json.dump(history, f, indent=2)

@@ -48,6 +48,14 @@ class Channel final {
 
   [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
 
+  /// Batched equivalent of `count` singleton arbitrations whose outcome is
+  /// predetermined (the clean-poll fast path, sim::AirLoop::
+  /// clean_singleton_replies): only the slot statistics move, exactly as
+  /// `count` arbitrate calls over one-element responder sets would.
+  void record_clean_singletons(std::uint64_t count) noexcept {
+    stats_.singleton_slots += count;
+  }
+
  private:
   ChannelStats stats_{};
 };

@@ -5,13 +5,9 @@
 namespace rfid {
 
 std::uint64_t tag_hash(std::uint64_t seed, const TagId& id) noexcept {
-  // Absorb all 96 bits: two mixing rounds keyed by the seed.
   const auto hi = (static_cast<std::uint64_t>(id.words[0]) << 32) | id.words[1];
   const auto lo = static_cast<std::uint64_t>(id.words[2]);
-  std::uint64_t acc = mix64(seed ^ 0x2545f4914f6cdd1dULL);
-  acc = mix64(acc ^ hi);
-  acc = mix64(acc ^ (lo * 0x9e3779b97f4a7c15ULL));
-  return acc;
+  return tag_hash_words(seed, hi, lo);
 }
 
 std::uint32_t tag_index_pow2(std::uint64_t seed, const TagId& id,

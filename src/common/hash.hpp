@@ -23,6 +23,21 @@ namespace rfid {
   return x;
 }
 
+/// H(r, id) over an identifier pre-split into 64-bit words — the form the
+/// structure-of-arrays hot path stores (see tags::TagSoA). For a TagId,
+/// hi = (words[0] << 32) | words[1] and lo = words[2]; tag_hash(seed, id)
+/// equals tag_hash_words(seed, hi, lo) by construction. This scalar chain
+/// is the reference every simd backend must reproduce lane-for-lane
+/// (src/common/simd.hpp).
+[[nodiscard]] constexpr std::uint64_t tag_hash_words(
+    std::uint64_t seed, std::uint64_t hi, std::uint64_t lo) noexcept {
+  // Absorb all 96 bits: two mixing rounds keyed by the seed.
+  std::uint64_t acc = mix64(seed ^ 0x2545f4914f6cdd1dULL);
+  acc = mix64(acc ^ hi);
+  acc = mix64(acc ^ (lo * 0x9e3779b97f4a7c15ULL));
+  return acc;
+}
+
 /// H(r, id): the seeded hash over the full 96-bit identifier.
 [[nodiscard]] std::uint64_t tag_hash(std::uint64_t seed,
                                      const TagId& id) noexcept;

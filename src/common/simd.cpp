@@ -1,0 +1,414 @@
+// Backend implementations for common/simd.hpp. This is the only TU with
+// vector intrinsics; each x86 kernel carries its own `target` attribute,
+// so the TU needs no ISA compile flags, the scalar reference stays
+// baseline-ISA, and one binary runs safely on any CPU of its architecture
+// (best_backend() never hands out a backend the running CPU lacks).
+// RFID_SIMD=ON/OFF builds differ in exactly this one object file.
+#include "common/simd.hpp"
+
+#include "common/hash.hpp"
+
+#if defined(RFID_SIMD_ENABLED) && RFID_SIMD_ENABLED
+#if defined(__x86_64__) || defined(__amd64__)
+#include <immintrin.h>
+#define RFID_SIMD_X86 1
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#define RFID_SIMD_NEON 1
+#endif
+#endif
+
+#include <bit>
+
+namespace rfid::simd {
+namespace {
+
+void hash_indices_scalar(std::uint64_t seed, const std::uint64_t* id_hi,
+                         const std::uint64_t* id_lo, std::uint32_t* out,
+                         std::size_t n, unsigned h) noexcept {
+  if (h == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const unsigned shift = 64u - h;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>(
+        tag_hash_words(seed, id_hi[i], id_lo[i]) >> shift);
+  }
+}
+
+std::size_t count_singletons_scalar(const std::uint32_t* counts,
+                                    std::size_t f) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < f; ++i) total += counts[i] == 1 ? 1u : 0u;
+  return total;
+}
+
+std::size_t compact_nonsingletons_scalar(const std::uint32_t* counts,
+                                         const std::uint32_t* slot,
+                                         std::uint64_t* col_a,
+                                         std::uint64_t* col_b,
+                                         std::uint64_t* col_c,
+                                         std::size_t start, std::size_t n,
+                                         std::size_t write) noexcept {
+  // Branchless stable compaction: always copy element i to the write
+  // cursor (write <= i makes that a self-copy at worst), advance the
+  // cursor only for survivors. Survival is close to a coin flip per
+  // element, so a conditional copy would eat a branch mispredict each.
+  // Doubles as the tail loop of the vector kernels, hence the explicit
+  // start/write cursors.
+  for (std::size_t i = start; i < n; ++i) {
+    const std::size_t keep = counts[slot[i]] != 1 ? 1u : 0u;
+    col_a[write] = col_a[i];
+    col_b[write] = col_b[i];
+    col_c[write] = col_c[i];
+    write += keep;
+  }
+  return write;
+}
+
+#if defined(RFID_SIMD_X86)
+
+// GCC 12's avx512 intrinsic headers expand the no-mask conversion forms
+// through an undefined-value placeholder that -Wmaybe-uninitialized flags
+// (a known header false positive); scoped suppression keeps the
+// warnings-as-errors CI lanes clean without loosening the project flags.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// --- AVX2 (4 × 64-bit lanes) ----------------------------------------------
+
+// AVX2 has no 64×64→64 multiply; compose it from 32×32→64 partials:
+// a*b = lo(a)*lo(b) + ((hi(a)*lo(b) + lo(a)*hi(b)) << 32).
+__attribute__((target("avx2"))) inline __m256i mul64(__m256i a,
+                                                     __m256i b) noexcept {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lolo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b),
+                                         _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lolo, _mm256_slli_epi64(cross, 32));
+}
+
+// Four lanes of rfid::mix64 (murmur3 fmix64), op-for-op.
+__attribute__((target("avx2"))) inline __m256i mix64x4(__m256i x) noexcept {
+  const __m256i m1 =
+      _mm256_set1_epi64x(static_cast<long long>(0xff51afd7ed558ccdULL));
+  const __m256i m2 =
+      _mm256_set1_epi64x(static_cast<long long>(0xc4ceb9fe1a85ec53ULL));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = mul64(x, m1);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = mul64(x, m2);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  return x;
+}
+
+__attribute__((target("avx2"))) void hash_indices_avx2(
+    std::uint64_t seed, const std::uint64_t* id_hi, const std::uint64_t* id_lo,
+    std::uint32_t* out, std::size_t n, unsigned h) noexcept {
+  if (h == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const __m256i seeded = _mm256_set1_epi64x(
+      static_cast<long long>(mix64(seed ^ 0x2545f4914f6cdd1dULL)));
+  const __m256i golden =
+      _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(64u - h));
+  // Indices are < 2^30, so each 64-bit lane's low dword carries the whole
+  // value; pack dwords 0,2,4,6 into the low 128 bits and store four u32.
+  const __m256i pack = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(id_hi + i));
+    const __m256i lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(id_lo + i));
+    __m256i acc = mix64x4(_mm256_xor_si256(seeded, hi));
+    acc = mix64x4(_mm256_xor_si256(acc, mul64(lo, golden)));
+    const __m256i idx = _mm256_srl_epi64(acc, shift);
+    const __m256i packed = _mm256_permutevar8x32_epi32(idx, pack);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_castsi256_si128(packed));
+  }
+  hash_indices_scalar(seed, id_hi + i, id_lo + i, out + i, n - i, h);
+}
+
+__attribute__((target("avx2"))) std::size_t count_singletons_avx2(
+    const std::uint32_t* counts, std::size_t f) noexcept {
+  const __m256i one = _mm256_set1_epi32(1);
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= f; i += 8) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + i));
+    const int mask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(c, one)));
+    total += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(mask)));
+  }
+  return total + count_singletons_scalar(counts + i, f - i);
+}
+
+// --- AVX-512 (8 × 64-bit lanes) -------------------------------------------
+//
+// AVX-512DQ brings the native 64×64→64 multiply (vpmullq) the AVX2 kernel
+// has to emulate with three 32-bit partials, so each fmix64 round is one
+// multiply per step across eight lanes — the widest and cheapest path for
+// the round hash.
+
+// Eight lanes of rfid::mix64 (murmur3 fmix64), op-for-op.
+__attribute__((target("avx512f,avx512dq"))) inline __m512i mix64x8(
+    __m512i x) noexcept {
+  const __m512i m1 =
+      _mm512_set1_epi64(static_cast<long long>(0xff51afd7ed558ccdULL));
+  const __m512i m2 =
+      _mm512_set1_epi64(static_cast<long long>(0xc4ceb9fe1a85ec53ULL));
+  x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 33));
+  x = _mm512_mullo_epi64(x, m1);
+  x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 33));
+  x = _mm512_mullo_epi64(x, m2);
+  x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 33));
+  return x;
+}
+
+__attribute__((target("avx512f,avx512dq"))) void hash_indices_avx512(
+    std::uint64_t seed, const std::uint64_t* id_hi, const std::uint64_t* id_lo,
+    std::uint32_t* out, std::size_t n, unsigned h) noexcept {
+  if (h == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const __m512i seeded = _mm512_set1_epi64(
+      static_cast<long long>(mix64(seed ^ 0x2545f4914f6cdd1dULL)));
+  const __m512i golden =
+      _mm512_set1_epi64(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(64u - h));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i hi = _mm512_loadu_si512(id_hi + i);
+    const __m512i lo = _mm512_loadu_si512(id_lo + i);
+    __m512i acc = mix64x8(_mm512_xor_si512(seeded, hi));
+    acc = mix64x8(
+        _mm512_xor_si512(acc, _mm512_mullo_epi64(lo, golden)));
+    const __m512i idx = _mm512_srl_epi64(acc, shift);
+    // Indices are < 2^30: the truncating 64→32 narrow keeps every value.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm512_cvtepi64_epi32(idx));
+  }
+  hash_indices_scalar(seed, id_hi + i, id_lo + i, out + i, n - i, h);
+}
+
+__attribute__((target("avx512f,avx512dq"))) std::size_t
+compact_nonsingletons_avx512(const std::uint32_t* counts,
+                             const std::uint32_t* slot, std::uint64_t* col_a,
+                             std::uint64_t* col_b, std::uint64_t* col_c,
+                             std::size_t n) noexcept {
+  // Gather each element's bucket count through its slot, build the keep
+  // mask, and compress-store the survivors of all three columns. The
+  // compress store writes exactly popcount(keep) elements at the write
+  // cursor, and write + popcount <= i + 8 always, so the stores never
+  // touch elements the next iteration still has to load.
+  const __m256i one = _mm256_set1_epi32(1);
+  std::size_t write = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(slot + i));
+    const __m256i cnt =
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(counts), s, 4);
+    const unsigned drop = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(cnt, one))));
+    const __mmask8 keep = static_cast<__mmask8>(~drop & 0xFFu);
+    const __m512i va = _mm512_loadu_si512(col_a + i);
+    const __m512i vb = _mm512_loadu_si512(col_b + i);
+    const __m512i vc = _mm512_loadu_si512(col_c + i);
+    _mm512_mask_compressstoreu_epi64(col_a + write, keep, va);
+    _mm512_mask_compressstoreu_epi64(col_b + write, keep, vb);
+    _mm512_mask_compressstoreu_epi64(col_c + write, keep, vc);
+    write += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(keep)));
+  }
+  return compact_nonsingletons_scalar(counts, slot, col_a, col_b, col_c, i, n,
+                                      write);
+}
+
+__attribute__((target("avx512f,avx512dq"))) std::size_t
+count_singletons_avx512(const std::uint32_t* counts, std::size_t f) noexcept {
+  const __m512i one = _mm512_set1_epi32(1);
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= f; i += 16) {
+    const __mmask16 mask =
+        _mm512_cmpeq_epi32_mask(_mm512_loadu_si512(counts + i), one);
+    total += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(mask)));
+  }
+  return total + count_singletons_scalar(counts + i, f - i);
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // RFID_SIMD_X86
+
+#if defined(RFID_SIMD_NEON)
+
+// NEON (AArch64) has no 64×64 vector multiply either; same 32×32→64
+// composition as the AVX2 backend, via vmull/vmlal.
+inline uint64x2_t mul64(uint64x2_t a, uint64x2_t b) noexcept {
+  const uint32x2_t a_lo = vmovn_u64(a);
+  const uint32x2_t b_lo = vmovn_u64(b);
+  const uint32x2_t a_hi = vshrn_n_u64(a, 32);
+  const uint32x2_t b_hi = vshrn_n_u64(b, 32);
+  uint64x2_t cross = vmull_u32(a_hi, b_lo);
+  cross = vmlal_u32(cross, a_lo, b_hi);
+  return vaddq_u64(vmull_u32(a_lo, b_lo), vshlq_n_u64(cross, 32));
+}
+
+inline uint64x2_t mix64x2(uint64x2_t x) noexcept {
+  const uint64x2_t m1 = vdupq_n_u64(0xff51afd7ed558ccdULL);
+  const uint64x2_t m2 = vdupq_n_u64(0xc4ceb9fe1a85ec53ULL);
+  x = veorq_u64(x, vshrq_n_u64(x, 33));
+  x = mul64(x, m1);
+  x = veorq_u64(x, vshrq_n_u64(x, 33));
+  x = mul64(x, m2);
+  x = veorq_u64(x, vshrq_n_u64(x, 33));
+  return x;
+}
+
+void hash_indices_neon(std::uint64_t seed, const std::uint64_t* id_hi,
+                       const std::uint64_t* id_lo, std::uint32_t* out,
+                       std::size_t n, unsigned h) noexcept {
+  if (h == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const uint64x2_t seeded = vdupq_n_u64(mix64(seed ^ 0x2545f4914f6cdd1dULL));
+  const uint64x2_t golden = vdupq_n_u64(0x9e3779b97f4a7c15ULL);
+  // vshlq_u64 with a negative per-lane count is a logical right shift.
+  const int64x2_t shift = vdupq_n_s64(-static_cast<std::int64_t>(64u - h));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t hi = vld1q_u64(id_hi + i);
+    const uint64x2_t lo = vld1q_u64(id_lo + i);
+    uint64x2_t acc = mix64x2(veorq_u64(seeded, hi));
+    acc = mix64x2(veorq_u64(acc, mul64(lo, golden)));
+    const uint64x2_t idx = vshlq_u64(acc, shift);
+    out[i] = static_cast<std::uint32_t>(vgetq_lane_u64(idx, 0));
+    out[i + 1] = static_cast<std::uint32_t>(vgetq_lane_u64(idx, 1));
+  }
+  hash_indices_scalar(seed, id_hi + i, id_lo + i, out + i, n - i, h);
+}
+
+std::size_t count_singletons_neon(const std::uint32_t* counts,
+                                  std::size_t f) noexcept {
+  const uint32x4_t one = vdupq_n_u32(1);
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 4 <= f; i += 4) {
+    const uint32x4_t eq = vceqq_u32(vld1q_u32(counts + i), one);
+    acc = vaddq_u64(acc, vpaddlq_u32(vshrq_n_u32(eq, 31)));
+  }
+  const std::size_t total = static_cast<std::size_t>(
+      vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1));
+  return total + count_singletons_scalar(counts + i, f - i);
+}
+
+#endif  // RFID_SIMD_NEON
+
+#if defined(RFID_SIMD_X86)
+Backend detect_backend() noexcept {
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq"))
+    return Backend::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+  return Backend::kScalar;
+}
+#endif
+
+}  // namespace
+
+Backend best_backend() noexcept {
+#if defined(RFID_SIMD_X86)
+  static const Backend detected = detect_backend();
+  return detected;
+#elif defined(RFID_SIMD_NEON)
+  return Backend::kNeon;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+std::size_t lanes() noexcept {
+  switch (best_backend()) {
+    case Backend::kAvx512:
+      return 8;
+    case Backend::kAvx2:
+      return 4;
+    case Backend::kNeon:
+      return 2;
+    case Backend::kScalar:
+      return 1;
+  }
+  return 1;
+}
+
+void hash_indices(std::uint64_t seed, const std::uint64_t* id_hi,
+                  const std::uint64_t* id_lo, std::uint32_t* out,
+                  std::size_t n, unsigned h, Backend backend) {
+  // A requested backend is honoured only when compiled in AND supported by
+  // the running CPU (best_backend gates the latter); anything else falls
+  // back to the scalar reference, which is byte-identical by the lane→tag
+  // rule.
+#if defined(RFID_SIMD_X86)
+  if (backend == Backend::kAvx512 && best_backend() == Backend::kAvx512) {
+    hash_indices_avx512(seed, id_hi, id_lo, out, n, h);
+    return;
+  }
+  if (backend == Backend::kAvx2 && best_backend() != Backend::kScalar) {
+    hash_indices_avx2(seed, id_hi, id_lo, out, n, h);
+    return;
+  }
+#elif defined(RFID_SIMD_NEON)
+  if (backend == Backend::kNeon) {
+    hash_indices_neon(seed, id_hi, id_lo, out, n, h);
+    return;
+  }
+#endif
+  (void)backend;
+  hash_indices_scalar(seed, id_hi, id_lo, out, n, h);
+}
+
+std::size_t count_singletons(const std::uint32_t* counts, std::size_t f,
+                             Backend backend) {
+#if defined(RFID_SIMD_X86)
+  if (backend == Backend::kAvx512 && best_backend() == Backend::kAvx512)
+    return count_singletons_avx512(counts, f);
+  if (backend == Backend::kAvx2 && best_backend() != Backend::kScalar)
+    return count_singletons_avx2(counts, f);
+#elif defined(RFID_SIMD_NEON)
+  if (backend == Backend::kNeon) return count_singletons_neon(counts, f);
+#endif
+  (void)backend;
+  return count_singletons_scalar(counts, f);
+}
+
+std::size_t compact_nonsingletons(const std::uint32_t* counts,
+                                  const std::uint32_t* slot,
+                                  std::uint64_t* col_a, std::uint64_t* col_b,
+                                  std::uint64_t* col_c, std::size_t n,
+                                  Backend backend) {
+  // Only AVX-512 has the masked compress store; every other backend runs
+  // the scalar reference, which keeps exactly the same elements in the
+  // same order.
+#if defined(RFID_SIMD_X86)
+  if (backend == Backend::kAvx512 && best_backend() == Backend::kAvx512)
+    return compact_nonsingletons_avx512(counts, slot, col_a, col_b, col_c, n);
+#endif
+  (void)backend;
+  return compact_nonsingletons_scalar(counts, slot, col_a, col_b, col_c, 0, n,
+                                      0);
+}
+
+}  // namespace rfid::simd

@@ -16,7 +16,7 @@ sim::RunResult AdaptivePolling::run(const tags::TagPopulation& population,
   session_config.degradation.enabled = true;
   sim::Session session(population, session_config);
 
-  std::vector<HashDevice> active = make_devices(session);
+  tags::TagSoA active = make_devices(session);
   fault::RecoveryCoordinator recovery(config.recovery);
   RoundEngine engine(session, recovery);
   TppRoundPolicy tpp_policy(config_.tpp);

@@ -18,7 +18,7 @@ sim::RunResult Dfsa::run(const tags::TagPopulation& population,
   RFID_EXPECTS(config.present == nullptr);
   sim::Session session(population, config);
 
-  std::vector<HashDevice> active = make_devices(session);
+  tags::TagSoA active = make_devices(session);
 
   // Backlog estimate for the unknown-population mode (Schoute: expected
   // 2.39 tags per collision slot at the ALOHA optimum).
@@ -45,11 +45,12 @@ sim::RunResult Dfsa::run(const tags::TagPopulation& population,
     responders.assign(f, {});
     std::vector<std::vector<std::size_t>> members(f);
     for (std::size_t i = 0; i < active.size(); ++i) {
-      HashDevice& device = active[i];
-      device.index = static_cast<std::uint32_t>(
-          tag_hash(seed, device.tag->id()) % f);
-      responders[device.index].push_back(device.tag);
-      members[device.index].push_back(i);
+      const tags::Tag* tag = active.tag(i);
+      const auto slot =
+          static_cast<std::uint32_t>(tag_hash(seed, tag->id()) % f);
+      active.set_slot(i, slot);
+      responders[slot].push_back(tag);
+      members[slot].push_back(i);
     }
 
     // Walk the frame; the channel classifies each slot. Only decoded
@@ -64,20 +65,14 @@ sim::RunResult Dfsa::run(const tags::TagPopulation& population,
       // Identify which member was read: with the capture effect a
       // collision slot can decode as any one of its occupants.
       for (const std::size_t i : members[s]) {
-        if (active[i].tag == slot.responder) {
+        if (active.tag(i) == slot.responder) {
           done[i] = 1;
           break;
         }
       }
     }
 
-    std::size_t write = 0;
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      if (done[i]) continue;
-      if (write != i) active[write] = active[i];
-      ++write;
-    }
-    active.resize(write);
+    active.compact(done);
 
     // Schoute backlog estimate for the next frame; floor keeps progress
     // when a small frame happens to end with zero observed collisions.

@@ -18,8 +18,8 @@ std::size_t Ehpp::effective_subset_size() const {
 }
 
 bool run_ehpp_circle(sim::Session& session, RoundEngine& engine,
-                     std::vector<HashDevice>& active,
-                     const Ehpp::Config& config, std::size_t subset_target) {
+                     tags::TagSoA& active, const Ehpp::Config& config,
+                     std::size_t subset_target) {
   HppRoundPolicy round_policy(HppRoundConfig{config.round_init_bits,
                                              /*count_init_in_w=*/true});
   if (active.size() <= subset_target) {
@@ -57,13 +57,23 @@ bool run_ehpp_circle(sim::Session& session, RoundEngine& engine,
   const std::uint64_t threshold = decoded->threshold;
 
   // Tag side: each awake tag decides membership from the decoded seed.
-  std::vector<HashDevice> joined;
-  std::erase_if(active, [&](const HashDevice& device) {
-    const bool joins =
-        tag_index_mod(circle_seed, device.tag->id(), modulus) < threshold;
-    if (joins) joined.push_back(device);
-    return joins;
-  });
+  // Stable partition into `joined` / kept-in-`active`, preserving relative
+  // order on both sides (exactly what std::erase_if + push_back did on the
+  // old AoS layout). One up-front reserve keeps the circle's allocation
+  // count bounded by the SoA's column count.
+  tags::TagSoA joined;
+  joined.reserve(active.size());
+  const std::size_t n = active.size();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tag_index_mod(circle_seed, active.tag(i)->id(), modulus) < threshold) {
+      joined.push_back_from(active, i);
+    } else {
+      if (kept != i) active.move_element(kept, i);
+      ++kept;
+    }
+  }
+  active.resize_down(kept);
 
   // Query the subset to exhaustion; unselected tags wait for later
   // circles. An unlucky empty subset just costs the circle command.
@@ -77,7 +87,7 @@ sim::RunResult Ehpp::run(const tags::TagPopulation& population,
   const std::size_t subset_target = effective_subset_size();
   RFID_ENSURES(subset_target >= 1);
 
-  std::vector<HashDevice> active = make_devices(session);
+  tags::TagSoA active = make_devices(session);
   // One coordinator (and hence one engine) spans every circle: a tag's
   // retry budget is a per-run quantity no matter which subset it happens
   // to land in.

@@ -64,7 +64,7 @@ inline Ehpp::Ehpp() : config_(Config()) {}
 /// when the framed circle command exhausted its retransmission budget — no
 /// tag learned <f, F, r> and the circle never formed.
 bool run_ehpp_circle(sim::Session& session, RoundEngine& engine,
-                     std::vector<HashDevice>& active,
-                     const Ehpp::Config& config, std::size_t subset_target);
+                     tags::TagSoA& active, const Ehpp::Config& config,
+                     std::size_t subset_target);
 
 }  // namespace rfid::protocols

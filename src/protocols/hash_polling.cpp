@@ -35,7 +35,7 @@ RoundInit HppRoundPolicy::begin_round(sim::Session& session,
 sim::RunResult Hpp::run(const tags::TagPopulation& population,
                         const sim::SessionConfig& config) const {
   sim::Session session(population, config);
-  std::vector<HashDevice> active = make_devices(session);
+  tags::TagSoA active = make_devices(session);
   fault::RecoveryCoordinator recovery(config.recovery);
   RoundEngine engine(session, recovery);
   HppRoundPolicy policy(config_);

@@ -5,21 +5,18 @@
 
 namespace rfid::protocols {
 
-std::vector<HashDevice> make_devices(const sim::Session& session) {
-  std::vector<HashDevice> devices;
+tags::TagSoA make_devices(const sim::Session& session) {
+  tags::TagSoA devices;
   devices.reserve(session.population().size());
-  for (const tags::Tag& tag : session.population())
-    devices.push_back(HashDevice{&tag, 0, session.is_present(tag.id())});
+  for (const tags::Tag& tag : session.population()) devices.push_back(&tag);
   return devices;
 }
 
-void RoundPolicy::dispatch(RoundEngine& engine,
-                           std::vector<HashDevice>& active) {
+void RoundPolicy::dispatch(RoundEngine& engine, tags::TagSoA& active) {
   engine.dispatch_singletons_ascending(active);
 }
 
-bool RoundEngine::run_round(std::vector<HashDevice>& active,
-                            RoundPolicy& policy) {
+bool RoundEngine::run_round(tags::TagSoA& active, RoundPolicy& policy) {
   if (active.empty()) return true;
   session_.begin_round();
   session_.check_round_budget();
@@ -28,18 +25,37 @@ bool RoundEngine::run_round(std::vector<HashDevice>& active,
   if (!init.delivered) return false;
   h_ = init.index_length;
 
-  // Tag side: every awake tag picks its index from the decoded seed.
-  for (HashDevice& device : active)
-    device.index = tag_index_pow2(init.seed, device.tag->id(), h_);
+  // Tag side: every awake tag picks its index from the decoded seed. The
+  // SoA's contiguous ID words feed the batched kernel; each lane computes
+  // exactly the scalar tag_index_pow2 chain for its own tag, so the picks
+  // are independent of the backend and its width.
+  simd::hash_indices(init.seed, active.id_hi_data(), active.id_lo_data(),
+                     active.slot_data(), active.size(), h_, hash_backend_);
 
   // Reader side: bucket the picked indices to find singletons.
   const std::size_t f = static_cast<std::size_t>(pow2(h_));
+  const std::size_t n = active.size();
   counts_.assign(f, 0);
-  occupant_.assign(f, 0);
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    ++counts_[active[i].index];
-    occupant_[active[i].index] = i;
+  for (std::size_t i = 0; i < n; ++i) ++counts_[active.slot(i)];
+
+  if (policy.batchable_dispatch() && session_.clean_poll_fast_path()) {
+    // Clean-round fast path: every singleton poll is an identical h_-bit
+    // poll that deterministically succeeds (no noise, no churn, no per-
+    // poll output), so the whole dispatch reduces to compacting straight
+    // off the histogram plus one batched accounting call. A singleton
+    // bucket holds exactly one tag and exactly the singleton-bucket tags
+    // get erased, so the compaction delta IS the singleton count — no
+    // separate scan over the f buckets. Occupant/done/pending bookkeeping
+    // is skipped — with recovery enabled nothing can be parked, and mop_up
+    // over an empty pending list is a no-op by contract.
+    active.compact_singletons(counts_, hash_backend_);
+    const std::size_t singletons = n - active.size();
+    if (singletons > 0) session_.air().clean_singleton_replies(singletons, h_);
+    return true;
   }
+
+  occupant_.assign(f, 0);
+  for (std::size_t i = 0; i < n; ++i) occupant_[active.slot(i)] = i;
 
   done_.assign(active.size(), 0);
   pending_.clear();
@@ -48,12 +64,11 @@ bool RoundEngine::run_round(std::vector<HashDevice>& active,
   policy.dispatch(*this, active);
 
   if (recovering()) mop_up(active);
-  compact(active);
+  active.compact(done_);
   return true;
 }
 
-void RoundEngine::dispatch_singletons_ascending(
-    std::vector<HashDevice>& active) {
+void RoundEngine::dispatch_singletons_ascending(tags::TagSoA& active) {
   // Broadcast singleton indices in ascending order; each poll must elicit
   // exactly one reply (the channel enforces it). A device is done when it
   // was read or detected missing; a noise-garbled reply leaves it awake.
@@ -66,53 +81,41 @@ void RoundEngine::dispatch_singletons_ascending(
   for (std::size_t idx = 0; idx < f; ++idx) {
     if (counts_[idx] != 1) continue;
     const std::size_t i = occupant_[idx];
-    const HashDevice& device = active[i];
-    const bool here = session_.is_present(device.tag->id());
-    const tags::Tag* responder = device.tag;
+    const tags::Tag* tag = active.tag(i);
+    const bool here = session_.is_present(tag->id());
+    const tags::Tag* responder = tag;
     const tags::Tag* read =
-        session_.air().poll({&responder, here ? 1u : 0u}, device.tag, h_);
+        session_.air().poll({&responder, here ? 1u : 0u}, tag, h_);
     if (read != nullptr)
       done_[i] = 1;
     else if (recovering)
       pending_.push_back(i);
     else if (session_.air().last_poll_failure() ==
              sim::PollFailure::kDownlinkExhausted) {
-      session_.mark_undelivered(device.tag->id());
+      session_.mark_undelivered(tag->id());
       done_[i] = 1;
     } else
       done_[i] = here ? 0 : 1;
   }
 }
 
-void RoundEngine::mop_up(std::vector<HashDevice>& active) {
+void RoundEngine::mop_up(tags::TagSoA& active) {
   // Mop-up re-polls carry the full h-bit index: differential segment
   // encodings (TPP) only address tags in sorted-index order, which a retry
   // breaks, so the reader falls back to absolute addressing.
   recovery_.mop_up(
       session_, done_, pending_,
-      [&](std::size_t i) { return active[i].tag->id(); },
+      [&](std::size_t i) { return active.tag(i)->id(); },
       [&](std::size_t i) {
-        const HashDevice& device = active[i];
-        const bool here = session_.is_present(device.tag->id());
-        const tags::Tag* responder = device.tag;
-        return session_.air().poll({&responder, here ? 1u : 0u}, device.tag,
-                                   h_) != nullptr;
+        const tags::Tag* tag = active.tag(i);
+        const bool here = session_.is_present(tag->id());
+        const tags::Tag* responder = tag;
+        return session_.air().poll({&responder, here ? 1u : 0u}, tag, h_) !=
+               nullptr;
       });
 }
 
-void RoundEngine::compact(std::vector<HashDevice>& active) {
-  // Finished tags sleep; collision-index and garbled tags stay active.
-  std::size_t write = 0;
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    if (done_[i]) continue;
-    if (write != i) active[write] = active[i];
-    ++write;
-  }
-  active.resize(write);
-}
-
-void RoundEngine::run_rounds(std::vector<HashDevice>& active,
-                             RoundPolicy& policy) {
+void RoundEngine::run_rounds(tags::TagSoA& active, RoundPolicy& policy) {
   fault::RecoveryCoordinator::InitLadder ladder(
       session_.config().recovery.retry_budget);
   while (!active.empty()) {
@@ -127,9 +130,10 @@ void RoundEngine::run_rounds(std::vector<HashDevice>& active,
   }
 }
 
-void RoundEngine::abandon_active(std::vector<HashDevice>& active) {
-  for (const HashDevice& device : active)
-    session_.mark_undelivered(device.tag->id());
+void RoundEngine::abandon_active(tags::TagSoA& active) {
+  const std::size_t n = active.size();
+  for (std::size_t i = 0; i < n; ++i)
+    session_.mark_undelivered(active.tag(i)->id());
   active.clear();
 }
 

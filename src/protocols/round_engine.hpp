@@ -11,34 +11,34 @@
 // polls for HPP/EHPP, the differential polling tree for TPP) — while the
 // engine owns the skeleton and all the scratch buffers, which are reused
 // across rounds so steady-state rounds allocate nothing.
+//
+// The active population lives in a structure-of-arrays view (tags::TagSoA)
+// so the tag-side index pick runs as one batched kernel over contiguous ID
+// words (common/simd.hpp; AVX2/NEON behind a scalar reference). On top of
+// that, rounds whose polls cannot fail (sim::Session::clean_poll_fast_path)
+// skip the per-poll dispatch machinery entirely: the engine counts the
+// singleton buckets, folds their accounting in one batched call, and
+// compacts straight off the bucket histogram — byte-identical results,
+// an order of magnitude less work per round.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "fault/recovery.hpp"
 #include "sim/session.hpp"
+#include "tags/soa.hpp"
 
 namespace rfid::protocols {
 
-/// Per-tag runtime state for the hash-polling family. The picked index is
-/// genuine tag-side state: it is computed from the broadcast seed by the
-/// same hash the reader uses, never copied from reader bookkeeping.
-struct HashDevice final {
-  const tags::Tag* tag = nullptr;
-  std::uint32_t index = 0;
-  /// Presence snapshot taken at construction (missing-tag scenarios): an
-  /// absent tag is still scheduled, but it can never respond. The polling
-  /// loops re-evaluate sim::Session::is_present per poll so a churn
-  /// schedule is honoured live; without churn the live value equals this
-  /// snapshot.
-  bool present = true;
-};
-
-/// Builds the device list for a session, honouring its presence filter.
-[[nodiscard]] std::vector<HashDevice> make_devices(
-    const sim::Session& session);
+/// Builds the structure-of-arrays device view for a session's whole
+/// population (presence is evaluated live per poll, not snapshotted). The
+/// picked slot is genuine tag-side state: it is computed from the
+/// broadcast seed by the same hash the reader uses, never copied from
+/// reader bookkeeping.
+[[nodiscard]] tags::TagSoA make_devices(const sim::Session& session);
 
 class RoundEngine;
 
@@ -66,7 +66,16 @@ class RoundPolicy {
   /// Polls the singleton buckets, recording outcomes through the engine's
   /// done()/pending() state. The default is the HPP dispatch: singleton
   /// indices in ascending order, each poll carrying the full h-bit index.
-  virtual void dispatch(RoundEngine& engine, std::vector<HashDevice>& active);
+  virtual void dispatch(RoundEngine& engine, tags::TagSoA& active);
+
+  /// True when every singleton poll this dispatch issues on a clean
+  /// channel is an identical full-h-bit-vector poll — the precondition for
+  /// the engine's batched clean-round fast path. The default (HPP-shaped)
+  /// dispatch qualifies; TPP's differential tree does not (its per-poll
+  /// vector length varies with the tree segment).
+  [[nodiscard]] virtual bool batchable_dispatch() const noexcept {
+    return true;
+  }
 };
 
 class RoundEngine final {
@@ -79,22 +88,32 @@ class RoundEngine final {
       : session_(session), recovery_(recovery) {}
 
   /// Runs one complete round over `active` (round bookkeeping, policy init,
-  /// tag-side index pick, singleton sift, dispatch, recovery mop-up,
-  /// compaction). Devices that were read or abandoned are erased from
-  /// `active`. Returns false when the round-init broadcast was
+  /// batched tag-side index pick, singleton sift, dispatch, recovery
+  /// mop-up, compaction). Devices that were read or abandoned are erased
+  /// from `active`. Returns false when the round-init broadcast was
   /// undeliverable — the round did not run and the caller decides between
   /// retrying and abandoning (see run_rounds).
-  bool run_round(std::vector<HashDevice>& active, RoundPolicy& policy);
+  bool run_round(tags::TagSoA& active, RoundPolicy& policy);
 
   /// Runs rounds until `active` drains, retrying undeliverable round-init
   /// broadcasts through the bounded InitLadder and abandoning everything
   /// still unread — loudly, never silently — once it is exhausted.
-  void run_rounds(std::vector<HashDevice>& active, RoundPolicy& policy);
+  void run_rounds(tags::TagSoA& active, RoundPolicy& policy);
 
   /// The terminal give-up-loudly outcome when the downlink cannot even
   /// deliver protocol commands: every still-active device is reported via
   /// sim::Session::mark_undelivered and `active` is cleared.
-  void abandon_active(std::vector<HashDevice>& active);
+  void abandon_active(tags::TagSoA& active);
+
+  /// Selects the kernel backend for the batched index pick. Any backend
+  /// produces identical picks (the lane->tag rule in common/simd.hpp);
+  /// the bench pins kScalar to measure the per-width speedup.
+  void set_hash_backend(simd::Backend backend) noexcept {
+    hash_backend_ = backend;
+  }
+  [[nodiscard]] simd::Backend hash_backend() const noexcept {
+    return hash_backend_;
+  }
 
   // --- Surface for RoundPolicy::dispatch implementations --------------------
 
@@ -112,7 +131,8 @@ class RoundEngine final {
     return counts_;
   }
   /// Last device index that picked each bucket; meaningful where the
-  /// count is 1 (the singleton's occupant).
+  /// count is 1 (the singleton's occupant). Filled only on the per-poll
+  /// dispatch path — the clean-round fast path never consults it.
   [[nodiscard]] const std::vector<std::size_t>& occupant() const noexcept {
     return occupant_;
   }
@@ -136,20 +156,18 @@ class RoundEngine final {
   /// The HPP dispatch: singleton indices in ascending order, each poll
   /// carrying the full h-bit index. Shared by HPP proper, the HPP rounds
   /// inside EHPP circles, and ADAPT's degraded tier.
-  void dispatch_singletons_ascending(std::vector<HashDevice>& active);
+  void dispatch_singletons_ascending(tags::TagSoA& active);
 
  private:
   /// End-of-round mop-up: hands the parked device indices to the recovery
   /// coordinator, re-polling each with the full h_-bit absolute index
   /// (differential encodings cannot address an out-of-order retry).
-  void mop_up(std::vector<HashDevice>& active);
-
-  /// Erases devices flagged done from `active`, preserving order.
-  void compact(std::vector<HashDevice>& active);
+  void mop_up(tags::TagSoA& active);
 
   sim::Session& session_;
   fault::RecoveryCoordinator& recovery_;
   unsigned h_ = 0;
+  simd::Backend hash_backend_ = simd::best_backend();
   // Round-scoped scratch, reused via assign/clear so capacity peaks in the
   // first round and steady-state rounds perform no heap allocation.
   std::vector<std::uint32_t> counts_;

@@ -30,8 +30,7 @@ RoundInit TppRoundPolicy::begin_round(sim::Session& session,
   return RoundInit{true, h, seed};
 }
 
-void TppRoundPolicy::dispatch(RoundEngine& engine,
-                              std::vector<HashDevice>& active) {
+void TppRoundPolicy::dispatch(RoundEngine& engine, tags::TagSoA& active) {
   sim::Session& session = engine.session();
   const bool recovering = engine.recovering();
   const unsigned h = engine.index_length();
@@ -92,7 +91,7 @@ void TppRoundPolicy::dispatch(RoundEngine& engine,
       const bool delivered =
           session.downlink().broadcast_framed(chunk_bits, /*count_in_w=*/true);
       for (const std::size_t i : chunk) {
-        const HashDevice& device = active[i];
+        const tags::Tag* tag = active.tag(i);
         if (!delivered) {
           // The whole chunk stayed corrupt through its budget: its tags
           // never saw their indices. Recovery re-polls them with absolute
@@ -100,15 +99,15 @@ void TppRoundPolicy::dispatch(RoundEngine& engine,
           if (recovering)
             pending.push_back(i);
           else {
-            session.mark_undelivered(device.tag->id());
+            session.mark_undelivered(tag->id());
             done[i] = 1;
           }
           continue;
         }
-        const bool here = session.is_present(device.tag->id());
-        const tags::Tag* responder = device.tag;
+        const bool here = session.is_present(tag->id());
+        const tags::Tag* responder = tag;
         const tags::Tag* read =
-            session.air().poll_slot({&responder, here ? 1u : 0u}, device.tag);
+            session.air().poll_slot({&responder, here ? 1u : 0u}, tag);
         if (read != nullptr)
           done[i] = 1;
         else if (recovering)
@@ -136,7 +135,7 @@ void TppRoundPolicy::dispatch(RoundEngine& engine,
       RFID_ENSURES(reg == segment.completed_index);
 
       const std::size_t i = occupant[reg];
-      const HashDevice& device = active[i];
+      const tags::Tag* tag = active.tag(i);
       if (desynced) {
         // Stranded: the reader transmits the segment and waits out the
         // silence; the tag (whose register is garbage) stays awake for the
@@ -148,10 +147,10 @@ void TppRoundPolicy::dispatch(RoundEngine& engine,
       // Tag side: every awake tag compares its index with A. Tags on
       // collision indices can never match (collision indices are not
       // leaves), so the responder set is the singleton occupant.
-      const bool here = session.is_present(device.tag->id());
-      const tags::Tag* responder = device.tag;
+      const bool here = session.is_present(tag->id());
+      const tags::Tag* responder = tag;
       const tags::Tag* read = session.air().poll(
-          {&responder, here ? 1u : 0u}, device.tag, segment.length);
+          {&responder, here ? 1u : 0u}, tag, segment.length);
       if (read != nullptr) {
         done[i] = 1;
       } else {
@@ -170,7 +169,7 @@ void TppRoundPolicy::dispatch(RoundEngine& engine,
 sim::RunResult Tpp::run(const tags::TagPopulation& population,
                         const sim::SessionConfig& config) const {
   sim::Session session(population, config);
-  std::vector<HashDevice> active = make_devices(session);
+  tags::TagSoA active = make_devices(session);
   fault::RecoveryCoordinator recovery(config.recovery);
   RoundEngine engine(session, recovery);
   TppRoundPolicy policy(config_);

@@ -74,7 +74,13 @@ class TppRoundPolicy final : public RoundPolicy {
 
   RoundInit begin_round(sim::Session& session,
                         std::size_t active_count) override;
-  void dispatch(RoundEngine& engine, std::vector<HashDevice>& active) override;
+  void dispatch(RoundEngine& engine, tags::TagSoA& active) override;
+
+  /// The differential tree varies the vector length per poll, so the
+  /// engine's identical-polls fast path cannot represent a TPP round.
+  [[nodiscard]] bool batchable_dispatch() const noexcept override {
+    return false;
+  }
 
  private:
   Tpp::Config config_;

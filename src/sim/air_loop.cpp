@@ -153,6 +153,35 @@ const tags::Tag* AirLoop::poll(std::span<const tags::Tag* const> responders,
   return complete_reply(responders, expected, reader_us);
 }
 
+void AirLoop::clean_singleton_replies(std::size_t count,
+                                      std::size_t vector_bits) {
+  // Mirrors the success branch of poll() -> complete_reply() exactly:
+  // vector bits into w, then per poll one clock add of the identical dt
+  // (same expression, same association) and the three phase adds. The
+  // per-poll loop is deliberate — collapsing the clock adds into count*dt
+  // would change the floating-point rounding and break byte-identity with
+  // the unbatched path.
+  metrics_.vector_bits += static_cast<std::uint64_t>(count) * vector_bits;
+  const double reader_us = config_.timing.reader_tx_us(
+      config_.timing.query_rep_bits + vector_bits);
+  const double tag_us = config_.timing.tag_tx_us(config_.info_bits);
+  const double turnaround_us = config_.timing.t1_us + config_.timing.t2_us;
+  const double dt =
+      reader_us + config_.timing.t1_us + tag_us + config_.timing.t2_us;
+  for (std::size_t i = 0; i < count; ++i) {
+    metrics_.time_us += dt;
+    add_phase(obs::Phase::kReaderVector, reader_us);
+    add_phase(obs::Phase::kTurnaround, turnaround_us);
+    add_phase(obs::Phase::kTagReply, tag_us);
+  }
+  metrics_.tag_bits += static_cast<std::uint64_t>(count) * config_.info_bits;
+  metrics_.polls += count;
+  metrics_.slots_total += count;
+  metrics_.slots_useful += count;
+  channel_.record_clean_singletons(count);
+  last_failure_ = PollFailure::kNone;
+}
+
 const tags::Tag* AirLoop::poll_bare(
     std::span<const tags::Tag* const> responders, const tags::Tag* expected,
     std::size_t vector_bits) {

@@ -78,6 +78,15 @@ class AirLoop final {
     return last_failure_;
   }
 
+  /// Batched accounting for `count` > 0 unframed singleton polls of
+  /// `vector_bits` bits each whose success is predetermined
+  /// (sim::Session::clean_poll_fast_path). Every poll in the batch spends
+  /// identical airtime, so the floating-point clock and phase totals are
+  /// replayed add-by-add — byte-identical to `count` sequential successful
+  /// poll() calls — while the integer counters and channel statistics
+  /// batch exactly.
+  void clean_singleton_replies(std::size_t count, std::size_t vector_bits);
+
   /// Conventional-polling variant: bare broadcast without the QueryRep
   /// prefix (see phy::C1G2Timing::poll_bare_us).
   const tags::Tag* poll_bare(std::span<const tags::Tag* const> responders,

@@ -66,6 +66,22 @@ class Session final : private phy::AirtimeSink, public fault::RecoveryHost {
     return air_.is_present(id);
   }
 
+  /// True when every singleton poll this session issues is guaranteed to
+  /// succeed with fixed per-poll accounting: no framing, no reply noise or
+  /// structured link model, no downlink BER, no churn or presence filter,
+  /// no per-poll record/trace output, and no open recovery phase. Under
+  /// these conditions the round engine may replace the per-poll dispatch
+  /// loop with AirLoop::clean_singleton_replies — byte-identical metrics,
+  /// a fraction of the work. Recovery merely being *enabled* stays
+  /// eligible: with no failures nothing is ever parked for the mop-up.
+  [[nodiscard]] bool clean_poll_fast_path() const noexcept {
+    return !config_.framing.enabled && config_.reply_error_rate == 0.0 &&
+           !config_.keep_records && config_.tracer == nullptr &&
+           config_.present == nullptr && !injector_.ber_active() &&
+           !injector_.link_active() && !injector_.churn_active() &&
+           !air_.in_recovery();
+  }
+
   // --- Fault recovery (fault::RecoveryHost) ---------------------------------
 
   [[nodiscard]] bool recovery_enabled() const noexcept {

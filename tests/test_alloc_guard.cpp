@@ -55,7 +55,7 @@ std::uint64_t steady_allocs(const PolicyConfig& policy_config,
   config.keep_records = false;  // record storage is output data, not scratch
   config.degradation.enabled = degradation;
   sim::Session session(population, config);
-  std::vector<protocols::HashDevice> active = protocols::make_devices(session);
+  tags::TagSoA active = protocols::make_devices(session);
   fault::RecoveryCoordinator recovery(config.recovery);
   protocols::RoundEngine engine(session, recovery);
   Policy policy(policy_config);
@@ -122,7 +122,7 @@ TEST(AllocGuard, EhppCircleSetupBoundedByCircles) {
   config.seed = kSeed;
   config.keep_records = false;
   sim::Session session(population, config);
-  std::vector<protocols::HashDevice> active = protocols::make_devices(session);
+  tags::TagSoA active = protocols::make_devices(session);
   fault::RecoveryCoordinator recovery(config.recovery);
   protocols::RoundEngine engine(session, recovery);
   const protocols::Ehpp ehpp_protocol;

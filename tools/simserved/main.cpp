@@ -186,7 +186,7 @@ class ReaderSim final {
   std::unique_ptr<sim::Session> session_;
   std::unique_ptr<fault::RecoveryCoordinator> recovery_;
   std::unique_ptr<protocols::RoundEngine> engine_;
-  std::vector<protocols::HashDevice> active_;
+  tags::TagSoA active_;
   std::uint64_t epochs_ = 0;
   unsigned init_failures_ = 0;
 };
