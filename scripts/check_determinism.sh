@@ -50,7 +50,30 @@ check_pair() {
 
 check_pair clean 800 4 3 HPP TPP
 check_pair fault 800 4 3 HPP EHPP TPP ADAPT --fault
+
+# Reader-fault stanza: fault_demo's act 5 runs the supervised fleet —
+# reader crashes/stalls on their own named RNG streams, tag handoff,
+# backoff restarts — and prints per-reader incident tables. The whole
+# stdout (all five acts) must byte-match serial vs pooled, proving the
+# reader-fault machinery keeps the seed-determinism contract too.
+check_reader_faults() {
+  local demo_bin="$bin_dir/examples/fault_demo"
+  if [ ! -x "$demo_bin" ]; then
+    echo "check_determinism: missing $demo_bin (build with RFID_BUILD_EXAMPLES=ON)" >&2
+    status=1
+    return
+  fi
+  RFID_THREADS=0 "$demo_bin" --seed 99 > "$workdir/fleet-serial.txt"
+  RFID_THREADS=4 "$demo_bin" --seed 99 > "$workdir/fleet-pooled.txt"
+  if ! cmp -s "$workdir/fleet-serial.txt" "$workdir/fleet-pooled.txt"; then
+    echo "check_determinism[fleet]: serial and pooled fault_demo output differ:" >&2
+    cmp "$workdir/fleet-serial.txt" "$workdir/fleet-pooled.txt" >&2 || true
+    diff "$workdir/fleet-serial.txt" "$workdir/fleet-pooled.txt" >&2 || true
+    status=1
+  fi
+}
+check_reader_faults
 [ "$status" -eq 0 ] || exit "$status"
 
 echo "check_determinism: OK (serial == RFID_THREADS=4, byte-identical," \
-  "clean and fault channels)"
+  "clean and fault channels, supervised reader fleet)"

@@ -1,0 +1,276 @@
+#include "core/warehouse.hpp"
+
+#include <bit>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+#include "fault/fault_model.hpp"
+
+namespace rfid::core {
+
+namespace {
+
+/// Seed of the crash-decision stream for one (reader, epoch, attempt).
+/// The *attempt* belongs here and nowhere else: the epoch's session seed
+/// must exclude it (so the completing attempt is bit-identical to a
+/// crash-free run), while the crash draw must include it (or a crashed
+/// attempt would replay the identical crash forever — a livelock).
+std::uint64_t crash_stream_seed(std::uint64_t master, std::size_t reader,
+                                std::uint64_t epoch,
+                                std::uint64_t attempt) noexcept {
+  return derive_seed(
+      derive_seed(derive_seed(derive_seed(master, 0xC7A54ull), reader), epoch),
+      attempt);
+}
+
+}  // namespace
+
+WarehouseReader::WarehouseReader(std::size_t index,
+                                 const WarehouseConfig& config,
+                                 obs::StreamingAggregator& aggregator)
+    : index_(index),
+      config_(config),
+      aggregator_(aggregator),
+      hpp_policy_(protocols::HppRoundConfig{}),
+      tpp_policy_(protocols::Tpp::Config{}) {
+  // Distinct populations per reader, stable across epochs: the warehouse
+  // zone a reader covers does not change, only which tags are in it.
+  Xoshiro256ss pop_rng(config.seed * 1000003ull + index);
+  population_ = tags::TagPopulation::uniform_random(config.tags, pop_rng);
+  aggregator_.set_retry_budget(index_, 8);
+  begin_epoch();
+}
+
+void WarehouseReader::set_health(obs::ReaderHealth health) {
+  if (health_ == health) return;
+  health_ = health;
+  aggregator_.set_reader_health(index_, health);
+}
+
+/// Builds the fault plan for one epoch: a bursty downlink plus a churn
+/// schedule where ~1/8 of the tags depart mid-drain and a few outsiders
+/// arrive late. All draws come from named per-reader streams seeded by
+/// (seed, reader, epoch) — never by the attempt — so a daemon restart (or
+/// a crash replay) reproduces the completing attempt bit-identically.
+void WarehouseReader::begin_epoch() {
+  sim::SessionConfig session_config;
+  session_config.seed = config_.seed ^
+                        (0x9E3779B97F4A7C15ull * (index_ + 1)) ^
+                        (epochs_ * 0x7F4A7C15ull);
+  session_config.keep_records = false;
+  session_config.tracer = config_.tracer;
+  session_config.fault.link = fault::LinkModel::kGilbertElliott;
+  session_config.fault.downlink_ber = 2e-4;
+  session_config.framing.enabled = true;
+  session_config.recovery.enabled = true;
+  session_config.recovery.retry_budget = 8;
+  session_config.degradation.enabled = true;
+
+  Xoshiro256ss churn_rng(session_config.seed ^ 0xC0FFEEull);
+  const auto& tags_list = population_.tags();
+  for (std::size_t t = 0; t < tags_list.size(); ++t) {
+    const std::uint64_t draw = churn_rng();
+    fault::ChurnEvent event;
+    event.id = tags_list[t].id();
+    event.round = 2 + draw % 24;
+    if (draw % 8 == 0) {
+      event.kind = fault::ChurnEvent::Kind::kDepart;
+      session_config.fault.churn.push_back(event);
+    } else if (draw % 8 == 1) {
+      // First event is an arrival: the tag starts outside the zone and
+      // shows up mid-epoch.
+      event.kind = fault::ChurnEvent::Kind::kArrive;
+      session_config.fault.churn.push_back(event);
+    }
+  }
+
+  session_ = std::make_unique<sim::Session>(population_, session_config);
+  recovery_ =
+      std::make_unique<fault::RecoveryCoordinator>(session_config.recovery);
+  engine_ = std::make_unique<protocols::RoundEngine>(*session_, *recovery_);
+  active_ = protocols::make_devices(*session_);
+  init_failures_ = 0;
+  rounds_this_epoch_ = 0;
+
+  // Crash schedule for this attempt. Disabled crash injection draws
+  // nothing, keeping fault-free runs byte-identical to older builds.
+  crash_after_round_ = 0;
+  if (config_.crash_every_epochs != 0) {
+    Xoshiro256ss crash_rng(
+        crash_stream_seed(config_.seed, index_, epochs_, attempt_));
+    if (crash_rng.bernoulli(1.0 /
+                            static_cast<double>(config_.crash_every_epochs)))
+      crash_after_round_ = 1 + crash_rng.below(12);
+  }
+}
+
+bool WarehouseReader::step() {
+  // Adaptive tier: the session's degradation policy watches observed
+  // downlink corruption and the daemon honours its TPP->HPP downgrades
+  // (EHPP shares HPP's round shape at this layer).
+  const analysis::PollingTier tier = session_->degradation_tier(active_.size());
+  protocols::RoundPolicy& policy =
+      tier == analysis::PollingTier::kTpp
+          ? static_cast<protocols::RoundPolicy&>(tpp_policy_)
+          : hpp_policy_;
+  if (!engine_->run_round(active_, policy)) {
+    // Round-init undeliverable: bounded retry, then give up loudly on
+    // whatever is left so the epoch still terminates.
+    if (++init_failures_ > 8) engine_->abandon_active(active_);
+  } else {
+    init_failures_ = 0;
+  }
+  ++rounds_this_epoch_;
+
+  if (crash_after_round_ != 0 && rounds_this_epoch_ >= crash_after_round_ &&
+      !active_.empty()) {
+    // Reader dies mid-epoch: the incarnation's partial work evaporates
+    // (abort_epoch discards the live slot without folding), the epoch is
+    // replayed from its boundary as a new attempt. Completed folds never
+    // see any of this — they remain a pure function of (seed, reader,
+    // epoch), the checkpoint-resume invariant.
+    ++crashes_;
+    aggregator_.note_reader_crash(index_);
+    aggregator_.abort_epoch(index_);
+    set_health(obs::ReaderHealth::kDown);
+    ++attempt_;
+    ++restarts_;
+    aggregator_.note_reader_restart(index_);
+    begin_epoch();
+    set_health(obs::ReaderHealth::kRecovering);
+    return false;
+  }
+
+  aggregator_.update_reader(index_, session_->metrics(),
+                            session_->downlink().estimated_ber());
+  if (!active_.empty()) return false;
+
+  // Epoch drained: fold it everywhere (aggregator and the local mirror,
+  // same Metrics::merge, so both stay bit-exact).
+  aggregator_.complete_epoch(index_, session_->metrics());
+  completed_.merge(session_->metrics());
+  ++epochs_;
+  attempt_ = 0;
+  set_health(obs::ReaderHealth::kHealthy);
+  begin_epoch();
+  return true;
+}
+
+void WarehouseReader::restore(const sim::ReaderCheckpoint& slot) {
+  epochs_ = slot.epochs;
+  completed_ = slot.completed;
+  crashes_ = slot.crashes;
+  restarts_ = slot.restarts;
+  health_ = slot.health;
+  attempt_ = 0;
+  begin_epoch();
+}
+
+// --- WarehouseSim -----------------------------------------------------------
+
+WarehouseSim::WarehouseSim(const WarehouseConfig& config,
+                           obs::StreamingAggregator& aggregator)
+    : config_(config), aggregator_(aggregator) {
+  if (config_.readers == 0)
+    throw std::invalid_argument("WarehouseSim: need >= 1 reader");
+  readers_.reserve(config_.readers);
+  for (std::size_t r = 0; r < config_.readers; ++r)
+    readers_.push_back(
+        std::make_unique<WarehouseReader>(r, config_, aggregator_));
+}
+
+std::size_t WarehouseSim::step() {
+  std::size_t completed = 0;
+  for (auto& reader : readers_) {
+    if (config_.epoch_target != 0 && reader->epochs() >= config_.epoch_target)
+      continue;  // reached its goal; idles so the folds stop exactly there
+    if (reader->step()) ++completed;
+  }
+  return completed;
+}
+
+bool WarehouseSim::target_reached() const {
+  if (config_.epoch_target == 0) return false;
+  for (const auto& reader : readers_)
+    if (reader->epochs() < config_.epoch_target) return false;
+  return true;
+}
+
+std::uint64_t WarehouseSim::total_epochs() const {
+  std::uint64_t total = 0;
+  for (const auto& reader : readers_) total += reader->epochs();
+  return total;
+}
+
+std::uint64_t WarehouseSim::config_fingerprint() const {
+  // Only what shapes the completed folds belongs here: readers, zone
+  // populations, seed. The epoch target and crash rate are stopping/fault
+  // conditions the folds are invariant to — fingerprinting them would
+  // (wrongly) refuse to extend a finished run or replay one crash-free.
+  std::uint64_t h = 0x57415245ull;  // 'WARE'
+  h = sim::fingerprint_mix(h, config_.readers);
+  h = sim::fingerprint_mix(h, config_.tags);
+  h = sim::fingerprint_mix(h, config_.seed);
+  return h;
+}
+
+void WarehouseSim::fill_checkpoint(sim::Checkpoint& out,
+                                   std::uint64_t wall_unix_ms) const {
+  out.config_fingerprint = config_fingerprint();
+  out.master_seed = config_.seed;
+  out.wall_unix_ms = wall_unix_ms;
+  out.epoch_target = config_.epoch_target;
+  out.readers.resize(readers_.size());
+  for (std::size_t r = 0; r < readers_.size(); ++r) {
+    sim::ReaderCheckpoint& slot = out.readers[r];
+    const WarehouseReader& reader = *readers_[r];
+    slot.epochs = reader.epochs();
+    slot.crashes = reader.crashes();
+    slot.restarts = reader.restarts();
+    slot.health = reader.health();
+    slot.completed = reader.completed();
+  }
+  // No live RNG streams: everything per-epoch re-derives from (seed,
+  // reader, epoch), so an epoch-boundary checkpoint needs no stream state.
+  out.rng_streams.clear();
+}
+
+void WarehouseSim::restore(const sim::Checkpoint& checkpoint) {
+  if (checkpoint.config_fingerprint != config_fingerprint())
+    throw std::runtime_error(
+        "warehouse: checkpoint was taken under a different configuration "
+        "(fingerprint mismatch)");
+  if (checkpoint.readers.size() != readers_.size())
+    throw std::runtime_error("warehouse: checkpoint reader count mismatch");
+  for (std::size_t r = 0; r < readers_.size(); ++r) {
+    const sim::ReaderCheckpoint& slot = checkpoint.readers[r];
+    readers_[r]->restore(slot);
+    aggregator_.restore_reader(r, slot.completed, slot.epochs, slot.crashes,
+                               slot.restarts, slot.health);
+  }
+}
+
+void WarehouseSim::write_final_metrics(std::ostream& os) const {
+  // Only epoch-boundary state: completed folds and epoch counts. Incident
+  // counters (crashes/restarts) are deliberately absent — a resumed run may
+  // replay a crashed epoch a different number of times, and this report's
+  // contract is byte-identity at equal epoch counts.
+  os << R"({"seed":)" << config_.seed << R"(,"readers":)" << readers_.size()
+     << R"(,"epoch_target":)" << config_.epoch_target << R"(,"per_reader":[)";
+  sim::Metrics totals;
+  for (std::size_t r = 0; r < readers_.size(); ++r) {
+    const WarehouseReader& reader = *readers_[r];
+    os << (r == 0 ? "" : ",") << R"({"epochs":)" << reader.epochs()
+       << R"(,"metrics":)";
+    obs::write_json(os, reader.completed());
+    os << '}';
+    totals.merge(reader.completed());
+  }
+  os << R"(],"totals":)";
+  obs::write_json(os, totals);
+  os << "}\n";
+}
+
+}  // namespace rfid::core

@@ -1,0 +1,162 @@
+// The continuous warehouse workload behind tools/simserved, extracted so
+// checkpoint/resume is testable in-process.
+//
+// A WarehouseSim owns R readers, each endlessly draining its own tag
+// population (stable zone, per-epoch churn and burst faults, bounded
+// recovery, adaptive degradation) and reporting into a shared
+// obs::StreamingAggregator. Everything runs on the deterministic simulated
+// clock; the serving layer decides pacing and wall time.
+//
+// Determinism contract (relied on by tests/test_checkpoint.cpp and the
+// chaos-fleet CI job):
+//   * each epoch's session seed is a pure function of (seed, reader,
+//     epoch#) — never of how many crashed attempts the epoch took — so the
+//     per-reader *completed* metrics fold after E epochs is one exact byte
+//     sequence regardless of crashes, kills and resumes along the way;
+//   * crash faults draw from a separate named stream keyed by (seed,
+//     reader, epoch#, attempt#): a crashed attempt replays the same rounds
+//     up to a possibly different crash point, and the attempt that finally
+//     completes is bit-identical to the epoch on a crash-free run;
+//   * a checkpoint captures only epoch-boundary state (epoch counts +
+//     completed folds + incident counters), which is why restore() needs
+//     no mid-round RNG surgery: the in-flight epoch is simply replayed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "fault/recovery.hpp"
+#include "obs/health.hpp"
+#include "obs/stream.hpp"
+#include "obs/trace.hpp"
+#include "protocols/hash_polling.hpp"
+#include "protocols/round_engine.hpp"
+#include "protocols/tree_polling.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/session.hpp"
+#include "tags/population.hpp"
+
+namespace rfid::core {
+
+struct WarehouseConfig final {
+  std::size_t readers = 2;
+  std::size_t tags = 256;
+  std::uint64_t seed = 1;
+  /// Per-reader epoch goal; a reader that reaches it idles. 0 = forever.
+  /// The per-reader goal (rather than a fleet total) is what makes the
+  /// final completed folds independent of scheduling interleaving.
+  std::uint64_t epoch_target = 0;
+  /// Mean epochs between injected reader crashes (1/N probability per
+  /// attempt, crash point uniform over the epoch's early rounds). 0 = off —
+  /// and off means the crash streams are never drawn from, keeping
+  /// fault-free runs byte-identical to builds without this machinery.
+  std::uint64_t crash_every_epochs = 0;
+  obs::Tracer* tracer = nullptr;  ///< not owned; may be nullptr
+};
+
+/// One simulated reader: an endlessly repeating drain of its own zone.
+class WarehouseReader final {
+ public:
+  WarehouseReader(std::size_t index, const WarehouseConfig& config,
+                  obs::StreamingAggregator& aggregator);
+
+  /// Runs one engine round (or replays a crash). Returns true when the
+  /// round completed an epoch and a fresh session was started.
+  bool step();
+
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+  [[nodiscard]] const sim::Metrics& completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
+  [[nodiscard]] obs::ReaderHealth health() const noexcept { return health_; }
+
+  /// Restores epoch-boundary state from a checkpoint slot and begins the
+  /// next epoch from scratch (attempt 0). The aggregator is NOT touched
+  /// here — WarehouseSim::restore pushes the restored state into it.
+  void restore(const sim::ReaderCheckpoint& slot);
+
+ private:
+  void begin_epoch();
+  void set_health(obs::ReaderHealth health);
+
+  const std::size_t index_;
+  const WarehouseConfig& config_;
+  obs::StreamingAggregator& aggregator_;
+  tags::TagPopulation population_{};
+  protocols::HppRoundPolicy hpp_policy_;
+  protocols::TppRoundPolicy tpp_policy_;
+  std::unique_ptr<sim::Session> session_;
+  std::unique_ptr<fault::RecoveryCoordinator> recovery_;
+  std::unique_ptr<protocols::RoundEngine> engine_;
+  tags::TagSoA active_;
+  /// Bit-exact fold of completed epochs — the mirror of the aggregator's
+  /// completed slot, kept here so checkpoints never reach into the
+  /// aggregator's lock.
+  sim::Metrics completed_{};
+  std::uint64_t epochs_ = 0;
+  std::uint64_t attempt_ = 0;  ///< crash replays within the current epoch
+  std::uint64_t rounds_this_epoch_ = 0;
+  /// Crash schedule of the current attempt: 0 = survives; otherwise the
+  /// 1-based round after which the reader dies.
+  std::uint64_t crash_after_round_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t restarts_ = 0;
+  obs::ReaderHealth health_ = obs::ReaderHealth::kHealthy;
+  unsigned init_failures_ = 0;
+};
+
+class WarehouseSim final {
+ public:
+  WarehouseSim(const WarehouseConfig& config,
+               obs::StreamingAggregator& aggregator);
+
+  /// One scheduling tick: one engine round per reader (readers that hit
+  /// the epoch target idle). Returns the number of epochs completed.
+  std::size_t step();
+
+  /// True once every reader completed the per-reader epoch target
+  /// (never true when the target is 0).
+  [[nodiscard]] bool target_reached() const;
+
+  /// Total completed epochs across readers.
+  [[nodiscard]] std::uint64_t total_epochs() const;
+
+  [[nodiscard]] const WarehouseReader& reader(std::size_t r) const {
+    return *readers_[r];
+  }
+  [[nodiscard]] std::size_t reader_count() const noexcept {
+    return readers_.size();
+  }
+
+  // --- Checkpoint/resume ----------------------------------------------------
+
+  /// Digest of everything that shapes the run; embedded in checkpoints and
+  /// compared on restore.
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
+
+  /// Fills `out` with the current epoch-boundary state. `wall_unix_ms` is
+  /// the caller's wall timestamp (the sim layer never reads a clock).
+  /// Reuses `out`'s buffers, so periodic snapshots allocate nothing warm.
+  void fill_checkpoint(sim::Checkpoint& out, std::uint64_t wall_unix_ms) const;
+
+  /// Restores from a decoded checkpoint and pushes the restored state into
+  /// the aggregator. Throws std::runtime_error on fingerprint or shape
+  /// mismatch — a checkpoint from a different config is refused loudly.
+  void restore(const sim::Checkpoint& checkpoint);
+
+  /// Byte-stable JSON of the *completed* per-reader folds (the
+  /// crash/kill-invariant state): same bytes at the same epoch counts no
+  /// matter how often the process was killed and resumed in between.
+  void write_final_metrics(std::ostream& os) const;
+
+ private:
+  const WarehouseConfig config_;
+  obs::StreamingAggregator& aggregator_;
+  std::vector<std::unique_ptr<WarehouseReader>> readers_;
+};
+
+}  // namespace rfid::core

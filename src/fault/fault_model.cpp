@@ -14,6 +14,18 @@ const char* to_string(LinkModel model) noexcept {
   return "unknown";
 }
 
+const char* to_string(ReaderFaultKind kind) noexcept {
+  switch (kind) {
+    case ReaderFaultKind::kCrash:
+      return "crash";
+    case ReaderFaultKind::kStall:
+      return "stall";
+    case ReaderFaultKind::kRestart:
+      return "restart";
+  }
+  return "unknown";
+}
+
 double GilbertElliottParams::stationary_bad() const noexcept {
   const double denom = p_good_to_bad + p_bad_to_good;
   if (denom <= 0.0) return 0.0;  // absorbing chain: stays in the good state

@@ -97,6 +97,43 @@ struct FaultConfig final {
   }
 };
 
+/// Reader-level fault taxonomy for fleet runs (core/multi_reader.hpp).
+/// These faults hit the *reader*, not the channel: the link models above
+/// garble individual replies, these take a whole interrogator out.
+enum class ReaderFaultKind : std::uint8_t {
+  kCrash,    ///< reader dies; volatile session state lost, tags need rehoming
+  kStall,    ///< latency spike: alive but missing round deadlines for a while
+  kRestart,  ///< spontaneous reboot: keeps its tag assignment, loses session
+};
+
+[[nodiscard]] const char* to_string(ReaderFaultKind kind) noexcept;
+
+/// One sampled reader fault, returned by FaultInjector::sample_reader_fault
+/// at a scheduling tick. `stall_ticks` is meaningful only for kStall.
+struct ReaderFaultEvent final {
+  ReaderFaultKind kind = ReaderFaultKind::kCrash;
+  std::uint64_t stall_ticks = 0;
+};
+
+/// Per-reader fault process, sampled once per scheduling tick from the
+/// injector's dedicated reader-fault stream. All probabilities are per tick;
+/// a disabled config (all zero) never draws, so fault-free fleet runs stay
+/// byte-identical to builds without reader faults. When several faults fire
+/// on the same tick the most severe wins: crash > restart > stall.
+struct ReaderFaultConfig final {
+  double crash_per_tick = 0.0;    ///< P(crash) per scheduling tick
+  double stall_per_tick = 0.0;    ///< P(stall begins) per scheduling tick
+  double restart_per_tick = 0.0;  ///< P(spontaneous reboot) per tick
+  /// Stall duration drawn uniformly from [stall_ticks_min, stall_ticks_max].
+  std::uint64_t stall_ticks_min = 2;
+  std::uint64_t stall_ticks_max = 6;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return crash_per_tick > 0.0 || stall_per_tick > 0.0 ||
+           restart_per_tick > 0.0;
+  }
+};
+
 /// Reader-side recovery policy for the hash-polling family. When enabled,
 /// a failed poll (garbled reply or timeout) parks the tag for the current
 /// round's mop-up instead of abandoning it; each mop-up re-poll consumes

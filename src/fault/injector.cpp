@@ -52,6 +52,40 @@ bool FaultInjector::corrupt_downlink(std::size_t bits) noexcept {
   return fault_rng_.bernoulli(1.0 - p_clean);
 }
 
+void FaultInjector::arm_reader_faults(const ReaderFaultConfig& config,
+                                      std::uint64_t seed) {
+  reader_faults_ = config;
+  reader_fault_rng_.reseed(seed);
+}
+
+std::optional<ReaderFaultEvent> FaultInjector::sample_reader_fault() {
+  if (!reader_faults_.enabled()) return std::nullopt;
+  // Fixed draw order and one draw per armed probability per tick: the
+  // stream position after N ticks depends only on N and the config, so a
+  // resumed run's schedule matches an uninterrupted one's exactly.
+  const bool crash = reader_faults_.crash_per_tick > 0.0 &&
+                     reader_fault_rng_.bernoulli(reader_faults_.crash_per_tick);
+  const bool restart =
+      reader_faults_.restart_per_tick > 0.0 &&
+      reader_fault_rng_.bernoulli(reader_faults_.restart_per_tick);
+  const bool stall = reader_faults_.stall_per_tick > 0.0 &&
+                     reader_fault_rng_.bernoulli(reader_faults_.stall_per_tick);
+  std::uint64_t stall_ticks = 0;
+  if (reader_faults_.stall_per_tick > 0.0) {
+    // Duration is drawn whenever stalls are armed — even on no-stall ticks —
+    // so the invariant above stays exact.
+    const std::uint64_t lo = reader_faults_.stall_ticks_min;
+    const std::uint64_t hi = reader_faults_.stall_ticks_max < lo
+                                 ? lo
+                                 : reader_faults_.stall_ticks_max;
+    stall_ticks = lo + (hi == lo ? 0 : reader_fault_rng_.below(hi - lo + 1));
+  }
+  if (crash) return ReaderFaultEvent{ReaderFaultKind::kCrash, 0};
+  if (restart) return ReaderFaultEvent{ReaderFaultKind::kRestart, 0};
+  if (stall) return ReaderFaultEvent{ReaderFaultKind::kStall, stall_ticks};
+  return std::nullopt;
+}
+
 void FaultInjector::advance_to_round(std::uint64_t round) {
   while (next_event_ < config_.churn.size() &&
          config_.churn[next_event_].round <= round) {

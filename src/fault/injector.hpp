@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_set>
 
 #include "common/rng.hpp"
@@ -62,9 +63,30 @@ class FaultInjector final {
   /// Current Gilbert–Elliott state (tests/diagnostics).
   [[nodiscard]] bool in_bad_state() const noexcept { return bad_state_; }
 
+  // --- Reader-level faults (fleet runs; see core/multi_reader.hpp) ----------
+
+  /// Arms the reader-fault process for one reader, seeding its dedicated
+  /// stream with `seed` (callers derive it per reader so fleet schedules are
+  /// independent of channel-fault consumption). A config with all
+  /// probabilities zero never draws.
+  void arm_reader_faults(const ReaderFaultConfig& config, std::uint64_t seed);
+
+  [[nodiscard]] bool reader_faults_active() const noexcept {
+    return reader_faults_.enabled();
+  }
+
+  /// One scheduling tick of the reader-fault process: at most one fault per
+  /// tick, most severe wins (crash > restart > stall). Exactly one draw per
+  /// armed probability per tick regardless of outcome, so the stream's
+  /// consumption — and therefore every later draw — is a pure function of
+  /// the tick count, never of which faults happened to fire.
+  [[nodiscard]] std::optional<ReaderFaultEvent> sample_reader_fault();
+
  private:
   FaultConfig config_{};  ///< churn sorted by round (stable) at construction
   Xoshiro256ss fault_rng_{0};
+  ReaderFaultConfig reader_faults_{};
+  Xoshiro256ss reader_fault_rng_{0};
   bool bad_state_ = false;  ///< Gilbert–Elliott chain starts good
   std::size_t next_event_ = 0;
   /// Membership-only (insert/erase/contains) and never iterated, so a hash

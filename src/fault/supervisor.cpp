@@ -1,0 +1,122 @@
+#include "fault/supervisor.hpp"
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace rfid::fault {
+
+using obs::ReaderHealth;
+
+ReaderSupervisor::ReaderSupervisor(std::size_t readers,
+                                   const SupervisorConfig& config)
+    : config_(config), slots_(readers) {
+  if (readers == 0)
+    throw std::invalid_argument("ReaderSupervisor: need >= 1 reader");
+  for (Slot& slot : slots_) slot.backoff_ticks = config_.backoff_initial_ticks;
+  // Transition bursts are bounded by the fleet size; reserving here keeps
+  // the per-tick hot path allocation-free until health actually changes.
+  transitions_.reserve(readers * 4);
+}
+
+void ReaderSupervisor::transition(std::size_t reader, std::uint64_t tick,
+                                  ReaderHealth to) {
+  Slot& slot = slots_[reader];
+  if (slot.health == to) return;
+  transitions_.push_back(HealthTransition{reader, tick, slot.health, to});
+  slot.health = to;
+}
+
+void ReaderSupervisor::go_down(std::size_t reader, std::uint64_t tick) {
+  Slot& slot = slots_[reader];
+  transition(reader, tick, ReaderHealth::kDown);
+  if (slot.restarts >= config_.max_restarts) {
+    slot.permanent = true;
+    slot.restart_scheduled = false;
+    return;
+  }
+  slot.restart_scheduled = true;
+  slot.restart_at_tick = tick + slot.backoff_ticks;
+}
+
+void ReaderSupervisor::note_round_complete(std::size_t reader,
+                                           std::uint64_t tick) {
+  Slot& slot = slots_[reader];
+  slot.last_progress_tick = tick;
+  if (slot.health == ReaderHealth::kDegraded ||
+      slot.health == ReaderHealth::kRecovering) {
+    transition(reader, tick, ReaderHealth::kHealthy);
+    // A confirmed recovery resets the backoff ladder: the next failure is a
+    // fresh incident, not a continuation of the last flap.
+    slot.backoff_ticks = config_.backoff_initial_ticks;
+  }
+}
+
+void ReaderSupervisor::note_crash(std::size_t reader, std::uint64_t tick) {
+  Slot& slot = slots_[reader];
+  ++slot.crashes;
+  go_down(reader, tick);
+}
+
+void ReaderSupervisor::note_stall(std::size_t reader) {
+  ++slots_[reader].stalls;
+}
+
+void ReaderSupervisor::note_spontaneous_restart(std::size_t reader,
+                                                std::uint64_t tick) {
+  Slot& slot = slots_[reader];
+  if (slot.permanent) return;
+  ++slot.restarts;
+  slot.last_progress_tick = tick;  // reboot grace: deadline restarts too
+  transition(reader, tick, ReaderHealth::kRecovering);
+}
+
+void ReaderSupervisor::advance(std::uint64_t tick) {
+  for (std::size_t r = 0; r < slots_.size(); ++r) {
+    Slot& slot = slots_[r];
+    if (slot.permanent) continue;
+    const std::uint64_t silent = tick >= slot.last_progress_tick
+                                     ? tick - slot.last_progress_tick
+                                     : 0;
+    switch (slot.health) {
+      case ReaderHealth::kHealthy:
+        if (silent >= config_.down_after_ticks)
+          go_down(r, tick);
+        else if (silent >= config_.degraded_after_ticks)
+          transition(r, tick, ReaderHealth::kDegraded);
+        break;
+      case ReaderHealth::kDegraded:
+        if (silent >= config_.down_after_ticks) go_down(r, tick);
+        break;
+      case ReaderHealth::kRecovering:
+        // The restart never produced a round: treat it as a failed attempt
+        // and go back down, consuming another slice of the backoff ladder.
+        if (silent >= config_.down_after_ticks) go_down(r, tick);
+        break;
+      case ReaderHealth::kDown:
+        break;  // waiting on restart_due / begin_restart
+    }
+  }
+}
+
+bool ReaderSupervisor::restart_due(std::size_t reader,
+                                   std::uint64_t tick) const {
+  const Slot& slot = slots_[reader];
+  return slot.health == ReaderHealth::kDown && slot.restart_scheduled &&
+         !slot.permanent && tick >= slot.restart_at_tick;
+}
+
+void ReaderSupervisor::begin_restart(std::size_t reader, std::uint64_t tick) {
+  Slot& slot = slots_[reader];
+  RFID_EXPECTS(restart_due(reader, tick));
+  slot.restart_scheduled = false;
+  ++slot.restarts;
+  slot.last_progress_tick = tick;  // fresh deadline window for the reboot
+  slot.backoff_ticks = slot.backoff_ticks * config_.backoff_multiplier;
+  if (slot.backoff_ticks > config_.backoff_max_ticks ||
+      slot.backoff_ticks == 0)
+    slot.backoff_ticks = config_.backoff_max_ticks;
+  transition(reader, tick, ReaderHealth::kRecovering);
+}
+
+}  // namespace rfid::fault

@@ -1,0 +1,46 @@
+// Per-reader health taxonomy shared by the fault supervisor and the
+// telemetry surface.
+//
+// The state machine itself lives in fault::ReaderSupervisor (the fault
+// layer decides *when* a reader transitions); this header only names the
+// states so the obs layer can carry them through snapshots, stream events,
+// and the serve endpoints without depending on the fault layer. States and
+// their meaning:
+//
+//   kHealthy    — meeting its round deadlines;
+//   kDegraded   — alive but missing deadlines (latency spike / stall);
+//   kDown       — crashed or stalled past the down threshold; its tags are
+//                 eligible for handoff and a restart is (or was) scheduled;
+//   kRecovering — restarted, not yet confirmed by a completed round.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rfid::obs {
+
+enum class ReaderHealth : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kDown = 2,
+  kRecovering = 3,
+};
+
+inline constexpr std::size_t kReaderHealthCount = 4;
+
+[[nodiscard]] constexpr std::string_view to_string(
+    ReaderHealth health) noexcept {
+  switch (health) {
+    case ReaderHealth::kHealthy:
+      return "healthy";
+    case ReaderHealth::kDegraded:
+      return "degraded";
+    case ReaderHealth::kDown:
+      return "down";
+    case ReaderHealth::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+}  // namespace rfid::obs

@@ -21,6 +21,10 @@ void Metrics::merge(const Metrics& other) noexcept {
   segments_retransmitted += other.segments_retransmitted;
   downlink_corrupted += other.downlink_corrupted;
   degradations += other.degradations;
+  reader_crashes += other.reader_crashes;
+  reader_stalls += other.reader_stalls;
+  reader_restarts += other.reader_restarts;
+  handoffs += other.handoffs;
   framing_overhead_bits += other.framing_overhead_bits;
   time_us += other.time_us;
   phases.merge(other.phases);

@@ -51,6 +51,14 @@ struct Metrics final {
   std::uint64_t segments_retransmitted = 0;  ///< retransmission attempts
   std::uint64_t downlink_corrupted = 0;  ///< unframed broadcasts hit by BER
   std::uint64_t degradations = 0;  ///< adaptive protocol-tier downgrades
+
+  // Reader-level fault accounting (fleet supervisor; see
+  // fault/supervisor.hpp). All zero — and absent from reports — outside
+  // supervised fleet runs with reader faults enabled.
+  std::uint64_t reader_crashes = 0;   ///< readers lost mid-run (crash faults)
+  std::uint64_t reader_stalls = 0;    ///< stall/latency-spike faults applied
+  std::uint64_t reader_restarts = 0;  ///< supervisor-driven restarts
+  std::uint64_t handoffs = 0;  ///< tags rehomed away from a downed reader
   /// Downlink bits framing added beyond the raw payload: header + CRC of
   /// every attempt plus the whole frame of each retransmission. Subset of
   /// command_bits; the bench's overhead-vs-Eq.16 figure is this per tag.

@@ -18,7 +18,9 @@ std::string num(double value) {
   return oss.str();
 }
 
-void write_metrics_json(std::ostream& os, const Metrics& m) {
+}  // namespace
+
+void write_json(std::ostream& os, const Metrics& m) {
   os << R"({"polls":)" << m.polls << R"(,"missing":)" << m.missing
      << R"(,"corrupted":)" << m.corrupted << R"(,"retries":)" << m.retries
      << R"(,"undelivered":)" << m.undelivered << R"(,"rounds":)" << m.rounds
@@ -31,6 +33,10 @@ void write_metrics_json(std::ostream& os, const Metrics& m) {
      << R"(,"segments_retransmitted":)" << m.segments_retransmitted
      << R"(,"downlink_corrupted":)" << m.downlink_corrupted
      << R"(,"degradations":)" << m.degradations
+     << R"(,"reader_crashes":)" << m.reader_crashes
+     << R"(,"reader_stalls":)" << m.reader_stalls
+     << R"(,"reader_restarts":)" << m.reader_restarts
+     << R"(,"handoffs":)" << m.handoffs
      << R"(,"framing_overhead_bits":)" << m.framing_overhead_bits
      << R"(,"time_us":)" << num(m.time_us) << R"(,"phases":{)";
   for (std::size_t p = 0; p < kPhaseCount; ++p) {
@@ -40,8 +46,6 @@ void write_metrics_json(std::ostream& os, const Metrics& m) {
   os << "}}";
 }
 
-}  // namespace
-
 std::string_view to_string(StreamEvent::Kind kind) noexcept {
   switch (kind) {
     case StreamEvent::Kind::kDegrade:
@@ -50,6 +54,10 @@ std::string_view to_string(StreamEvent::Kind kind) noexcept {
       return "undelivered";
     case StreamEvent::Kind::kEpoch:
       return "epoch";
+    case StreamEvent::Kind::kReaderDown:
+      return "reader_down";
+    case StreamEvent::Kind::kReaderRecovered:
+      return "reader_recovered";
   }
   return "unknown";
 }
@@ -59,15 +67,16 @@ void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
      << R"(,"interval_s":)" << num(snapshot.interval_s)
      << R"(,"rounds_per_sec":)" << num(snapshot.rounds_per_sec)
      << R"(,"totals":)";
-  write_metrics_json(os, snapshot.totals);
+  write_json(os, snapshot.totals);
   os << R"(,"readers":[)";
   for (std::size_t r = 0; r < snapshot.readers.size(); ++r) {
     const ReaderTelemetry& reader = snapshot.readers[r];
     os << (r == 0 ? "" : ",") << R"({"metrics":)";
-    write_metrics_json(os, reader.metrics);
+    write_json(os, reader.metrics);
     os << R"(,"ber_estimate":)" << num(reader.ber_estimate) << R"(,"epochs":)"
        << reader.epochs << R"(,"retry_budget":)" << reader.retry_budget
-       << '}';
+       << R"(,"health":")" << to_string(reader.health) << R"(","crashes":)"
+       << reader.crashes << R"(,"restarts":)" << reader.restarts << '}';
   }
   os << "]}";
 }
@@ -183,6 +192,47 @@ void StreamingAggregator::set_retry_budget(std::size_t reader,
   readers_.at(reader).retry_budget = budget;
 }
 
+void StreamingAggregator::abort_epoch(std::size_t reader) {
+  const MutexLock lock(mutex_);
+  // Crash boundary: the incarnation's partial session evaporates. The
+  // completed accumulator is untouched, so it stays a pure function of
+  // (seed, reader, epochs) regardless of how many crashed attempts the
+  // epoch took — the invariant checkpoint resume relies on.
+  readers_.at(reader).live = Metrics{};
+}
+
+void StreamingAggregator::set_reader_health(std::size_t reader,
+                                            ReaderHealth health) {
+  const MutexLock lock(mutex_);
+  readers_.at(reader).health = health;
+}
+
+void StreamingAggregator::note_reader_crash(std::size_t reader) {
+  const MutexLock lock(mutex_);
+  ++readers_.at(reader).crashes;
+}
+
+void StreamingAggregator::note_reader_restart(std::size_t reader) {
+  const MutexLock lock(mutex_);
+  ++readers_.at(reader).restarts;
+}
+
+void StreamingAggregator::restore_reader(std::size_t reader,
+                                         const Metrics& completed,
+                                         std::uint64_t epochs,
+                                         std::uint64_t crashes,
+                                         std::uint64_t restarts,
+                                         ReaderHealth health) {
+  const MutexLock lock(mutex_);
+  ReaderState& state = readers_.at(reader);
+  state.completed = completed;
+  state.live = Metrics{};
+  state.epochs = epochs;
+  state.crashes = crashes;
+  state.restarts = restarts;
+  state.health = health;
+}
+
 std::shared_ptr<const MetricsSnapshot> StreamingAggregator::publish(
     double wall_dt_s) {
   auto snapshot = std::make_shared<MetricsSnapshot>();
@@ -200,6 +250,9 @@ std::shared_ptr<const MetricsSnapshot> StreamingAggregator::publish(
       telemetry.ber_estimate = state.ber_estimate;
       telemetry.epochs = state.epochs;
       telemetry.retry_budget = state.retry_budget;
+      telemetry.health = state.health;
+      telemetry.crashes = state.crashes;
+      telemetry.restarts = state.restarts;
       snapshot->totals.merge(telemetry.metrics);
       snapshot->readers.push_back(std::move(telemetry));
     }
@@ -229,6 +282,17 @@ std::shared_ptr<const MetricsSnapshot> StreamingAggregator::publish(
       emit(StreamEvent::Kind::kUndelivered,
            now.metrics.undelivered - prev_undelivered);
       emit(StreamEvent::Kind::kEpoch, now.epochs - prev_epochs);
+      const ReaderHealth prev_health =
+          had ? previous->readers[r].health : ReaderHealth::kHealthy;
+      if (now.health == ReaderHealth::kDown &&
+          prev_health != ReaderHealth::kDown) {
+        emit(StreamEvent::Kind::kReaderDown, 1);
+      }
+      if (now.health == ReaderHealth::kHealthy &&
+          (prev_health == ReaderHealth::kDown ||
+           prev_health == ReaderHealth::kRecovering)) {
+        emit(StreamEvent::Kind::kReaderRecovered, 1);
+      }
     }
     latest_ = snapshot;
     fan_out = subscriptions_;

@@ -42,6 +42,7 @@
 
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 
 namespace rfid::obs {
@@ -53,6 +54,9 @@ struct ReaderTelemetry final {
   double ber_estimate = 0.0;  ///< live downlink BER estimate (phy::Downlink)
   std::uint64_t epochs = 0;   ///< completed inventory drains
   std::uint64_t retry_budget = 0;  ///< recovery re-polls allowed per tag
+  ReaderHealth health = ReaderHealth::kHealthy;  ///< supervisor's view
+  std::uint64_t crashes = 0;   ///< reader crash faults observed so far
+  std::uint64_t restarts = 0;  ///< supervisor-driven restarts so far
 };
 
 /// A typed telemetry event, synthesized at publish time from metric deltas.
@@ -61,6 +65,8 @@ struct StreamEvent final {
     kDegrade,      ///< adaptive protocol-tier downgrades observed
     kUndelivered,  ///< tags abandoned after retry-budget exhaustion
     kEpoch,        ///< inventory epochs completed (population drained)
+    kReaderDown,   ///< a reader's health entered the down state
+    kReaderRecovered,  ///< a down/recovering reader completed a round again
   };
 
   Kind kind = Kind::kEpoch;
@@ -87,6 +93,11 @@ struct MetricsSnapshot final {
 /// identical metrics serialize identically (tested in tests/test_obs.cpp).
 void write_json(std::ostream& os, const MetricsSnapshot& snapshot);
 [[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+/// One Metrics struct in the same byte-stable conventions; reused by the
+/// snapshot writer above and by crash-consistent final-metrics reports
+/// (core/warehouse.hpp), so both surfaces stay field-for-field identical.
+void write_json(std::ostream& os, const Metrics& metrics);
 
 /// JSON for one synthesized event (same conventions as snapshot JSON).
 [[nodiscard]] std::string to_json(const StreamEvent& event);
@@ -168,6 +179,35 @@ class StreamingAggregator final {
   void set_retry_budget(std::size_t reader, std::uint64_t budget)
       RFID_EXCLUDES(mutex_);
 
+  /// Crash boundary: discards the reader's live-session view WITHOUT
+  /// folding it into the completed accumulator — a crashed incarnation's
+  /// partial work is lost, exactly like the real reader's volatile state.
+  /// Keeps completed folds a pure function of (seed, reader, epoch), which
+  /// is what lets a checkpoint-resumed daemon reproduce them byte-for-byte.
+  void abort_epoch(std::size_t reader) RFID_EXCLUDES(mutex_);
+
+  /// Updates the supervisor's health verdict for `reader` (reporting only).
+  /// publish() synthesizes kReaderDown / kReaderRecovered events from
+  /// health transitions between publishes.
+  void set_reader_health(std::size_t reader, ReaderHealth health)
+      RFID_EXCLUDES(mutex_);
+
+  /// Increments the reader's crash / restart incident counters (reporting
+  /// only; never part of the folded metrics, so checkpoint resume — which
+  /// may replay a crashed epoch a different number of times — cannot
+  /// perturb the byte-identical completed fold).
+  void note_reader_crash(std::size_t reader) RFID_EXCLUDES(mutex_);
+  void note_reader_restart(std::size_t reader) RFID_EXCLUDES(mutex_);
+
+  /// Checkpoint resume (core/warehouse.hpp): overwrites the reader's
+  /// completed fold, epoch count, incident counters and health in one
+  /// call. The live slot is cleared — resume always lands on an epoch
+  /// boundary, so there is no in-flight session to carry over.
+  void restore_reader(std::size_t reader, const Metrics& completed,
+                      std::uint64_t epochs, std::uint64_t crashes,
+                      std::uint64_t restarts, ReaderHealth health)
+      RFID_EXCLUDES(mutex_);
+
   // --- Publisher side (snapshot cadence) ------------------------------------
 
   /// Freezes the folded state into an immutable snapshot, synthesizes typed
@@ -203,6 +243,9 @@ class StreamingAggregator final {
     double ber_estimate = 0.0;
     std::uint64_t epochs = 0;
     std::uint64_t retry_budget = 0;
+    ReaderHealth health = ReaderHealth::kHealthy;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
   };
 
   const std::size_t readers_n_;

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
@@ -15,8 +16,6 @@
 namespace rfid::serve {
 
 namespace {
-
-constexpr std::size_t kMaxRequestBytes = 8192;
 
 std::string_view status_text(int status) noexcept {
   switch (status) {
@@ -28,6 +27,10 @@ std::string_view status_text(int status) noexcept {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 431:
+      return "Request Header Fields Too Large";
     case 503:
       return "Service Unavailable";
     default:
@@ -56,20 +59,37 @@ bool send_all(int fd, std::string_view data) {
   return true;
 }
 
-/// Reads until the end of the request head ("\r\n\r\n") or the size cap.
-/// Returns false on disconnect, timeout, or an oversized request.
-bool read_request_head(int fd, std::string& head) {
+enum class ReadHeadResult : std::uint8_t {
+  kOk,
+  kDisconnected,  ///< peer closed or reset before finishing the head
+  kTimeout,       ///< SO_RCVTIMEO expired mid-head (stalled client)
+  kTooLarge,      ///< byte or recv-count cap exceeded (slow loris / abuse)
+};
+
+/// Reads until the end of the request head ("\r\n\r\n"), bounded by both
+/// the byte cap and the recv-call cap. The recv cap is what defeats a
+/// slow-loris client that drips one byte per almost-timed-out recv: the
+/// worker is pinned for at most max_reads * recv_timeout, independent of
+/// how many bytes the byte cap would still allow.
+ReadHeadResult read_request_head(int fd, const HttpServer::Config& config,
+                                 std::string& head) {
   char buffer[1024];
+  std::size_t reads = 0;
   while (head.find("\r\n\r\n") == std::string::npos) {
-    if (head.size() >= kMaxRequestBytes) return false;
+    if (head.size() >= config.max_request_bytes ||
+        reads >= config.max_request_reads)
+      return ReadHeadResult::kTooLarge;
     const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
     if (got <= 0) {
       if (got < 0 && errno == EINTR) continue;
-      return false;
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return ReadHeadResult::kTimeout;
+      return ReadHeadResult::kDisconnected;
     }
+    ++reads;
     head.append(buffer, static_cast<std::size_t>(got));
   }
-  return true;
+  return ReadHeadResult::kOk;
 }
 
 /// Parses the request line ("GET /path?query HTTP/1.1"). Returns false on
@@ -299,7 +319,14 @@ void HttpServer::serve_connection(Connection& connection) {
   const int fd = connection.fd;
   std::string head;
   HttpRequest request;
-  if (!read_request_head(fd, head) || !parse_request(head, request)) {
+  const ReadHeadResult read_result = read_request_head(fd, config_, head);
+  if (read_result == ReadHeadResult::kTooLarge) {
+    send_error(fd, 431, "request head too large", false);
+  } else if (read_result == ReadHeadResult::kTimeout) {
+    send_error(fd, 408, "timed out reading request", false);
+  } else if (read_result == ReadHeadResult::kDisconnected) {
+    // Peer is gone; nothing to send.
+  } else if (!parse_request(head, request)) {
     send_error(fd, 400, "malformed request", false);
   } else if (request.method != "GET" && request.method != "HEAD") {
     send_error(fd, 405, "only GET is supported", request.method == "HEAD");

@@ -77,6 +77,12 @@ class HttpServer final {
     std::size_t max_connections = 32;  ///< excess connections get 503
     unsigned send_timeout_ms = 5000;
     unsigned recv_timeout_ms = 5000;
+    /// Request-head bounds. A slow-loris peer is limited on THREE axes:
+    /// total bytes, recv() calls, and per-recv kernel timeout — so the
+    /// worst case a hostile client can pin a worker thread for is
+    /// max_request_reads * recv_timeout_ms, not bytes * timeout.
+    std::size_t max_request_bytes = 8192;
+    std::size_t max_request_reads = 32;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;

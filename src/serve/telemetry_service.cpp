@@ -58,13 +58,30 @@ HttpResponse TelemetryService::healthz() const {
   const auto wall_unix_ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(wall).count();
 
+  // Per-reader supervisor verdicts from the latest snapshot: a probe can
+  // alert on a down reader without parsing the full /metrics.json. Overall
+  // status degrades as soon as any reader is not healthy.
   const auto snapshot = aggregator_.latest();
+  std::string health = "[";
+  bool all_healthy = true;
+  if (snapshot != nullptr) {
+    for (std::size_t r = 0; r < snapshot->readers.size(); ++r) {
+      const obs::ReaderHealth reader_health = snapshot->readers[r].health;
+      if (reader_health != obs::ReaderHealth::kHealthy) all_healthy = false;
+      health += (r == 0 ? "\"" : ",\"");
+      health += obs::to_string(reader_health);
+      health += '"';
+    }
+  }
+  health += ']';
+
   HttpResponse response;
-  response.body = R"({"status":"ok","uptime_s":)" + num(uptime_s) +
-                  R"(,"wall_unix_ms":)" + std::to_string(wall_unix_ms) +
-                  R"(,"readers":)" +
+  response.body = std::string(R"({"status":")") +
+                  (all_healthy ? "ok" : "degraded") + R"(","uptime_s":)" +
+                  num(uptime_s) + R"(,"wall_unix_ms":)" +
+                  std::to_string(wall_unix_ms) + R"(,"readers":)" +
                   std::to_string(aggregator_.reader_count()) +
-                  R"(,"snapshots":)" +
+                  R"(,"reader_health":)" + health + R"(,"snapshots":)" +
                   std::to_string(snapshot ? snapshot->sequence : 0) + "}";
   return response;
 }

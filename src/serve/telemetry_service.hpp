@@ -3,7 +3,8 @@
 // TelemetryService binds an obs::StreamingAggregator to an HttpServer:
 //
 //   GET /            single-file live dashboard (serve/dashboard.hpp)
-//   GET /healthz     liveness + uptime + publish counters
+//   GET /healthz     liveness + uptime + per-reader supervisor health
+//                    ("status" degrades when any reader is not healthy)
 //   GET /metrics.json  the latest MetricsSnapshot as one JSON object
 //                      (503 until the first publish)
 //   GET /events      Server-Sent Events: every published snapshot plus

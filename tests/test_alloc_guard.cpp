@@ -28,10 +28,12 @@
 #include <vector>
 
 #include "fault/recovery.hpp"
+#include "fault/supervisor.hpp"
 #include "protocols/enhanced_hash_polling.hpp"
 #include "protocols/hash_polling.hpp"
 #include "protocols/round_engine.hpp"
 #include "protocols/tree_polling.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/session.hpp"
 #include "tags/population.hpp"
 
@@ -109,6 +111,57 @@ TEST(AllocGuard, AdaptSteadyStateRoundsAllocationFree) {
   EXPECT_EQ(steady_allocs<protocols::TppRoundPolicy>(protocols::Tpp::Config{},
                                                      /*degradation=*/true),
             0u);
+}
+
+TEST(AllocGuard, SupervisorFaultFreeTicksAllocationFree) {
+  // The supervisor rides the fleet's per-tick hot path: with no faults
+  // firing, progress notes and the deadline sweep must allocate nothing
+  // (transition storage is reserved at construction).
+  fault::ReaderSupervisor supervisor(8, fault::SupervisorConfig{});
+  const alloc_guard::Probe probe;
+  for (std::uint64_t tick = 0; tick < 1000; ++tick) {
+    for (std::size_t r = 0; r < 8; ++r)
+      supervisor.note_round_complete(r, tick);
+    supervisor.advance(tick);
+  }
+  EXPECT_EQ(probe.delta(), 0u);
+}
+
+TEST(AllocGuard, SupervisorBoundedTransitionsStayWithinReserve) {
+  // A bounded burst of health churn (each reader: crash -> restart ->
+  // recover) fits the constructor's reserve, so even fault-laden ticks do
+  // not grow the log's storage.
+  fault::SupervisorConfig config;
+  config.backoff_initial_ticks = 1;
+  fault::ReaderSupervisor supervisor(4, config);
+  for (std::size_t r = 0; r < 4; ++r) supervisor.note_round_complete(r, 0);
+
+  const alloc_guard::Probe probe;
+  for (std::size_t r = 0; r < 4; ++r) {
+    supervisor.note_crash(r, 1);           // -> kDown
+    supervisor.begin_restart(r, 2);        // -> kRecovering
+    supervisor.note_round_complete(r, 3);  // -> kHealthy
+  }
+  supervisor.advance(3);
+  EXPECT_EQ(probe.delta(), 0u);
+}
+
+TEST(AllocGuard, CheckpointEncodeIntoWarmBufferAllocationFree) {
+  // simserved snapshots on every epoch boundary; once the byte buffer has
+  // grown to its high-water size, re-encoding must allocate nothing.
+  sim::Checkpoint checkpoint;
+  checkpoint.master_seed = 7;
+  checkpoint.readers.resize(8);
+  for (std::size_t r = 0; r < checkpoint.readers.size(); ++r) {
+    checkpoint.readers[r].epochs = r;
+    checkpoint.readers[r].completed.rounds = 100 + r;
+  }
+
+  std::vector<std::uint8_t> buffer;
+  sim::encode_into(checkpoint, buffer);  // cold: grows the buffer
+  const alloc_guard::Probe probe;
+  for (int i = 0; i < 100; ++i) sim::encode_into(checkpoint, buffer);
+  EXPECT_EQ(probe.delta(), 0u);
 }
 
 TEST(AllocGuard, EhppCircleSetupBoundedByCircles) {

@@ -149,12 +149,51 @@ TEST(Stream, PublishSynthesizesTypedEventsFromDeltas) {
         ++epochs;
         EXPECT_EQ(item->event.count, 1u);
         break;
+      case obs::StreamEvent::Kind::kReaderDown:
+      case obs::StreamEvent::Kind::kReaderRecovered:
+        ADD_FAILURE() << "no health transition happened in this test";
+        break;
     }
   }
   EXPECT_EQ(snapshots, 2u);
   EXPECT_EQ(degrades, 1u);  // only the first publish saw a delta
   EXPECT_EQ(undelivered, 1u);
   EXPECT_EQ(epochs, 1u);
+}
+
+TEST(Stream, PublishSynthesizesHealthTransitionEvents) {
+  StreamingAggregator aggregator(2);
+  const auto subscription = aggregator.subscribe(32);
+
+  aggregator.set_reader_health(1, obs::ReaderHealth::kDown);
+  aggregator.note_reader_crash(1);
+  (void)aggregator.publish(0.1);
+  aggregator.set_reader_health(1, obs::ReaderHealth::kRecovering);
+  (void)aggregator.publish(0.1);  // recovering is not "recovered" yet
+  aggregator.set_reader_health(1, obs::ReaderHealth::kHealthy);
+  aggregator.note_reader_restart(1);
+  (void)aggregator.publish(0.1);
+
+  unsigned downs = 0, recoveries = 0;
+  std::shared_ptr<const obs::MetricsSnapshot> last;
+  while (auto item = subscription->poll()) {
+    if (item->type == StreamSubscription::Item::Type::kSnapshot) {
+      last = item->snapshot;
+      continue;
+    }
+    EXPECT_EQ(item->event.reader, 1u);
+    if (item->event.kind == obs::StreamEvent::Kind::kReaderDown) ++downs;
+    if (item->event.kind == obs::StreamEvent::Kind::kReaderRecovered)
+      ++recoveries;
+  }
+  EXPECT_EQ(downs, 1u);
+  EXPECT_EQ(recoveries, 1u);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->readers[1].health, obs::ReaderHealth::kHealthy);
+  EXPECT_EQ(last->readers[1].crashes, 1u);
+  EXPECT_EQ(last->readers[1].restarts, 1u);
+  EXPECT_NE(obs::to_json(*last).find(R"("health":"healthy")"),
+            std::string::npos);
 }
 
 // --- HTTP end to end over real sockets --------------------------------------
@@ -334,6 +373,113 @@ TEST(Serve, FourConcurrentClientsAndAStalledOneAreServed) {
   publisher.join();
   EXPECT_EQ(failures.load(), 0u);
   ::close(stalled_fd);
+}
+
+TEST(Serve, HealthzReportsPerReaderHealthAndDegradedStatus) {
+  ServiceFixture fixture;
+  fixture.aggregator.set_reader_health(1, obs::ReaderHealth::kDown);
+  fixture.publish(3);
+
+  const std::string response = http_get(fixture.server.port(), "/healthz");
+  EXPECT_NE(response.find(R"("status":"degraded")"), std::string::npos);
+  EXPECT_NE(response.find(R"("reader_health":["healthy","down"])"),
+            std::string::npos);
+
+  fixture.aggregator.set_reader_health(1, obs::ReaderHealth::kHealthy);
+  fixture.publish(4);
+  EXPECT_NE(http_get(fixture.server.port(), "/healthz")
+                .find(R"("status":"ok")"),
+            std::string::npos);
+}
+
+// --- Hostile-client hardening -----------------------------------------------
+
+/// A server with tight request-head bounds for abuse tests: tiny recv
+/// timeout, few reads allowed, small byte cap.
+struct HardenedFixture final {
+  StreamingAggregator aggregator{1};
+  serve::TelemetryService service{aggregator};
+  serve::HttpServer server;
+
+  HardenedFixture()
+      : server([] {
+          serve::HttpServer::Config config;
+          config.recv_timeout_ms = 200;
+          config.max_request_reads = 4;
+          config.max_request_bytes = 512;
+          return config;
+        }()) {
+    service.install(server);
+    server.start();
+  }
+  ~HardenedFixture() { server.stop(); }
+};
+
+TEST(Serve, SlowLorisIsCutOffByTheReadCap) {
+  HardenedFixture fixture;
+
+  // Drip one byte per send, never finishing the head. The read cap must
+  // end this in ~max_request_reads recvs, not after the byte cap fills.
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = connect_to(fixture.server.port());
+  ASSERT_GE(fd, 0);
+  std::string response;
+  char buffer[512];
+  for (int i = 0; i < 64; ++i) {
+    if (::send(fd, "G", 1, MSG_NOSIGNAL) <= 0) break;
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+    if (got > 0) response.append(buffer, static_cast<std::size_t>(got));
+    if (got == 0) break;  // server hung up on us
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (;;) {  // drain whatever the server sent before it hung up
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+  // 4 reads x 200 ms timeout bounds the worst case near 0.8 s; the drip
+  // keeps each recv fast, so seconds of slack is a loose, unflaky bound.
+  EXPECT_LT(wall_s, 5.0);
+
+  // The server is still perfectly healthy for everyone else.
+  fixture.aggregator.update_reader(0, metrics_with_rounds(1), 0.0);
+  (void)fixture.aggregator.publish(0.1);
+  EXPECT_NE(http_get(fixture.server.port(), "/healthz")
+                .find("200 OK"),
+            std::string::npos);
+}
+
+TEST(Serve, OversizedRequestHeadGets431) {
+  HardenedFixture fixture;
+  // 600 bytes of header noise with no terminator: over the 512-byte cap.
+  std::string raw = "GET / HTTP/1.1\r\n";
+  raw += "X-Junk: " + std::string(600, 'a') + "\r\n";
+  const std::string response = http_request(fixture.server.port(), raw);
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+}
+
+TEST(Serve, SilentClientTimesOutWith408AndStopNeverWedges) {
+  HardenedFixture fixture;
+  // Connect and send nothing: the 200 ms SO_RCVTIMEO must turn this into
+  // a 408, and stop() afterwards must not hang on the connection.
+  const int fd = connect_to(fixture.server.port());
+  ASSERT_GE(fd, 0);
+  std::string response;
+  char buffer[256];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+  fixture.server.stop();  // bounded: joins the (finished) worker
 }
 
 TEST(Serve, StopIsGracefulIdempotentAndEndsLiveStreams) {

@@ -2,35 +2,46 @@
 //
 // Runs a continuous multi-reader warehouse workload (independent tag
 // populations per reader, tag churn, burst-error downlink faults, bounded
-// recovery, adaptive protocol degradation) on the deterministic simulation
-// clock, and serves live telemetry over HTTP:
+// recovery, adaptive protocol degradation, optional injected reader
+// crashes) on the deterministic simulation clock, and serves live
+// telemetry over HTTP:
 //
 //   GET /              single-file live dashboard
-//   GET /healthz       liveness + uptime
+//   GET /healthz       liveness + uptime + per-reader health
 //   GET /metrics.json  latest aggregated MetricsSnapshot
 //   GET /events        SSE stream of snapshots + typed fault events
 //
 //   ./simserved [--port N] [--readers N] [--tags N] [--seed N]
 //               [--snapshot-ms N] [--throttle-us N] [--max-epochs N]
+//               [--epochs N] [--crash-epochs N] [--checkpoint-dir PATH]
+//               [--checkpoint-every N] [--final-metrics PATH]
 //               [--trace PATH]
 //
-// The simulation itself never reads a wall clock: every round runs on the
-// session's deterministic microsecond clock, and a fixed (seed, epoch)
-// pair replays bit-identically regardless of serving load. Wall time
-// appears only here in the serving layer — pacing snapshot publishes and
-// throttling the drain loop — which detlint permits outside src/ (the one
-// in-tree exception, /healthz, carries its own pragma).
+// The workload itself lives in core::WarehouseSim; this file is only the
+// serving shell: flag parsing, wall-clock pacing, checkpoint scheduling and
+// graceful shutdown. The simulation never reads a wall clock — a fixed
+// (seed, epoch) pair replays bit-identically regardless of serving load.
+//
+// Checkpoint/resume: with --checkpoint-dir, the daemon writes an atomic
+// (write-tmp + fsync + rename) sim::Checkpoint at epoch boundaries; on
+// startup it resumes from an existing checkpoint automatically. Killing
+// the daemon (SIGKILL included) and restarting it converges on the same
+// --final-metrics bytes as an uninterrupted run at the same epoch counts —
+// tests/test_checkpoint.cpp and scripts/check_checkpoint_resume.sh enforce
+// this.
 //
 // Shutdown: SIGINT/SIGTERM set a flag; the loop finishes the round in
-// flight, publishes a final snapshot, closes every SSE subscription,
-// stops the HTTP server (joining every connection), flushes the optional
-// JSONL trace sink, and prints a drain summary.
+// flight, writes a final checkpoint, publishes a final snapshot, closes
+// every SSE subscription, stops the HTTP server (joining every
+// connection), flushes the optional JSONL trace sink, and prints a drain
+// summary.
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
-#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -38,17 +49,12 @@
 #include <vector>
 
 #include "common/env.hpp"
-#include "common/rng.hpp"
-#include "fault/recovery.hpp"
+#include "core/warehouse.hpp"
 #include "obs/stream.hpp"
 #include "obs/trace.hpp"
-#include "protocols/hash_polling.hpp"
-#include "protocols/round_engine.hpp"
-#include "protocols/tree_polling.hpp"
 #include "serve/http.hpp"
 #include "serve/telemetry_service.hpp"
-#include "sim/session.hpp"
-#include "tags/population.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace {
 
@@ -65,7 +71,12 @@ struct Options final {
   std::uint64_t seed = 1;
   unsigned snapshot_ms = 500;
   unsigned throttle_us = 2000;  ///< sleep between round batches (0 = none)
-  std::uint64_t max_epochs = 0;  ///< total across readers; 0 = run forever
+  std::uint64_t max_epochs = 0;  ///< total across readers; 0 = no cap
+  std::uint64_t epochs = 0;      ///< per-reader target; 0 = run forever
+  std::uint64_t crash_epochs = 0;  ///< mean epochs between crashes; 0 = off
+  std::string checkpoint_dir;    ///< empty = checkpointing off
+  std::uint64_t checkpoint_every = 1;  ///< epochs between checkpoints
+  std::string final_metrics_path;
   std::string trace_path;
 };
 
@@ -74,122 +85,21 @@ int usage(const char* argv0) {
       << "usage: " << argv0
       << " [--port N] [--readers N] [--tags N] [--seed N]\n"
          "       [--snapshot-ms N] [--throttle-us N] [--max-epochs N]\n"
+         "       [--epochs N] [--crash-epochs N] [--checkpoint-dir PATH]\n"
+         "       [--checkpoint-every N] [--final-metrics PATH]\n"
          "       [--trace PATH]\n"
          "  integers are strictly parsed (base-10 digits only); counts\n"
-         "  must be positive, --port/--throttle-us/--max-epochs may be 0\n";
+         "  must be positive; --port/--throttle-us/--max-epochs/--epochs/\n"
+         "  --crash-epochs may be 0\n";
   return EXIT_FAILURE;
 }
 
-/// One simulated reader: an endlessly repeating drain of its own tag
-/// population, each epoch re-seeded and re-churned, reporting into the
-/// shared StreamingAggregator.
-class ReaderSim final {
- public:
-  ReaderSim(std::size_t index, const Options& options,
-            obs::StreamingAggregator& aggregator, obs::Tracer* tracer)
-      : index_(index),
-        options_(options),
-        aggregator_(aggregator),
-        tracer_(tracer),
-        hpp_policy_(protocols::HppRoundConfig{}),
-        tpp_policy_(protocols::Tpp::Config{}) {
-    // Distinct populations per reader, stable across epochs: the warehouse
-    // zone a reader covers does not change, only which tags are in it.
-    Xoshiro256ss pop_rng(options.seed * 1000003ull + index);
-    population_ = tags::TagPopulation::uniform_random(options.tags, pop_rng);
-    aggregator_.set_retry_budget(index_, 8);
-    begin_epoch();
-  }
-
-  /// Runs one engine round. Returns true when the round completed an epoch
-  /// (population drained) and a fresh session was started.
-  bool step() {
-    // Adaptive tier: the session's degradation policy watches observed
-    // downlink corruption and the daemon honours its TPP->HPP downgrades
-    // (EHPP shares HPP's round shape at this layer).
-    const analysis::PollingTier tier =
-        session_->degradation_tier(active_.size());
-    protocols::RoundPolicy& policy = tier == analysis::PollingTier::kTpp
-                                         ? static_cast<protocols::RoundPolicy&>(
-                                               tpp_policy_)
-                                         : hpp_policy_;
-    if (!engine_->run_round(active_, policy)) {
-      // Round-init undeliverable: bounded retry, then give up loudly on
-      // whatever is left so the epoch still terminates.
-      if (++init_failures_ > 8) engine_->abandon_active(active_);
-    } else {
-      init_failures_ = 0;
-    }
-    aggregator_.update_reader(index_, session_->metrics(),
-                              session_->downlink().estimated_ber());
-    if (!active_.empty()) return false;
-
-    aggregator_.complete_epoch(index_, session_->metrics());
-    ++epochs_;
-    begin_epoch();
-    return true;
-  }
-
-  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
-
- private:
-  /// Builds the fault plan for one epoch: a bursty downlink plus a churn
-  /// schedule where ~1/8 of the tags depart mid-drain and a few outsiders
-  /// arrive late. All draws come from a named per-reader stream seeded by
-  /// (seed, reader, epoch), so a daemon restart replays identically.
-  void begin_epoch() {
-    sim::SessionConfig config;
-    config.seed = options_.seed ^ (0x9E3779B97F4A7C15ull * (index_ + 1)) ^
-                  (epochs_ * 0x7F4A7C15ull);
-    config.keep_records = false;
-    config.tracer = tracer_;
-    config.fault.link = fault::LinkModel::kGilbertElliott;
-    config.fault.downlink_ber = 2e-4;
-    config.framing.enabled = true;
-    config.recovery.enabled = true;
-    config.recovery.retry_budget = 8;
-    config.degradation.enabled = true;
-
-    Xoshiro256ss churn_rng(config.seed ^ 0xC0FFEEull);
-    const auto& tags_list = population_.tags();
-    for (std::size_t t = 0; t < tags_list.size(); ++t) {
-      const std::uint64_t draw = churn_rng();
-      fault::ChurnEvent event;
-      event.id = tags_list[t].id();
-      event.round = 2 + draw % 24;
-      if (draw % 8 == 0) {
-        event.kind = fault::ChurnEvent::Kind::kDepart;
-        config.fault.churn.push_back(event);
-      } else if (draw % 8 == 1) {
-        // First event is an arrival: the tag starts outside the zone and
-        // shows up mid-epoch.
-        event.kind = fault::ChurnEvent::Kind::kArrive;
-        config.fault.churn.push_back(event);
-      }
-    }
-
-    session_ = std::make_unique<sim::Session>(population_, config);
-    recovery_ =
-        std::make_unique<fault::RecoveryCoordinator>(config.recovery);
-    engine_ = std::make_unique<protocols::RoundEngine>(*session_, *recovery_);
-    active_ = protocols::make_devices(*session_);
-    init_failures_ = 0;
-  }
-
-  const std::size_t index_;
-  const Options& options_;
-  obs::StreamingAggregator& aggregator_;
-  obs::Tracer* tracer_;
-  tags::TagPopulation population_{};
-  protocols::HppRoundPolicy hpp_policy_;
-  protocols::TppRoundPolicy tpp_policy_;
-  std::unique_ptr<sim::Session> session_;
-  std::unique_ptr<fault::RecoveryCoordinator> recovery_;
-  std::unique_ptr<protocols::RoundEngine> engine_;
-  tags::TagSoA active_;
-  std::uint64_t epochs_ = 0;
-  unsigned init_failures_ = 0;
-};
+std::uint64_t wall_unix_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -218,6 +128,16 @@ int main(int argc, char** argv) {
       options.throttle_us = static_cast<unsigned>(*value);
     } else if (flag == "--max-epochs" && (value = next_size(true))) {
       options.max_epochs = *value;
+    } else if (flag == "--epochs" && (value = next_size(true))) {
+      options.epochs = *value;
+    } else if (flag == "--crash-epochs" && (value = next_size(true))) {
+      options.crash_epochs = *value;
+    } else if (flag == "--checkpoint-dir" && arg + 1 < argc) {
+      options.checkpoint_dir = argv[++arg];
+    } else if (flag == "--checkpoint-every" && (value = next_size(false))) {
+      options.checkpoint_every = *value;
+    } else if (flag == "--final-metrics" && arg + 1 < argc) {
+      options.final_metrics_path = argv[++arg];
     } else if (flag == "--trace" && arg + 1 < argc) {
       options.trace_path = argv[++arg];
     } else {
@@ -250,11 +170,42 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
 
-  std::vector<std::unique_ptr<ReaderSim>> readers;
-  readers.reserve(options.readers);
-  for (std::size_t r = 0; r < options.readers; ++r)
-    readers.push_back(std::make_unique<ReaderSim>(
-        r, options, aggregator, tracer ? &*tracer : nullptr));
+  core::WarehouseConfig warehouse_config;
+  warehouse_config.readers = options.readers;
+  warehouse_config.tags = options.tags;
+  warehouse_config.seed = options.seed;
+  warehouse_config.epoch_target = options.epochs;
+  warehouse_config.crash_every_epochs = options.crash_epochs;
+  warehouse_config.tracer = tracer ? &*tracer : nullptr;
+  core::WarehouseSim warehouse(warehouse_config, aggregator);
+
+  // Resume from an existing checkpoint before serving the first round.
+  const std::string checkpoint_path =
+      options.checkpoint_dir.empty() ? ""
+                                     : options.checkpoint_dir +
+                                           "/checkpoint.bin";
+  if (!checkpoint_path.empty()) {
+    // A missing directory is an empty checkpoint store, not an error:
+    // create it so the first epoch-boundary write (tmp + rename inside
+    // the same directory) has somewhere to land.
+    std::error_code dir_error;
+    std::filesystem::create_directories(options.checkpoint_dir, dir_error);
+    if (dir_error) {
+      std::cerr << "cannot create checkpoint dir " << options.checkpoint_dir
+                << ": " << dir_error.message() << '\n';
+      return EXIT_FAILURE;
+    }
+    try {
+      if (const auto checkpoint = sim::load_checkpoint(checkpoint_path)) {
+        warehouse.restore(*checkpoint);
+        std::cout << "simserved: resumed from " << checkpoint_path << " at "
+                  << warehouse.total_epochs() << " epochs\n";
+      }
+    } catch (const std::exception& error) {
+      std::cerr << "cannot resume: " << error.what() << '\n';
+      return EXIT_FAILURE;
+    }
+  }
 
   std::cout << "listening on http://127.0.0.1:" << server.port() << "\n"
             << "simserved: " << options.readers << " readers x "
@@ -265,13 +216,27 @@ int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
   const auto interval = std::chrono::milliseconds(options.snapshot_ms);
   auto last_publish = Clock::now();
-  std::uint64_t total_epochs = 0;
+  std::uint64_t total_epochs = warehouse.total_epochs();
+  std::uint64_t last_checkpoint_epochs = total_epochs;
+
+  // Checkpoint scratch, reused so the steady state allocates nothing.
+  sim::Checkpoint checkpoint;
+  std::vector<std::uint8_t> checkpoint_bytes;
+  const auto write_checkpoint = [&] {
+    if (checkpoint_path.empty()) return;
+    warehouse.fill_checkpoint(checkpoint, wall_unix_ms());
+    sim::encode_into(checkpoint, checkpoint_bytes);
+    sim::write_checkpoint_atomic(checkpoint_path, checkpoint_bytes);
+    last_checkpoint_epochs = warehouse.total_epochs();
+  };
 
   while (g_signal.load(std::memory_order_relaxed) == 0) {
     // Round-robin: one engine round per reader per batch, so one reader's
     // deep recovery mop-up cannot starve the others' telemetry.
-    for (auto& reader : readers)
-      if (reader->step()) ++total_epochs;
+    total_epochs += warehouse.step();
+
+    if (total_epochs - last_checkpoint_epochs >= options.checkpoint_every)
+      write_checkpoint();
 
     const auto now = Clock::now();
     if (now - last_publish >= interval) {
@@ -281,19 +246,35 @@ int main(int argc, char** argv) {
       last_publish = now;
     }
     if (options.max_epochs != 0 && total_epochs >= options.max_epochs) break;
+    if (warehouse.target_reached()) break;
     if (options.throttle_us != 0)
       std::this_thread::sleep_for(
           std::chrono::microseconds(options.throttle_us));
   }
 
-  // Graceful drain: one final snapshot so /metrics.json reflects the very
-  // last round, then close the streams before tearing the server down.
+  // Graceful drain: a final checkpoint and snapshot so both durable state
+  // and /metrics.json reflect the very last round, then close the streams
+  // before tearing the server down.
+  try {
+    write_checkpoint();
+  } catch (const std::exception& error) {
+    std::cerr << "final checkpoint failed: " << error.what() << '\n';
+  }
   const auto now = Clock::now();
   aggregator.publish(std::chrono::duration<double>(now - last_publish)
                          .count());
   aggregator.close_all();
   server.stop();
   if (tracer) tracer->finish();  // flushes the JSONL sink
+
+  if (!options.final_metrics_path.empty()) {
+    std::ofstream final_metrics(options.final_metrics_path);
+    if (!final_metrics.is_open()) {
+      std::cerr << "cannot write " << options.final_metrics_path << '\n';
+      return EXIT_FAILURE;
+    }
+    warehouse.write_final_metrics(final_metrics);
+  }
 
   const int sig = g_signal.load(std::memory_order_relaxed);
   std::cout << "simserved: stopped ("
