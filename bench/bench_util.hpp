@@ -85,7 +85,8 @@ class RunManifest final {
        << "\", \"cxx_standard\": " << __cplusplus << "},\n";
     os << "  \"env\": {";
     bool first = true;
-    for (const char* name : {"RFID_RUNS", "RFID_MAX_N", "RFID_CSV_DIR"}) {
+    for (const char* name :
+         {"RFID_RUNS", "RFID_MAX_N", "RFID_BENCH_MAX_N", "RFID_CSV_DIR"}) {
       const char* value = std::getenv(name);
       if (value == nullptr) continue;
       os << (first ? "" : ", ") << '"' << name << "\": \""

@@ -1,72 +1,76 @@
-// Warehouse anti-theft sweep (the paper's Section I missing-tag use case).
+// Warehouse inventory on the deployment simulator: goods flowing from dock
+// doors to shelf zones with live reader-to-reader handoffs.
 //
-// A warehouse knows its full inventory of tagged items. Overnight, some
-// items disappear. The reader interrogates every expected tag for a 1-bit
-// presence reply; tags that never answer are flagged missing. This example
-// runs the sweep with TPP (the paper's fastest protocol) and CPP (the
-// conventional baseline) and reports both the findings and how much shelf
-// time the short polling vectors save.
+// A receiving site runs a fleet of readers — think of a few covering the
+// dock doors where pallets arrive and the rest covering shelf aisles —
+// sharing a handful of frequency channels (co-channel readers take turns;
+// readers on different channels interrogate concurrently). Goods do not
+// sit still while the sweep runs: pallets roll from the dock into the
+// aisles, and some ship straight back out before they are ever read.
+// Every observed zone move hands the tag off to the reader that now owns
+// it; every early departure is flagged missing. core::Deployment keeps the
+// books exact the whole way:
+//     population = delivered + missing + undelivered
+// — churn, channel contention and handoffs included (`verified` below).
+//
+// The sweep is repeated at three channel counts to show the trade-off the
+// single-reader model hides: more channels buy spatial parallelism (shorter
+// makespan) while total reader airtime — the energy bill — stays flat.
 #include <cstdlib>
 #include <iostream>
-#include <unordered_set>
 
 #include "common/table.hpp"
-#include "core/polling.hpp"
+#include "core/deployment.hpp"
+#include "tags/population.hpp"
 
 int main() {
   using namespace rfid;
 
-  // 20,000 expected items; 35 have walked out of the building.
-  constexpr std::size_t kInventory = 20000;
-  constexpr std::size_t kStolen = 35;
-  Xoshiro256ss rng(20160816);
-  const tags::TagPopulation expected =
-      tags::TagPopulation::uniform_random(kInventory, rng);
+  // 40,000 tagged goods over 12 readers. Zones are hash-assigned, so the
+  // dock-door/shelf labels are narrative — what matters is that goods MOVE
+  // between zones mid-sweep. 15% of tags sit near zone boundaries where
+  // two readers can hear them; ownership resolves deterministically to
+  // exactly one, so nothing is double-counted.
+  constexpr std::size_t kGoods = 40000;
+  constexpr std::size_t kReaders = 12;
+  constexpr std::uint64_t kSeed = 20160816;
 
-  std::unordered_set<TagId, TagIdHash> present;
-  for (const tags::Tag& tag : expected) present.insert(tag.id());
-  std::vector<TagId> stolen;
-  for (std::size_t i = 0; i < kStolen; ++i) {
-    const TagId victim = expected[rng.below(kInventory)].id();
-    if (present.erase(victim) > 0) stolen.push_back(victim);
-  }
+  const tags::TagPopulation goods =
+      tags::TagPopulation::uniform_random_sharded(kGoods, kSeed, 8);
 
-  sim::SessionConfig config;
-  config.info_bits = 1;  // presence bit
-  config.seed = 42;
+  core::DeploymentConfig config;
+  config.readers = kReaders;
+  config.kind = protocols::ProtocolKind::kTpp;  // the paper's fastest
+  config.session.seed = kSeed;
+  config.session.keep_records = false;
+  config.zone_overlap = 0.15;
+  // Per-tag, per-tick hazards: ~0.2% of unread goods relocate dock -> shelf
+  // (or shelf -> shelf) each tick; ~0.02% ship out before they are read.
+  config.churn_move_per_tick = 0.002;
+  config.churn_depart_per_tick = 0.0002;
 
-  std::cout << "Warehouse sweep: " << kInventory << " expected items, "
-            << stolen.size() << " actually missing\n\n";
+  std::cout << "Warehouse inventory under churn: " << kGoods << " goods, "
+            << kReaders << " readers\n\n";
 
-  TablePrinter table({"protocol", "missing found", "exact match",
-                      "sweep time (s)", "reader bits/tag"});
-  for (const core::ProtocolKind kind :
-       {core::ProtocolKind::kTpp, core::ProtocolKind::kHpp,
-        core::ProtocolKind::kCpp}) {
-    const auto report = core::find_missing_tags(kind, expected, present,
-                                                config);
-    if (!report.exact) {
-      std::cerr << "missing-tag set mismatch for "
-                << protocols::to_string(kind) << '\n';
-      return EXIT_FAILURE;
-    }
-    table.add_row({report.result.protocol,
-                   std::to_string(report.missing.size()),
-                   report.exact ? "yes" : "NO",
-                   TablePrinter::num(report.result.exec_time_s()),
-                   TablePrinter::num(report.result.avg_vector_bits())});
+  TablePrinter table({"channels", "ticks", "handoffs", "shipped out",
+                      "makespan (s)", "reader airtime (s)", "verified"});
+  for (const std::size_t channels :
+       {std::size_t{2}, std::size_t{4}, std::size_t{12}}) {
+    config.channels = channels;
+    const core::DeploymentReport report = core::run_deployment(goods, config);
+    table.add_row({std::to_string(channels), std::to_string(report.ticks),
+                   std::to_string(report.handoffs),
+                   std::to_string(report.churn_departures),
+                   TablePrinter::num(report.makespan_s, 3),
+                   TablePrinter::num(report.total_busy_s, 3),
+                   report.verified ? "yes" : "NO"});
+    if (!report.verified) return EXIT_FAILURE;
   }
   table.print(std::cout);
 
-  std::cout << "\nFirst few flagged EPCs (TPP sweep):\n";
-  const auto tpp_report =
-      core::find_missing_tags(core::ProtocolKind::kTpp, expected, present,
-                              config);
-  for (std::size_t i = 0;
-       i < std::min<std::size_t>(5, tpp_report.missing.size()); ++i)
-    std::cout << "  " << tpp_report.missing[i].to_hex() << '\n';
-  std::cout << "\nTPP sweeps the whole warehouse ~8x faster than"
-               " conventional polling\nwhile identifying exactly the same"
-               " missing set.\n";
+  std::cout << "\nEvery relocated pallet was handed off to its new zone's"
+               " reader mid-sweep,\nevery early shipment is on the missing"
+               " list, and delivered + missing +\nundelivered covers all "
+            << kGoods << " goods exactly once at every channel count.\n";
   return EXIT_SUCCESS;
 }

@@ -1,72 +1,88 @@
 #!/usr/bin/env bash
-# CI perf-regression gate for the RoundEngine microbench.
+# CI perf-regression gate for the RoundEngine microbench and the sharded
+# fleet throughput bench.
 #
-# Runs bench_round_engine fresh, then compares every gated engine row
-# (keyed by mode/protocol/n) against the newest snapshot committed in
-# BENCH_round_engine.json. A row that drops more than the tolerance
-# (default 15%) fails the gate; rows that exist on only one side are
-# reported but never fail (protocols and backends come and go).
+# Phase 1 runs bench_round_engine fresh, then compares every gated engine
+# row (keyed by mode/protocol/n) against the newest snapshot committed in
+# BENCH_round_engine.json. Phase 2 runs multi_reader_scaling and compares
+# every fleet row (keyed by readers/channels/n, metric tags/sec) against
+# BENCH_fleet.json. A row that drops more than its tolerance fails the
+# gate; rows that exist on only one side are reported but never fail
+# (protocols, backends and fleet points come and go). Either phase with
+# zero overlapping rows fails — a comparison that skips everything
+# verifies nothing.
 #
 #   scripts/check_bench_regression.sh [BIN_DIR]
 #
 # BIN_DIR is the CMake binary dir holding bench/ (default: build).
-# Honours RFID_RUNS / RFID_MAX_N like the bench itself; any knob left
-# unset is taken from the committed snapshot's manifest so the fresh run
-# measures the same workload. The gate fails if the two sides share no
-# rows at all — a comparison that skips everything verifies nothing.
+# Honours RFID_RUNS / RFID_MAX_N / RFID_BENCH_MAX_N like the benches; any
+# knob left unset is taken from the committed snapshot's manifest so the
+# fresh run measures the same workload.
 # Environment knobs:
-#   RFID_GATE_TOLERANCE     allowed fractional drop (default 0.15)
-#   RFID_GATE_ARTIFACT_DIR  where to copy the fresh CSV + manifest sidecar
-#                           for upload (default: no copy)
+#   RFID_GATE_TOLERANCE        allowed fractional drop, engine rows
+#                              (default 0.15)
+#   RFID_FLEET_GATE_TOLERANCE  allowed fractional drop, fleet rows
+#                              (default 0.30 — wall-clock throughput at
+#                              the million-tag scale is noisier)
+#   RFID_GATE_ARTIFACT_DIR     where to copy the fresh CSVs + manifest
+#                              sidecars for upload (default: no copy)
 set -euo pipefail
 
 bin_dir="${1:-build}"
-bench="$bin_dir/bench/bench_round_engine"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-baseline="$repo_root/BENCH_round_engine.json"
 tolerance="${RFID_GATE_TOLERANCE:-0.15}"
+fleet_tolerance="${RFID_FLEET_GATE_TOLERANCE:-0.30}"
 artifact_dir="${RFID_GATE_ARTIFACT_DIR:-}"
 
-if [ ! -x "$bench" ]; then
-  echo "check_bench_regression: missing $bench (build with RFID_BUILD_BENCH=ON)" >&2
-  exit 1
-fi
-if [ ! -f "$baseline" ]; then
-  echo "check_bench_regression: no committed $baseline to compare against" >&2
-  exit 1
-fi
 if ! command -v python3 > /dev/null 2>&1; then
   echo "check_bench_regression: python3 is required" >&2
   exit 1
 fi
 
 # Default the workload knobs to what the committed snapshot ran with —
-# rows are keyed by (protocol, n), so a mismatched RFID_MAX_N would
-# silently skip every comparison.
-eval "$(python3 - "$baseline" <<'PY'
+# rows are keyed by population size, so a mismatched cap would silently
+# skip every comparison.
+defaults_from_manifest() {  # $1 = baseline json, $2.. = env var names
+  eval "$(python3 - "$@" <<'PY'
 import json, sys
 snapshots = json.load(open(sys.argv[1])).get("snapshots", [])
 env = snapshots[-1].get("manifest", {}).get("env", {}) if snapshots else {}
-for var in ("RFID_RUNS", "RFID_MAX_N"):
+for var in sys.argv[2:]:
     value = env.get(var, "")
     if value.isdigit():
         print(f'export {var}="${{{var}:-{value}}}"')
 PY
 )"
+}
+
+run_bench() {  # $1 = bench name
+  local bench="$bin_dir/bench/$1"
+  if [ ! -x "$bench" ]; then
+    echo "check_bench_regression: missing $bench (build with RFID_BUILD_BENCH=ON)" >&2
+    exit 1
+  fi
+  # The bench's own self-gates stay live (set -e): a build whose
+  # steady-state rounds allocate, or whose fleet sweep fails verification,
+  # fails before any throughput comparison.
+  RFID_CSV_DIR="$workdir" "$bench" > "$workdir/$1.stdout.txt"
+  if [ -n "$artifact_dir" ]; then
+    mkdir -p "$artifact_dir"
+    cp "$workdir/$1.csv" "$workdir/$1.manifest.json" \
+       "$workdir/$1.stdout.txt" "$artifact_dir/"
+  fi
+}
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
-# The bench's own allocation gate stays live (set -e): a build whose
-# steady-state rounds allocate fails before any throughput comparison.
-RFID_CSV_DIR="$workdir" "$bench" > "$workdir/stdout.txt"
-
-if [ -n "$artifact_dir" ]; then
-  mkdir -p "$artifact_dir"
-  cp "$workdir/bench_round_engine.csv" \
-     "$workdir/bench_round_engine.manifest.json" \
-     "$workdir/stdout.txt" "$artifact_dir/"
+# --- Phase 1: RoundEngine throughput ----------------------------------
+baseline="$repo_root/BENCH_round_engine.json"
+if [ ! -f "$baseline" ]; then
+  echo "check_bench_regression: no committed $baseline to compare against" >&2
+  exit 1
 fi
+defaults_from_manifest "$baseline" RFID_RUNS RFID_MAX_N
+run_bench bench_round_engine
 
 python3 - "$baseline" "$workdir/bench_round_engine.csv" "$tolerance" <<'PY'
 import csv, json, sys
@@ -128,5 +144,74 @@ if compared == 0:
     sys.exit("check_bench_regression: no overlapping engine rows — "
              "workload mismatch between this run and the snapshot?")
 print(f"check_bench_regression: all {compared} engine row(s) "
+      "within tolerance")
+PY
+
+# --- Phase 2: sharded fleet throughput --------------------------------
+fleet_baseline="$repo_root/BENCH_fleet.json"
+if [ ! -f "$fleet_baseline" ]; then
+  echo "check_bench_regression: no committed $fleet_baseline to compare against" >&2
+  exit 1
+fi
+defaults_from_manifest "$fleet_baseline" RFID_MAX_N RFID_BENCH_MAX_N
+run_bench multi_reader_scaling
+
+python3 - "$fleet_baseline" "$workdir/multi_reader_scaling.csv" \
+    "$fleet_tolerance" <<'PY'
+import csv, json, sys
+
+baseline_path, fresh_csv, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+
+def fleet_rows(rows):
+    keyed = {}
+    for row in rows:
+        if row.get("mode") != "fleet":
+            continue
+        keyed[(row["readers"], row["channels"], row["n"])] = \
+            float(row["tags_per_sec"])
+    return keyed
+
+
+with open(baseline_path) as f:
+    history = json.load(f)
+snapshots = history.get("snapshots", [])
+if not snapshots:
+    sys.exit("check_bench_regression: fleet baseline has no snapshots")
+base = snapshots[-1]
+base_rows = fleet_rows(base.get("rows", []))
+
+with open(fresh_csv) as f:
+    fresh_rows = fleet_rows(list(csv.DictReader(f)))
+
+print(f"fleet baseline: commit {base.get('commit', '?')} "
+      f"({len(base_rows)} fleet row(s)); tolerance {tolerance:.0%}")
+
+failures = []
+compared = 0
+for key in sorted(base_rows):
+    label = f"readers={key[0]} channels={key[1]} n={key[2]}"
+    if key not in fresh_rows:
+        print(f"  SKIP {label}: row absent from this build")
+        continue
+    compared += 1
+    old, new = base_rows[key], fresh_rows[key]
+    ratio = new / old if old > 0 else float("inf")
+    verdict = "FAIL" if ratio < 1.0 - tolerance else "ok"
+    print(f"  {verdict:4} {label}: {old:.0f} -> {new:.0f} tags/sec "
+          f"({ratio - 1.0:+.1%})")
+    if verdict == "FAIL":
+        failures.append(label)
+for key in sorted(set(fresh_rows) - set(base_rows)):
+    print(f"  NEW  readers={key[0]} channels={key[1]} n={key[2]}: "
+          f"{fresh_rows[key]:.0f} tags/sec (no baseline)")
+
+if failures:
+    sys.exit("check_bench_regression: fleet regression beyond tolerance in: "
+             + ", ".join(failures))
+if compared == 0:
+    sys.exit("check_bench_regression: no overlapping fleet rows — "
+             "workload mismatch between this run and the snapshot?")
+print(f"check_bench_regression: all {compared} fleet row(s) "
       "within tolerance")
 PY

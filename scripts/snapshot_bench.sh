@@ -1,22 +1,30 @@
 #!/usr/bin/env bash
-# Appends one perf-trajectory snapshot of the RoundEngine microbench to
-# BENCH_round_engine.json at the repo root, so successive PRs accumulate
-# comparable datapoints (same bench, same schema) instead of overwriting
-# each other. Each snapshot records the commit, the bench CSV rows, and the
-# manifest sidecar (seeds, workloads, compiler) as provenance.
+# Appends one perf-trajectory snapshot of a bench binary to a BENCH_*.json
+# history at the repo root, so successive PRs accumulate comparable
+# datapoints (same bench, same schema) instead of overwriting each other.
+# Each snapshot records the commit, the bench CSV rows, and the manifest
+# sidecar (seeds, workloads, compiler) as provenance.
 #
-#   scripts/snapshot_bench.sh [BIN_DIR]
+#   scripts/snapshot_bench.sh [BIN_DIR] [BENCH] [OUT_NAME]
 #
-# BIN_DIR is the CMake binary dir holding bench/ (default: build). Honours
-# RFID_RUNS / RFID_MAX_N like the bench itself; the snapshot records them.
-# The bench's own allocation gate stays live: a nonzero steady-state
-# allocations/round fails this script before anything is written.
+# BIN_DIR is the CMake binary dir holding bench/ (default: build); BENCH is
+# the bench binary name (default: bench_round_engine); OUT_NAME is the
+# history file at the repo root (default: BENCH_round_engine.json). The
+# fleet throughput history is snapshotted with:
+#
+#   scripts/snapshot_bench.sh build multi_reader_scaling BENCH_fleet.json
+#
+# Honours RFID_RUNS / RFID_MAX_N / RFID_BENCH_MAX_N like the bench itself;
+# the snapshot records them. Any self-gate the bench carries stays live: a
+# nonzero exit fails this script before anything is written.
 set -euo pipefail
 
 bin_dir="${1:-build}"
-bench="$bin_dir/bench/bench_round_engine"
+bench_name="${2:-bench_round_engine}"
+out_name="${3:-BENCH_round_engine.json}"
+bench="$bin_dir/bench/$bench_name"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out="$repo_root/BENCH_round_engine.json"
+out="$repo_root/$out_name"
 
 if [ ! -x "$bench" ]; then
   echo "snapshot_bench: missing $bench (build with RFID_BUILD_BENCH=ON)" >&2
@@ -30,19 +38,20 @@ fi
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
-# The bench exits nonzero when steady-state rounds allocate — let that
-# propagate (set -e): a regressing build must not produce a snapshot.
+# The bench exits nonzero when its self-checks fail (round_engine's
+# allocation gate, the fleet bench's verification) — let that propagate
+# (set -e): a regressing build must not produce a snapshot.
 RFID_CSV_DIR="$workdir" "$bench" > "$workdir/stdout.txt"
 
 commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-python3 - "$out" "$workdir" "$commit" <<'PY'
+python3 - "$out" "$workdir" "$commit" "$bench_name" <<'PY'
 import csv, json, sys, time
-out_path, workdir, commit = sys.argv[1], sys.argv[2], sys.argv[3]
+out_path, workdir, commit, bench_name = sys.argv[1:5]
 
-with open(f"{workdir}/bench_round_engine.csv") as f:
+with open(f"{workdir}/{bench_name}.csv") as f:
     rows = list(csv.DictReader(f))
-with open(f"{workdir}/bench_round_engine.manifest.json") as f:
+with open(f"{workdir}/{bench_name}.manifest.json") as f:
     manifest = json.load(f)
 
 snapshot = {
@@ -57,7 +66,7 @@ try:
         history = json.load(f)
     assert isinstance(history.get("snapshots"), list)
 except (FileNotFoundError, json.JSONDecodeError, AssertionError):
-    history = {"bench": "bench_round_engine", "snapshots": []}
+    history = {"bench": bench_name, "snapshots": []}
 
 # One snapshot per commit: re-running the bench on the same tree replaces
 # the stale datapoint instead of inflating the history with duplicates

@@ -1,21 +1,13 @@
 #include "core/multi_reader.hpp"
 
 #include <algorithm>
-#include <memory>
-#include <stdexcept>
-#include <string>
 #include <unordered_set>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
-#include "fault/injector.hpp"
-#include "fault/recovery.hpp"
-#include "protocols/hash_polling.hpp"
-#include "protocols/round_engine.hpp"
-#include "protocols/tree_polling.hpp"
-#include "tags/soa.hpp"
+#include "core/deployment.hpp"
 
 namespace rfid::core {
 
@@ -72,252 +64,51 @@ MultiReaderReport run_multi_reader(const tags::TagPopulation& population,
 }
 
 // --- Fault-tolerant fleet schedule ------------------------------------------
-
-namespace {
-
-/// One reader's runtime: the session stack is rebuilt on every crash or
-/// reboot (a fresh incarnation loses all volatile reader state), while the
-/// active tag set — which models which tags are still unread in its zone —
-/// survives restarts and moves wholesale on handoff. Tag pointers stay
-/// valid across both because every session is built over the one shared
-/// population.
-struct ReaderRuntime final {
-  std::unique_ptr<sim::Session> session;
-  std::unique_ptr<protocols::RoundPolicy> policy;
-  std::unique_ptr<protocols::RoundEngine> engine;
-  fault::RecoveryCoordinator recovery;
-  tags::TagSoA active;
-  fault::FaultInjector faults;  ///< reader-fault stream only
-  std::uint64_t incarnations = 0;
-  std::uint64_t stalled_until = 0;  ///< ticks < this are skipped (stall)
-
-  explicit ReaderRuntime(const fault::RecoveryConfig& recovery_config)
-      : recovery(recovery_config) {}
-};
-
-std::unique_ptr<protocols::RoundPolicy> make_fleet_policy(
-    protocols::ProtocolKind kind) {
-  switch (kind) {
-    case protocols::ProtocolKind::kHpp:
-      return std::make_unique<protocols::HppRoundPolicy>(
-          protocols::HppRoundConfig{});
-    case protocols::ProtocolKind::kTpp:
-      return std::make_unique<protocols::TppRoundPolicy>(
-          protocols::Tpp::Config{});
-    default:
-      throw std::invalid_argument(
-          "run_fleet: only round-engine protocols (HPP, TPP) can be "
-          "supervised tick by tick");
-  }
-}
-
-}  // namespace
+//
+// run_fleet is a thin legacy shim over core::Deployment (see
+// core/deployment.hpp): channels = readers (every reader transmits every
+// tick, the schedule the original fleet engine hard-coded), disjoint zones
+// (no overlap) and no churn. The supervision, handoff-budget and
+// delivered-or-listed semantics live in the deployment layer now; this
+// wrapper only reshapes the report into the stable FleetReport API.
 
 FleetReport run_fleet(const tags::TagPopulation& population,
                       const FleetConfig& config) {
   RFID_EXPECTS(config.readers >= 1);
-  const std::string protocol_name{
-      protocols::to_string(config.kind)};
+  DeploymentConfig deployment;
+  deployment.readers = config.readers;
+  deployment.channels = config.readers;  // legacy: all readers, every tick
+  deployment.kind = config.kind;
+  deployment.session = config.session;
+  deployment.partition_seed = config.partition_seed;
+  deployment.zone_overlap = 0.0;
+  deployment.reader_faults = config.reader_faults;
+  deployment.supervisor = config.supervisor;
+  deployment.handoff_budget = config.handoff_budget;
+  deployment.max_ticks = config.max_ticks;
+
+  DeploymentReport result = run_deployment(population, deployment);
 
   FleetReport report;
   report.per_reader.resize(config.readers);
-
-  fault::ReaderSupervisor supervisor(config.readers, config.supervisor);
-  // The handoff ledger: every rehoming consumes one attempt of the tag's
-  // fleet-level budget — the same bounded give-up-loudly machinery the
-  // per-session recovery path uses.
-  fault::RecoveryConfig handoff_config;
-  handoff_config.enabled = true;
-  handoff_config.retry_budget = config.handoff_budget;
-  fault::RecoveryCoordinator handoff_budget(handoff_config);
-
-  // Tear-down helper: folds a dying/finished incarnation into the report.
-  const auto fold_session = [&](std::size_t r, ReaderRuntime& rt) {
-    if (rt.session == nullptr) return;
-    sim::RunResult result = rt.session->finish(protocol_name);
-    FleetReaderReport& reader_report = report.per_reader[r];
-    reader_report.metrics.merge(result.metrics);
-    reader_report.collected += result.records.size();
-    for (sim::CollectedRecord& record : result.records)
-      report.records.push_back(std::move(record));
-    for (const TagId& id : result.missing_ids)
-      report.missing_ids.push_back(id);
-    for (const TagId& id : result.undelivered_ids)
-      report.undelivered_ids.push_back(id);
-    rt.session.reset();
-    rt.engine.reset();
-    rt.policy.reset();
-  };
-
-  const auto build_session = [&](std::size_t r, ReaderRuntime& rt) {
-    sim::SessionConfig session_config = config.session;
-    // Incarnation in the seed: a rebooted reader is a new physical boot,
-    // so its protocol stream must not replay the dead one's draws.
-    session_config.seed = derive_seed(derive_seed(config.session.seed, r),
-                                      rt.incarnations);
-    rt.session =
-        std::make_unique<sim::Session>(population, std::move(session_config));
-    rt.policy = make_fleet_policy(config.kind);
-    rt.engine =
-        std::make_unique<protocols::RoundEngine>(*rt.session, rt.recovery);
-    ++rt.incarnations;
-  };
-
-  // Partition the inventory and boot every reader over the shared
-  // population (active sets select each reader's zone).
-  std::vector<ReaderRuntime> runtime;
-  runtime.reserve(config.readers);
-  for (std::size_t r = 0; r < config.readers; ++r) {
-    runtime.emplace_back(config.session.recovery);
-    build_session(r, runtime[r]);
-    runtime[r].faults.arm_reader_faults(
-        config.reader_faults,
-        derive_seed(derive_seed(config.session.seed, 0x52465446u), r));
-  }
-  for (const tags::Tag& tag : population) {
-    const std::size_t r =
-        reader_of(tag.id(), config.readers, config.partition_seed);
-    runtime[r].active.push_back(&tag);
-  }
-
-  // Rehomes every still-active tag of downed reader `from` to the next
-  // reader in ring order that can still make progress. Budget-exhausted
-  // tags are listed undelivered; with no eligible target the tags stay
-  // put and wait for the reader's own restart.
-  const auto hand_off = [&](std::size_t from) {
-    ReaderRuntime& rt = runtime[from];
-    if (rt.active.empty()) return;
-    std::size_t target = config.readers;  // sentinel: none
-    for (std::size_t step = 1; step < config.readers; ++step) {
-      const std::size_t candidate = (from + step) % config.readers;
-      if (supervisor.permanently_down(candidate)) continue;
-      if (supervisor.health(candidate) == obs::ReaderHealth::kDown) continue;
-      target = candidate;
-      break;
-    }
-    if (target == config.readers) {
-      if (!supervisor.permanently_down(from)) return;  // wait for restart
-      // Nobody can take the tags and this reader will never come back:
-      // give them up loudly, one budget slot each.
-      for (std::size_t i = 0; i < rt.active.size(); ++i)
-        report.undelivered_ids.push_back(rt.active.tag(i)->id());
-      rt.active.clear();
-      return;
-    }
-    std::size_t rehomed = 0;
-    for (std::size_t i = 0; i < rt.active.size(); ++i) {
-      const tags::Tag* tag = rt.active.tag(i);
-      if (handoff_budget.take_attempt(tag->id())) {
-        runtime[target].active.push_back(tag);
-        ++rehomed;
-      } else {
-        report.undelivered_ids.push_back(tag->id());
-      }
-    }
-    rt.active.clear();
-    report.handoffs += rehomed;
-  };
-
-  const auto work_remaining = [&] {
-    for (const ReaderRuntime& rt : runtime)
-      if (!rt.active.empty()) return true;
-    return false;
-  };
-
-  std::uint64_t tick = 0;
-  while (work_remaining() && tick < config.max_ticks) {
-    ++tick;
-    for (std::size_t r = 0; r < config.readers; ++r) {
-      ReaderRuntime& rt = runtime[r];
-      if (supervisor.permanently_down(r)) continue;
-      if (supervisor.health(r) == obs::ReaderHealth::kDown) {
-        if (!supervisor.restart_due(r, tick)) continue;
-        supervisor.begin_restart(r, tick);
-        // Deadline-downed readers (stall escalations) still hold their dead
-        // incarnation's session — fold it so its delivered records survive
-        // the reboot. Crash paths already folded; this is then a no-op.
-        fold_session(r, rt);
-        build_session(r, rt);
-        continue;  // the reboot consumes the tick; rounds resume next tick
-      }
-      if (tick < rt.stalled_until) continue;  // mid-stall: silent
-      // Fault draws happen at the tick boundary, before the round, so a
-      // round either runs to completion or not at all — delivered work is
-      // never torn, which is what makes the delivered-or-listed accounting
-      // exact.
-      if (const auto fault = rt.faults.sample_reader_fault()) {
-        switch (fault->kind) {
-          case fault::ReaderFaultKind::kCrash:
-            fold_session(r, rt);
-            supervisor.note_crash(r, tick);
-            hand_off(r);
-            continue;
-          case fault::ReaderFaultKind::kRestart:
-            fold_session(r, rt);
-            supervisor.note_spontaneous_restart(r, tick);
-            build_session(r, rt);
-            continue;  // the reboot consumes the tick
-          case fault::ReaderFaultKind::kStall:
-            supervisor.note_stall(r);
-            rt.stalled_until = tick + fault->stall_ticks;
-            continue;
-        }
-      }
-      if (rt.active.empty()) {
-        // Zone drained: the reader idles but still answers its heartbeat.
-        supervisor.note_round_complete(r, tick);
-        continue;
-      }
-      if (rt.engine->run_round(rt.active, *rt.policy))
-        supervisor.note_round_complete(r, tick);
-    }
-    supervisor.advance(tick);
-    // Escalations (silence -> down) surface here; their tags move now.
-    for (std::size_t r = 0; r < config.readers; ++r)
-      if (supervisor.health(r) == obs::ReaderHealth::kDown ||
-          supervisor.permanently_down(r))
-        hand_off(r);
-  }
-
-  // Tick cap exhausted with work left: list every survivor, loudly.
-  for (ReaderRuntime& rt : runtime) {
-    for (std::size_t i = 0; i < rt.active.size(); ++i)
-      report.undelivered_ids.push_back(rt.active.tag(i)->id());
-    rt.active.clear();
-  }
-  for (std::size_t r = 0; r < config.readers; ++r) fold_session(r, runtime[r]);
-
-  report.ticks = tick;
-  report.transitions = supervisor.transitions();
   for (std::size_t r = 0; r < config.readers; ++r) {
     FleetReaderReport& reader_report = report.per_reader[r];
-    reader_report.incarnations = runtime[r].incarnations;
-    reader_report.final_health = supervisor.health(r);
-    reader_report.crashes = supervisor.crashes(r);
-    reader_report.stalls = supervisor.stalls(r);
-    reader_report.restarts = supervisor.restarts(r);
-    reader_report.metrics.reader_crashes = reader_report.crashes;
-    reader_report.metrics.reader_stalls = reader_report.stalls;
-    reader_report.metrics.reader_restarts = reader_report.restarts;
-    report.totals.merge(reader_report.metrics);
+    reader_report.metrics = result.per_reader_metrics[r];
+    reader_report.collected = result.per_reader_delivered[r];
+    reader_report.incarnations = result.per_reader_incarnations[r];
+    reader_report.final_health = result.per_reader_health[r];
+    reader_report.crashes = reader_report.metrics.reader_crashes;
+    reader_report.stalls = reader_report.metrics.reader_stalls;
+    reader_report.restarts = reader_report.metrics.reader_restarts;
   }
-  report.totals.handoffs = report.handoffs;
-
-  // Delivered-or-listed verification: records, missing and undelivered
-  // must cover the population exactly once. Membership-only hash set —
-  // never iterated (detlint's unordered-iteration rule).
-  std::unordered_set<TagId, TagIdHash> seen;
-  seen.reserve(population.size());
-  bool duplicates = false;
-  for (const sim::CollectedRecord& record : report.records)
-    duplicates |= !seen.insert(record.id).second;
-  for (const TagId& id : report.missing_ids)
-    duplicates |= !seen.insert(id).second;
-  for (const TagId& id : report.undelivered_ids)
-    duplicates |= !seen.insert(id).second;
-  bool covered = seen.size() == population.size();
-  for (const tags::Tag& tag : population) covered &= seen.contains(tag.id());
-  report.verified = covered && !duplicates;
+  report.totals = result.totals;
+  report.records = std::move(result.records);
+  report.missing_ids = std::move(result.missing_ids);
+  report.undelivered_ids = std::move(result.undelivered_ids);
+  report.transitions = std::move(result.transitions);
+  report.ticks = result.ticks;
+  report.handoffs = result.handoffs;
+  report.verified = result.verified;
   return report;
 }
 

@@ -78,7 +78,21 @@ void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
        << R"(,"health":")" << to_string(reader.health) << R"(","crashes":)"
        << reader.crashes << R"(,"restarts":)" << reader.restarts << '}';
   }
-  os << "]}";
+  os << "]";
+  // Deployment-mode extras: emitted only when channels are configured, so
+  // warehouse-mode snapshots keep their exact pre-channel byte layout.
+  if (!snapshot.channels.empty()) {
+    os << R"(,"channels":[)";
+    for (std::size_t c = 0; c < snapshot.channels.size(); ++c) {
+      const ChannelTelemetry& channel = snapshot.channels[c];
+      os << (c == 0 ? "" : ",") << R"({"readers":)" << channel.readers
+         << R"(,"rounds":)" << channel.rounds << R"(,"busy_us":)"
+         << num(channel.busy_us) << '}';
+    }
+    os << R"(],"handoffs":)" << snapshot.fleet_handoffs
+       << R"(,"churn_departures":)" << snapshot.fleet_churn_departures;
+  }
+  os << "}";
 }
 
 std::string to_json(const MetricsSnapshot& snapshot) {
@@ -217,6 +231,29 @@ void StreamingAggregator::note_reader_restart(std::size_t reader) {
   ++readers_.at(reader).restarts;
 }
 
+void StreamingAggregator::configure_channels(std::size_t channels) {
+  const MutexLock lock(mutex_);
+  channels_.assign(channels, ChannelTelemetry{});
+}
+
+void StreamingAggregator::update_channel(std::size_t channel,
+                                         std::size_t readers,
+                                         std::uint64_t rounds,
+                                         double busy_us) {
+  const MutexLock lock(mutex_);
+  ChannelTelemetry& state = channels_.at(channel);
+  state.readers = readers;
+  state.rounds = rounds;
+  state.busy_us = busy_us;
+}
+
+void StreamingAggregator::set_fleet_counters(std::uint64_t handoffs,
+                                             std::uint64_t churn_departures) {
+  const MutexLock lock(mutex_);
+  fleet_handoffs_ = handoffs;
+  fleet_churn_departures_ = churn_departures;
+}
+
 void StreamingAggregator::restore_reader(std::size_t reader,
                                          const Metrics& completed,
                                          std::uint64_t epochs,
@@ -242,6 +279,9 @@ std::shared_ptr<const MetricsSnapshot> StreamingAggregator::publish(
     const MutexLock lock(mutex_);
     snapshot->sequence = ++sequence_;
     snapshot->interval_s = wall_dt_s;
+    snapshot->channels = channels_;
+    snapshot->fleet_handoffs = fleet_handoffs_;
+    snapshot->fleet_churn_departures = fleet_churn_departures_;
     snapshot->readers.reserve(readers_.size());
     for (const ReaderState& state : readers_) {
       ReaderTelemetry telemetry;

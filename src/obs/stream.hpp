@@ -59,6 +59,17 @@ struct ReaderTelemetry final {
   std::uint64_t restarts = 0;  ///< supervisor-driven restarts so far
 };
 
+/// Live state of one frequency channel in a deployment sweep (see
+/// core/deployment.hpp): how many readers share it and the airtime it has
+/// carried so far. Deployment-mode daemons feed these via update_channel();
+/// warehouse-mode daemons never configure channels and their snapshot JSON
+/// stays byte-identical to the pre-channel format.
+struct ChannelTelemetry final {
+  std::size_t readers = 0;   ///< readers time-dividing this channel
+  std::uint64_t rounds = 0;  ///< polling rounds transmitted on it
+  double busy_us = 0.0;      ///< simulated airtime the channel carried
+};
+
 /// A typed telemetry event, synthesized at publish time from metric deltas.
 struct StreamEvent final {
   enum class Kind : std::uint8_t {
@@ -86,6 +97,11 @@ struct MetricsSnapshot final {
   double rounds_per_sec = 0.0;  ///< delta rounds / interval_s (0 first/paused)
   Metrics totals{};             ///< merge-fold of readers[].metrics in order
   std::vector<ReaderTelemetry> readers;
+  /// Deployment mode only (empty otherwise — and then absent from the
+  /// JSON, keeping warehouse-mode snapshots byte-stable).
+  std::vector<ChannelTelemetry> channels;
+  std::uint64_t fleet_handoffs = 0;  ///< fault- and churn-driven rehomings
+  std::uint64_t fleet_churn_departures = 0;
 };
 
 /// Deterministic compact JSON (one object, one line, precision-17 doubles).
@@ -199,6 +215,21 @@ class StreamingAggregator final {
   void note_reader_crash(std::size_t reader) RFID_EXCLUDES(mutex_);
   void note_reader_restart(std::size_t reader) RFID_EXCLUDES(mutex_);
 
+  /// Switches the aggregator into deployment mode with `channels` channel
+  /// slots (idempotent; 0 returns to warehouse mode). Snapshots then carry
+  /// a channels array and the fleet handoff counters.
+  void configure_channels(std::size_t channels) RFID_EXCLUDES(mutex_);
+
+  /// Replaces channel `channel`'s live view (running totals, not deltas).
+  void update_channel(std::size_t channel, std::size_t readers,
+                      std::uint64_t rounds, double busy_us)
+      RFID_EXCLUDES(mutex_);
+
+  /// Replaces the deployment-wide handoff / churn-departure running totals.
+  void set_fleet_counters(std::uint64_t handoffs,
+                          std::uint64_t churn_departures)
+      RFID_EXCLUDES(mutex_);
+
   /// Checkpoint resume (core/warehouse.hpp): overwrites the reader's
   /// completed fold, epoch count, incident counters and health in one
   /// call. The live slot is cleared — resume always lands on an epoch
@@ -251,6 +282,9 @@ class StreamingAggregator final {
   const std::size_t readers_n_;
   mutable Mutex mutex_;
   std::vector<ReaderState> readers_ RFID_GUARDED_BY(mutex_);
+  std::vector<ChannelTelemetry> channels_ RFID_GUARDED_BY(mutex_);
+  std::uint64_t fleet_handoffs_ RFID_GUARDED_BY(mutex_) = 0;
+  std::uint64_t fleet_churn_departures_ RFID_GUARDED_BY(mutex_) = 0;
   std::shared_ptr<const MetricsSnapshot> latest_ RFID_GUARDED_BY(mutex_);
   std::uint64_t sequence_ RFID_GUARDED_BY(mutex_) = 0;
   std::vector<std::shared_ptr<StreamSubscription>> subscriptions_

@@ -146,6 +146,7 @@ constexpr std::string_view kDashboardHtml = R"dash(<!doctype html>
     <div class="tile"><div class="k">degradations</div><div class="v" id="tileDegrade">—</div></div>
     <div class="tile"><div class="k">mean BER estimate</div><div class="v" id="tileBer">—</div></div>
     <div class="tile"><div class="k">stream drops <small>(this client)</small></div><div class="v" id="tileDrops">0</div></div>
+    <div class="tile" id="tileHandoffsWrap" style="display:none"><div class="k">handoffs <small>(fleet)</small></div><div class="v" id="tileHandoffs">—</div></div>
   </div>
   <div class="cards">
     <div class="card">
@@ -170,6 +171,12 @@ constexpr std::string_view kDashboardHtml = R"dash(<!doctype html>
       <p class="hint">typed fault / degradation / epoch events</p>
       <ul id="eventlog"></ul>
       <p class="empty" id="eventlogEmpty">no events yet</p>
+    </div>
+    <div class="card" id="channelCard" style="display:none">
+      <h2>Per-channel utilization</h2>
+      <p class="hint">airtime carried and rounds per frequency channel; handoff rate below</p>
+      <div id="chartChannels"></div>
+      <p class="hint" id="handoffRate"></p>
     </div>
     <div class="card wide">
       <h2>Per-reader detail</h2>
@@ -309,6 +316,35 @@ function budgetChart(el, readers) {
     aria-label="recovery retries and undelivered tags per reader">${g}</svg>`;
 }
 
+// --- per-channel bars (deployment mode) --------------------------------
+// One bar per frequency channel: width = share of the busiest channel's
+// carried airtime, label = busy ms and rounds. Utilization skew across
+// channels is exactly what the zone/channel scheduler is supposed to keep
+// flat — this chart is its live check.
+function channelChart(el, channels) {
+  const rows = channels.length, BH = 14, GAP = 6;
+  const W = 520, L = 46, R = 150;
+  const H = 10 + rows * (BH + GAP) + 16;
+  const maxBusy = Math.max(1e-9, ...channels.map(c => c.busy_us));
+  let g = "", y = 8;
+  channels.forEach((c, i) => {
+    const w = Math.max(c.busy_us / (maxBusy * 1.05) * (W - L - R),
+      c.busy_us > 0 ? 2 : 0);
+    g += `<text class="dlabel" x="${L - 6}" y="${y + BH - 3}"
+      text-anchor="end">C${i}</text>`;
+    g += `<rect x="${L}" y="${y}" width="${w.toFixed(1)}" height="${BH}"
+      rx="2" fill="${slot(i)}"><title>channel ${i}: ${fmt(c.busy_us / 1e3)} ms
+airtime, ${fmtInt(c.rounds)} rounds, ${fmtInt(c.readers)} readers</title></rect>`;
+    g += `<text class="vlabel" x="${(L + w + 5).toFixed(1)}"
+      y="${y + BH - 3}">${fmt(c.busy_us / 1e3)} ms · ${fmtInt(c.rounds)} rds · ${fmtInt(c.readers)} rdr</text>`;
+    y += BH + GAP;
+  });
+  g += `<line x1="${L}" y1="6" x2="${L}" y2="${y}"
+    stroke="var(--baseline)" stroke-width="1"/>`;
+  el.innerHTML = `<svg viewBox="0 0 ${W} ${H}" role="img"
+    aria-label="airtime carried per frequency channel">${g}</svg>`;
+}
+
 function legend(el, entries) {
   el.innerHTML = entries.map(e =>
     `<span><span class="chip" style="background:${e.color}"></span>` +
@@ -364,6 +400,19 @@ function render() {
     { name: "undelivered (budget exhausted)", color: css("--s2") },
   ]);
   budgetChart($("chartBudget"), readers);
+
+  if (s.channels && s.channels.length) {
+    $("channelCard").style.display = "";
+    $("tileHandoffsWrap").style.display = "";
+    $("tileHandoffs").textContent = fmtInt(s.handoffs);
+    channelChart($("chartChannels"), s.channels);
+    const prev = hist.length > 1 ? hist[hist.length - 2] : null;
+    const rate = prev && s.interval_s > 0
+      ? (s.handoffs - prev.handoffs) / s.interval_s : 0;
+    $("handoffRate").textContent =
+      `handoffs: ${fmtInt(s.handoffs)} total (${fmt(rate)}/s), ` +
+      `churn departures: ${fmtInt(s.churn_departures)}`;
+  }
 
   $("readerTable").innerHTML = "<table><thead><tr>" +
     "<th>reader</th><th>epochs</th><th>rounds</th><th>polled</th>" +

@@ -41,6 +41,41 @@ TagPopulation TagPopulation::uniform_random(std::size_t n, Xoshiro256ss& id_rng)
   return TagPopulation(std::move(tags));
 }
 
+TagPopulation TagPopulation::uniform_random_sharded(std::size_t n,
+                                                    std::uint64_t seed,
+                                                    std::size_t shards) {
+  RFID_EXPECTS(shards >= 1);
+  std::vector<Tag> tags;
+  tags.reserve(n);
+  for (std::size_t shard = 0; shard < shards; ++shard)
+    uniform_random_shard_into(tags, n, seed, shard, shards);
+  // Cross-shard collisions are possible in principle (each shard only
+  // dedups locally) and vanishingly rare with 96-bit IDs; the population
+  // constructor still catches them loudly.
+  return TagPopulation(std::move(tags));
+}
+
+void TagPopulation::uniform_random_shard_into(std::vector<Tag>& out,
+                                              std::size_t n, std::uint64_t seed,
+                                              std::size_t shard,
+                                              std::size_t shards) {
+  RFID_EXPECTS(shards >= 1 && shard < shards);
+  const std::size_t first = shard * n / shards;
+  const std::size_t last = (shard + 1) * n / shards;
+  Xoshiro256ss shard_id_rng(derive_seed(seed, shard));
+  std::unordered_set<TagId, TagIdHash> seen;
+  seen.reserve(last - first);
+  out.reserve(out.size() + (last - first));
+  std::size_t made = 0;
+  while (made < last - first) {
+    const TagId id = random_id(shard_id_rng);
+    if (seen.insert(id).second) {
+      out.emplace_back(id);
+      ++made;
+    }
+  }
+}
+
 TagPopulation TagPopulation::sequential(std::size_t n, std::uint64_t first) {
   std::vector<Tag> tags;
   tags.reserve(n);

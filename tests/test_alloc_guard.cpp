@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/deployment.hpp"
 #include "fault/recovery.hpp"
 #include "fault/supervisor.hpp"
 #include "protocols/enhanced_hash_polling.hpp"
@@ -144,6 +145,42 @@ TEST(AllocGuard, SupervisorBoundedTransitionsStayWithinReserve) {
   }
   supervisor.advance(3);
   EXPECT_EQ(probe.delta(), 0u);
+}
+
+TEST(AllocGuard, DeploymentFaultFreeTicksAllocationFree) {
+  // The deployment simulator's serial scheduling tick (no faults, no
+  // churn, overlap on so ownership resolution ran at placement): after one
+  // full channel rotation has given every reader its buffer-growing first
+  // round, each further tick — schedule recompute, round, channel fold,
+  // supervisor sweep — must allocate nothing.
+  Xoshiro256ss id_rng(kSeed + 2);
+  const tags::TagPopulation population =
+      tags::TagPopulation::uniform_random(kPopulation, id_rng);
+  core::DeploymentConfig config;
+  config.readers = 4;
+  config.channels = 2;  // rotation of 2: co-channel readers alternate
+  config.session.seed = kSeed;
+  config.session.keep_records = false;
+  config.zone_overlap = 0.2;
+  core::Deployment deployment(population, config);
+
+  const std::uint64_t rotation = 2;
+  std::uint64_t warmup = 2 * rotation;  // every reader: one cold round
+  while (warmup > 0 && deployment.tick()) --warmup;
+  ASSERT_EQ(warmup, 0u) << "population drained before the warm-up ended";
+
+  std::uint64_t steady_ticks = 0;
+  std::uint64_t steady = 0;
+  for (;;) {
+    const alloc_guard::Probe probe;
+    const bool more = deployment.tick();
+    steady += probe.delta();
+    ++steady_ticks;
+    if (!more) break;
+  }
+  EXPECT_GE(steady_ticks, 3u);  // the gate must have measured something
+  EXPECT_EQ(steady, 0u);
+  EXPECT_TRUE(deployment.finish().verified);
 }
 
 TEST(AllocGuard, CheckpointEncodeIntoWarmBufferAllocationFree) {

@@ -5,7 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 
+#include "core/deployment.hpp"
 #include "core/multi_reader.hpp"
 #include "obs/stream.hpp"
 
@@ -261,6 +263,86 @@ TEST(Fleet, InvalidConfigsRejected) {
   FleetConfig config;
   config.readers = 0;
   EXPECT_THROW((void)run_fleet(pop, config), ContractViolation);
+}
+
+// --- The fleet atop the deployment layer ------------------------------------
+
+/// run_fleet is a wrapper over core::Deployment; mirror its config so the
+/// shard knob (which FleetConfig does not expose) can be varied directly.
+DeploymentConfig fleet_as_deployment(const FleetConfig& config) {
+  DeploymentConfig deployment;
+  deployment.readers = config.readers;
+  deployment.channels = config.readers;
+  deployment.kind = config.kind;
+  deployment.session = config.session;
+  deployment.partition_seed = config.partition_seed;
+  deployment.reader_faults = config.reader_faults;
+  deployment.supervisor = config.supervisor;
+  deployment.handoff_budget = config.handoff_budget;
+  deployment.max_ticks = config.max_ticks;
+  return deployment;
+}
+
+std::string deployment_digest(const DeploymentReport& report) {
+  std::ostringstream os;
+  obs::write_json(os, report.totals);
+  os << '|' << report.delivered << '|' << report.ticks << '|'
+     << report.handoffs << '|' << report.transitions.size();
+  for (const TagId& id : report.missing_ids) os << '|' << id.to_hex();
+  for (const TagId& id : report.undelivered_ids) os << '|' << id.to_hex();
+  return os.str();
+}
+
+TEST(Fleet, ReportIsByteIdenticalAcrossShardCounts) {
+  // The fleet workload (faults on, so handoffs and restarts fire) run at
+  // 1, 2 and 7 execution shards must fold to the same bytes — the shard
+  // knob is execution grain, never semantics.
+  const auto pop = uniform(1000, 36);
+  FleetConfig fleet;
+  fleet.readers = 7;
+  fleet.session.seed = 23;
+  fleet.reader_faults.crash_per_tick = 0.05;
+  fleet.reader_faults.stall_per_tick = 0.05;
+  DeploymentConfig config = fleet_as_deployment(fleet);
+  config.shards = 1;
+  const std::string baseline = deployment_digest(run_deployment(pop, config));
+  for (const std::size_t shards : {2u, 7u}) {
+    config.shards = shards;
+    EXPECT_EQ(deployment_digest(run_deployment(pop, config)), baseline)
+        << "shards=" << shards;
+  }
+  // And the wrapper reproduces the same sweep outcome.
+  const FleetReport wrapped = run_fleet(pop, fleet);
+  const DeploymentReport direct = run_deployment(pop, config);
+  EXPECT_EQ(wrapped.records.size(), direct.delivered);
+  EXPECT_EQ(wrapped.ticks, direct.ticks);
+  EXPECT_EQ(wrapped.handoffs, direct.handoffs);
+}
+
+TEST(Fleet, OverlapZoneTagsDeliveredOrListedExactlyOnce) {
+  // Heavy overlap + crashes: boundary tags are reachable by two readers
+  // and get rehomed on faults, the classic double-count trap. Every tag
+  // must land in exactly one of records / missing / undelivered.
+  const auto pop = uniform(1200, 37);
+  DeploymentConfig config;
+  config.readers = 5;
+  config.channels = 5;
+  config.session.seed = 29;
+  config.session.keep_records = true;
+  config.zone_overlap = 0.6;
+  config.reader_faults.crash_per_tick = 0.10;
+  const DeploymentReport report = run_deployment(pop, config);
+  EXPECT_TRUE(report.verified);
+
+  std::unordered_set<TagId, TagIdHash> seen;
+  for (const sim::CollectedRecord& record : report.records)
+    EXPECT_TRUE(seen.insert(record.id).second) << record.id.to_hex();
+  for (const TagId& id : report.missing_ids)
+    EXPECT_TRUE(seen.insert(id).second) << id.to_hex();
+  for (const TagId& id : report.undelivered_ids)
+    EXPECT_TRUE(seen.insert(id).second) << id.to_hex();
+  EXPECT_EQ(seen.size(), 1200u);
+  for (const tags::Tag& tag : pop) EXPECT_EQ(seen.count(tag.id()), 1u);
 }
 
 }  // namespace

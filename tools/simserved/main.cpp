@@ -35,6 +35,7 @@
 // every SSE subscription, stops the HTTP server (joining every
 // connection), flushes the optional JSONL trace sink, and prints a drain
 // summary.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -42,6 +43,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -49,12 +51,16 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/rng.hpp"
+#include "core/deployment.hpp"
 #include "core/warehouse.hpp"
 #include "obs/stream.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "serve/http.hpp"
 #include "serve/telemetry_service.hpp"
 #include "sim/checkpoint.hpp"
+#include "tags/population.hpp"
 
 namespace {
 
@@ -69,6 +75,13 @@ struct Options final {
   std::size_t readers = 2;
   std::size_t tags = 256;
   std::uint64_t seed = 1;
+  /// > 0 switches from the warehouse workload to the deployment simulator
+  /// (core::Deployment): channel-scheduled readers over one shared
+  /// population, with overlapping zones and churn-driven handoffs surfaced
+  /// per channel in the snapshots.
+  std::size_t channels = 0;
+  double zone_overlap = 0.0;  ///< deployment mode: boundary-tag fraction
+  double churn_rate = 0.0;    ///< deployment mode: per-tag per-tick hazard
   unsigned snapshot_ms = 500;
   unsigned throttle_us = 2000;  ///< sleep between round batches (0 = none)
   std::uint64_t max_epochs = 0;  ///< total across readers; 0 = no cap
@@ -88,10 +101,34 @@ int usage(const char* argv0) {
          "       [--epochs N] [--crash-epochs N] [--checkpoint-dir PATH]\n"
          "       [--checkpoint-every N] [--final-metrics PATH]\n"
          "       [--trace PATH]\n"
+         "       [--channels N] [--zone-overlap X] [--churn-rate X]\n"
          "  integers are strictly parsed (base-10 digits only); counts\n"
          "  must be positive; --port/--throttle-us/--max-epochs/--epochs/\n"
-         "  --crash-epochs may be 0\n";
+         "  --crash-epochs may be 0\n"
+         "  --channels > 0 switches to the deployment simulator (channel-\n"
+         "  scheduled readers, one shared population); --zone-overlap in\n"
+         "  [0,1] makes that fraction of tags boundary tags; --churn-rate\n"
+         "  in [0,1) is the per-tag per-tick churn hazard (4/5 zone moves,\n"
+         "  1/5 departures). Deployment mode has no checkpointing and no\n"
+         "  per-session trace: --checkpoint-dir/--crash-epochs/--trace are\n"
+         "  refused with --channels\n";
   return EXIT_FAILURE;
+}
+
+/// Strict non-negative decimal: digits with at most one '.', no signs or
+/// exponents (parse_size_arg's policy, extended to the float flags).
+std::optional<double> parse_fraction_arg(std::string_view text) {
+  if (text.empty() || text == ".") return std::nullopt;
+  bool dot = false;
+  for (const char c : text) {
+    if (c == '.') {
+      if (dot) return std::nullopt;
+      dot = true;
+    } else if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+  }
+  return std::stod(std::string(text));
 }
 
 std::uint64_t wall_unix_ms() {
@@ -140,10 +177,32 @@ int main(int argc, char** argv) {
       options.final_metrics_path = argv[++arg];
     } else if (flag == "--trace" && arg + 1 < argc) {
       options.trace_path = argv[++arg];
+    } else if (flag == "--channels" && (value = next_size(true))) {
+      options.channels = *value;
+    } else if (flag == "--zone-overlap" && arg + 1 < argc) {
+      const auto fraction = parse_fraction_arg(argv[++arg]);
+      if (!fraction || *fraction > 1.0) return usage(argv[0]);
+      options.zone_overlap = *fraction;
+    } else if (flag == "--churn-rate" && arg + 1 < argc) {
+      const auto fraction = parse_fraction_arg(argv[++arg]);
+      if (!fraction || *fraction >= 1.0) return usage(argv[0]);
+      options.churn_rate = *fraction;
     } else {
       std::cerr << "bad argument: " << flag << '\n';
       return usage(argv[0]);
     }
+  }
+  if (options.channels == 0 &&
+      (options.zone_overlap > 0.0 || options.churn_rate > 0.0)) {
+    std::cerr << "--zone-overlap/--churn-rate need --channels\n";
+    return usage(argv[0]);
+  }
+  if (options.channels > 0 &&
+      (!options.checkpoint_dir.empty() || options.crash_epochs != 0 ||
+       !options.trace_path.empty())) {
+    std::cerr << "--checkpoint-dir/--crash-epochs/--trace are warehouse-mode "
+                 "flags; deployment mode (--channels) does not support them\n";
+    return usage(argv[0]);
   }
 
   std::signal(SIGINT, on_signal);
@@ -168,6 +227,120 @@ int main(int argc, char** argv) {
   } catch (const std::exception& error) {
     std::cerr << "cannot start server: " << error.what() << '\n';
     return EXIT_FAILURE;
+  }
+
+  if (options.channels > 0) {
+    // --- Deployment mode: channel-scheduled fleet over one population ------
+    // Each "epoch" is one full deployment drain; the next epoch reruns the
+    // sweep over a fresh population derived from (seed, epoch), so the
+    // daemon streams forever like the warehouse loop. Channel airtime and
+    // fleet handoff counters accumulate across epochs.
+    std::unique_ptr<parallel::ThreadPool> pool;
+    if (const std::uint64_t threads = env_u64("RFID_THREADS", 0); threads > 0)
+      pool = std::make_unique<parallel::ThreadPool>(
+          static_cast<unsigned>(threads));
+
+    aggregator.configure_channels(
+        std::min(options.channels, options.readers));
+
+    std::cout << "listening on http://127.0.0.1:" << server.port() << "\n"
+              << "simserved: deployment mode, " << options.readers
+              << " readers x " << options.tags << " tags x "
+              << options.channels << " channels, overlap "
+              << options.zone_overlap << ", churn " << options.churn_rate
+              << ", seed " << options.seed << std::endl;
+
+    using Clock = std::chrono::steady_clock;
+    const auto interval = std::chrono::milliseconds(options.snapshot_ms);
+    auto last_publish = Clock::now();
+    std::uint64_t epochs_done = 0;
+    std::uint64_t handoffs_base = 0;
+    std::uint64_t departures_base = 0;
+    std::vector<std::uint64_t> channel_rounds_base(options.channels, 0);
+    std::vector<double> channel_busy_base(options.channels, 0.0);
+
+    const std::uint64_t epoch_cap =
+        options.epochs != 0 && options.max_epochs != 0
+            ? std::min(options.epochs, options.max_epochs)
+            : options.epochs + options.max_epochs;  // one (or both) may be 0
+
+    while (g_signal.load(std::memory_order_relaxed) == 0) {
+      core::DeploymentConfig deployment_config;
+      deployment_config.readers = options.readers;
+      deployment_config.channels = options.channels;
+      deployment_config.session.seed = derive_seed(options.seed, epochs_done);
+      deployment_config.session.keep_records = false;
+      deployment_config.zone_overlap = options.zone_overlap;
+      deployment_config.churn_move_per_tick = options.churn_rate * 0.8;
+      deployment_config.churn_depart_per_tick = options.churn_rate * 0.2;
+      const tags::TagPopulation population =
+          tags::TagPopulation::uniform_random_sharded(
+              options.tags, derive_seed(options.seed, epochs_done), 8);
+      core::Deployment deployment(population, deployment_config, pool.get());
+
+      while (g_signal.load(std::memory_order_relaxed) == 0 &&
+             deployment.tick()) {
+        const auto now = Clock::now();
+        if (now - last_publish >= interval) {
+          for (std::size_t r = 0; r < deployment.reader_count(); ++r) {
+            aggregator.update_reader(r, deployment.reader_metrics(r), 0.0);
+            aggregator.set_reader_health(r, deployment.reader_health(r));
+          }
+          for (std::size_t c = 0; c < deployment.channel_count(); ++c)
+            aggregator.update_channel(
+                c, core::channel_population(c, options.readers,
+                                            deployment.channel_count()),
+                channel_rounds_base[c] + deployment.channel_rounds(c),
+                channel_busy_base[c] + deployment.channel_busy_us(c));
+          aggregator.set_fleet_counters(
+              handoffs_base + deployment.handoffs(),
+              departures_base + deployment.churn_departures());
+          aggregator.publish(
+              std::chrono::duration<double>(now - last_publish).count());
+          last_publish = now;
+        }
+        if (options.throttle_us != 0)
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(options.throttle_us));
+      }
+
+      const core::DeploymentReport report = deployment.finish();
+      handoffs_base += report.handoffs;
+      departures_base += report.churn_departures;
+      for (std::size_t c = 0; c < report.per_channel.size(); ++c) {
+        channel_rounds_base[c] += report.per_channel[c].rounds;
+        channel_busy_base[c] += report.per_channel[c].busy_us;
+      }
+      for (std::size_t r = 0; r < options.readers; ++r)
+        aggregator.complete_epoch(r, report.per_reader_metrics[r]);
+      ++epochs_done;
+      if (epoch_cap != 0 && epochs_done >= epoch_cap) break;
+    }
+
+    const auto now = Clock::now();
+    aggregator.set_fleet_counters(handoffs_base, departures_base);
+    aggregator.publish(
+        std::chrono::duration<double>(now - last_publish).count());
+    aggregator.close_all();
+    server.stop();
+
+    if (!options.final_metrics_path.empty()) {
+      std::ofstream final_metrics(options.final_metrics_path);
+      if (!final_metrics.is_open()) {
+        std::cerr << "cannot write " << options.final_metrics_path << '\n';
+        return EXIT_FAILURE;
+      }
+      const auto snapshot = aggregator.latest();
+      obs::write_json(final_metrics, snapshot->totals);
+      final_metrics << '\n';
+    }
+
+    const int sig = g_signal.load(std::memory_order_relaxed);
+    std::cout << "simserved: stopped ("
+              << (sig == 0 ? "epoch limit" : sig == SIGINT ? "SIGINT"
+                                                           : "SIGTERM")
+              << "), " << epochs_done << " deployment epochs drained\n";
+    return EXIT_SUCCESS;
   }
 
   core::WarehouseConfig warehouse_config;
