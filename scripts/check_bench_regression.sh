@@ -61,10 +61,19 @@ run_bench() {  # $1 = bench name
     echo "check_bench_regression: missing $bench (build with RFID_BUILD_BENCH=ON)" >&2
     exit 1
   fi
-  # The bench's own self-gates stay live (set -e): a build whose
-  # steady-state rounds allocate, or whose fleet sweep fails verification,
-  # fails before any throughput comparison.
-  RFID_CSV_DIR="$workdir" "$bench" > "$workdir/$1.stdout.txt"
+  # The bench's own self-gates stay live: a build whose steady-state rounds
+  # allocate, or whose fleet sweep fails verification, fails before any
+  # throughput comparison. Name the offending row(s) on the way out — the
+  # benches mark them with "NO" in the trailing verified column.
+  local status=0
+  RFID_CSV_DIR="$workdir" "$bench" > "$workdir/$1.stdout.txt" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "check_bench_regression: $1 self-gate failed (exit $status)" >&2
+    awk '$NF == "NO" { printf "  unverified row: readers=%s channels=%s n=%s\n", \
+                              $1, $2, $3 }' \
+        "$workdir/$1.stdout.txt" >&2
+    exit "$status"
+  fi
   if [ -n "$artifact_dir" ]; then
     mkdir -p "$artifact_dir"
     cp "$workdir/$1.csv" "$workdir/$1.manifest.json" \

@@ -1,56 +1,8 @@
 #!/usr/bin/env bash
-# Determinism-lint gate: runs tools/detlint over the repo's src/ tree and
-# then self-checks the linter against its violation fixtures, so a linter
-# that silently stopped matching (rule regression, tokenizer bug) cannot
-# pass CI by finding nothing. Wired into the `detlint` CI job; run
-# standalone as
-#
-#   scripts/run_detlint.sh [BIN_DIR]
-#
-# where BIN_DIR is the CMake binary dir holding tools/detlint/ (default:
-# build). Exits 0 when src/ is clean AND every violation fixture still
-# trips; nonzero otherwise.
-set -euo pipefail
-
-bin_dir="${1:-build}"
-repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-detlint="$bin_dir/tools/detlint/detlint"
-
-if [ ! -x "$detlint" ]; then
-  echo "run_detlint: missing $detlint (build the detlint target first," \
-    "e.g. cmake --build $bin_dir --target detlint)" >&2
-  exit 1
-fi
-
-status=0
-
-# 1. The repo itself must be clean (allowlist pragmas included).
-if ! "$detlint" --root "$repo_root"; then
-  echo "run_detlint: findings in $repo_root/src (see above)" >&2
-  status=1
-fi
-
-# 2. Every violation fixture must still produce findings. clean.cpp and
-# allow_pragma.cpp are the two fixtures the linter must accept.
-fixture_dir="$repo_root/tools/detlint/fixtures"
-for fixture in "$fixture_dir"/*.cpp; do
-  name="$(basename "$fixture")"
-  case "$name" in
-    clean.cpp|allow_pragma.cpp)
-      if ! "$detlint" "$fixture" > /dev/null; then
-        echo "run_detlint: self-check failed — $name should be clean" >&2
-        status=1
-      fi
-      ;;
-    *)
-      if "$detlint" "$fixture" > /dev/null; then
-        echo "run_detlint: self-check failed — $name no longer trips" \
-          "its rule (dead linter?)" >&2
-        status=1
-      fi
-      ;;
-  esac
-done
-
-[ "$status" -eq 0 ] || exit "$status"
-echo "run_detlint: OK (src/ clean, all violation fixtures still trip)"
+# Deprecated shim: detlint grew into rfidlint (tools/rfidlint), which keeps
+# every detlint rule as its determinism analyzer and adds layering,
+# hot-path-allocation, RNG-purity and phase-accounting analyzers. This
+# wrapper keeps old CI wiring and muscle memory working; call
+# scripts/run_rfidlint.sh directly in new code.
+echo "run_detlint.sh is deprecated; forwarding to run_rfidlint.sh" >&2
+exec "$(dirname "$0")/run_rfidlint.sh" "$@"

@@ -2,7 +2,7 @@
 
 namespace rfid::analysis {
 
-EnergyReport estimate_energy(const sim::Metrics& metrics, std::size_t n,
+EnergyReport estimate_energy(const obs::Metrics& metrics, std::size_t n,
                              const phy::C1G2Timing& timing,
                              const EnergyParams& params) {
   EnergyReport report;

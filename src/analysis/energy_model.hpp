@@ -19,8 +19,8 @@
 
 #include <cstddef>
 
+#include "obs/metrics.hpp"
 #include "phy/c1g2.hpp"
-#include "sim/metrics.hpp"
 
 namespace rfid::analysis {
 
@@ -42,7 +42,7 @@ struct EnergyReport final {
 };
 
 /// Derives the energy report for a finished run over `n` tags.
-[[nodiscard]] EnergyReport estimate_energy(const sim::Metrics& metrics,
+[[nodiscard]] EnergyReport estimate_energy(const obs::Metrics& metrics,
                                            std::size_t n,
                                            const phy::C1G2Timing& timing = {},
                                            const EnergyParams& params = {});

@@ -75,7 +75,7 @@ struct TagIdHash final {
 /// The house container for sets of tag IDs that cross an API boundary.
 /// Ordered on purpose: iteration order is the ID order, so anything derived
 /// from walking the set (reports, metrics, RNG-consuming loops) is
-/// deterministic by construction — the property tools/detlint's
+/// deterministic by construction — the property tools/rfidlint's
 /// unordered-container rules enforce. Hash sets remain fine for
 /// membership-only scratch that is never iterated.
 using TagIdSet = std::set<TagId>;

@@ -463,6 +463,7 @@ void Deployment::hand_off(std::size_t from) {
   report_.handoffs += rehomed;
 }
 
+// rfidlint: hotpath(deployment-serial-tick)
 bool Deployment::tick() {
   RFID_EXPECTS(!finished_);
   bool any = false;
@@ -535,16 +536,19 @@ bool Deployment::tick() {
       supervisor_.note_round_complete(r, tick_);
     }
     for (const TagId& id : rt.departed) {
+      // rfidlint: allow(hotpath-alloc) — churn slow path, outside the fault-free zero-alloc contract
       report_.missing_ids.push_back(id);
       ++report_.churn_departures;
     }
     for (std::size_t m = 0; m < rt.moved.size(); ++m) {
       const tags::Tag* tag = rt.moved[m];
       if (handoff_budget_.take_attempt(tag->id())) {
+        // rfidlint: allow(hotpath-alloc) — churn handoff slow path, outside the fault-free zero-alloc contract
         runtime_[rt.moved_target[m]].active.push_back(tag);
         ++report_.handoffs;
         ++report_.churn_moves;
       } else {
+        // rfidlint: allow(hotpath-alloc) — budget-exhausted slow path, outside the fault-free zero-alloc contract
         report_.undelivered_ids.push_back(tag->id());
       }
     }
@@ -600,7 +604,7 @@ DeploymentReport Deployment::finish() {
   // leaves the simulation through exactly one of the three outcomes);
   // record-keeping sweeps additionally verify the ID sets cover the
   // population exactly once. Membership-only hash set — never iterated
-  // (detlint's unordered-iteration rule).
+  // (rfidlint's unordered-iteration rule).
   const std::size_t population_n = population_->size();
   bool exact = report_.delivered + report_.missing_ids.size() +
                    report_.undelivered_ids.size() ==

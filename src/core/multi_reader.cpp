@@ -49,7 +49,7 @@ MultiReaderReport run_multi_reader(const tags::TagPopulation& population,
   // Verification: the union of per-reader records covers the inventory
   // exactly once (readers must neither overlap nor skip). The hash set is
   // membership-only scratch — never iterated, so it cannot leak hash order
-  // into the report (detlint's unordered-iteration rule).
+  // into the report (rfidlint's unordered-iteration rule).
   std::unordered_set<TagId, TagIdHash> seen;
   seen.reserve(population.size());
   bool duplicates = false;

@@ -23,6 +23,7 @@ FaultInjector::FaultInjector(FaultConfig config, std::uint64_t seed)
   }
 }
 
+// rfidlint: rng-position-pure(corrupt-reply)
 bool FaultInjector::corrupt_reply() noexcept {
   switch (config_.link) {
     case LinkModel::kNone:
@@ -44,6 +45,7 @@ bool FaultInjector::corrupt_reply() noexcept {
   return false;
 }
 
+// rfidlint: rng-position-pure(corrupt-downlink)
 bool FaultInjector::corrupt_downlink(std::size_t bits) noexcept {
   if (config_.downlink_ber <= 0.0 || bits == 0) return false;
   if (config_.downlink_ber >= 1.0) return true;
@@ -58,6 +60,7 @@ void FaultInjector::arm_reader_faults(const ReaderFaultConfig& config,
   reader_fault_rng_.reseed(seed);
 }
 
+// rfidlint: rng-position-pure(sample-reader-fault)
 std::optional<ReaderFaultEvent> FaultInjector::sample_reader_fault() {
   if (!reader_faults_.enabled()) return std::nullopt;
   // Fixed draw order and one draw per armed probability per tick: the

@@ -90,7 +90,7 @@ class FaultInjector final {
   bool bad_state_ = false;  ///< Gilbert–Elliott chain starts good
   std::size_t next_event_ = 0;
   /// Membership-only (insert/erase/contains) and never iterated, so a hash
-  /// set is safe here — see the unordered-iteration rule in tools/detlint.
+  /// set is safe here — see the unordered-iteration rule in tools/rfidlint.
   std::unordered_set<TagId, TagIdHash> absent_;
 };
 

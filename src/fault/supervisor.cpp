@@ -71,6 +71,7 @@ void ReaderSupervisor::note_spontaneous_restart(std::size_t reader,
   transition(reader, tick, ReaderHealth::kRecovering);
 }
 
+// rfidlint: hotpath(supervisor-advance)
 void ReaderSupervisor::advance(std::uint64_t tick) {
   for (std::size_t r = 0; r < slots_.size(); ++r) {
     Slot& slot = slots_[r];

@@ -182,6 +182,7 @@ StreamingAggregator::StreamingAggregator(std::size_t readers)
     throw std::invalid_argument("StreamingAggregator: need >= 1 reader");
 }
 
+// rfidlint: hotpath(stream-update-reader)
 void StreamingAggregator::update_reader(std::size_t reader,
                                         const Metrics& cumulative,
                                         double ber_estimate) {

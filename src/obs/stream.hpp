@@ -245,7 +245,7 @@ class StreamingAggregator final {
   /// events from deltas vs the previous publish, and fans both out to every
   /// subscriber. `wall_dt_s` is the wall-clock seconds since the previous
   /// publish as measured by the caller — the aggregator itself never reads
-  /// a clock, so simulation layers linking it stay detlint-clean.
+  /// a clock, so simulation layers linking it stay rfidlint-clean.
   std::shared_ptr<const MetricsSnapshot> publish(double wall_dt_s)
       RFID_EXCLUDES(mutex_);
 

@@ -19,7 +19,7 @@
 //
 // The server itself never reads a wall clock; socket timeouts are kernel
 // relative intervals. Wall time is confined to the telemetry handlers
-// behind documented detlint pragmas (see telemetry_service.cpp).
+// behind documented rfidlint pragmas (see telemetry_service.cpp).
 #pragma once
 
 #include <atomic>

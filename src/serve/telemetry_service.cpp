@@ -53,7 +53,7 @@ HttpResponse TelemetryService::healthz() const {
   // The serving layer is the one place the repo reads wall time: a
   // dashboard or curl-based probe wants a real timestamp to correlate
   // with its own logs, and nothing deterministic consumes this value.
-  // detlint: allow(wall-clock) — /healthz reports real time to external probes; never feeds the simulation
+  // rfidlint: allow(wall-clock) — /healthz reports real time to external probes; never feeds the simulation
   const auto wall = std::chrono::system_clock::now().time_since_epoch();
   const auto wall_unix_ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(wall).count();

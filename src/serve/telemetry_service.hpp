@@ -14,7 +14,7 @@
 //
 // This file is the wall-clock boundary of the repository: uptime comes
 // from the monotonic clock and /healthz's wall_unix_ms from the system
-// clock behind a documented detlint pragma. Simulation layers below never
+// clock behind a documented rfidlint pragma. Simulation layers below never
 // see either (docs/observability.md, "Wall-clock policy").
 #pragma once
 

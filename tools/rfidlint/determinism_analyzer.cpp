@@ -1,0 +1,164 @@
+// Analyzer 0: the detlint-era determinism rules that do not involve RNG
+// streams (those moved to the rng-purity analyzer). The simulator's ground
+// truth is byte-identical seeded output; wall time and hash-order iteration
+// are the two ways host state leaks into results.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "rfidlint.hpp"
+
+namespace rfidlint {
+
+namespace {
+
+constexpr std::string_view kRuleWallClock = "wall-clock";
+constexpr std::string_view kRuleUnorderedIteration = "unordered-iteration";
+
+/// Names declared with an unordered container type in this file, found by
+/// bracket-matching `unordered_map<...>` / `unordered_set<...>` and
+/// reading the declarator that follows. Function declarations (identifier
+/// followed by `(`) are skipped: a factory *returning* a hash container is
+/// not an iteration hazard at its declaration site.
+[[nodiscard]] std::vector<std::string> unordered_names(
+    std::string_view code) {
+  std::vector<std::string> names;
+  for (const std::string_view container :
+       {std::string_view("unordered_map"), std::string_view("unordered_set"),
+        std::string_view("unordered_multimap"),
+        std::string_view("unordered_multiset")}) {
+    for (std::size_t pos = find_word(code, container);
+         pos != std::string_view::npos;
+         pos = find_word(code, container, pos + 1)) {
+      std::size_t i = skip_spaces(code, pos + container.size());
+      if (i >= code.size() || code[i] != '<') continue;
+      int depth = 0;
+      while (i < code.size()) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++i;
+      }
+      if (i >= code.size()) continue;
+      ++i;  // past the closing '>'
+      // Skip reference/pointer declarators and whitespace.
+      i = skip_spaces(code, i);
+      while (i < code.size() && (code[i] == '&' || code[i] == '*'))
+        i = skip_spaces(code, i + 1);
+      const std::size_t begin = i;
+      while (i < code.size() && is_word(code[i])) ++i;
+      if (i == begin) continue;  // temporary / using-alias / return type
+      const std::size_t next = skip_spaces(code, i);
+      if (next < code.size() && code[next] == '(') continue;  // function
+      names.emplace_back(code.substr(begin, i - begin));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+/// wall-clock: any wall-time source. The simulated clock
+/// (obs::Metrics::time_us) is the only clock results may depend on.
+void check_wall_clock(std::vector<Finding>& findings,
+                      const FileContext& context, std::size_t line_no,
+                      std::string_view code) {
+  for (const std::string_view token :
+       {std::string_view("system_clock"), std::string_view("gettimeofday"),
+        std::string_view("localtime"), std::string_view("strftime")}) {
+    if (find_word(code, token) != std::string_view::npos)
+      add_finding(findings, context, line_no, kRuleWallClock,
+                  "wall-clock source '" + std::string(token) +
+                      "' in simulator code; results must depend only on "
+                      "the simulated clock");
+  }
+  // time(nullptr) / time(NULL) / time(0)
+  for (std::size_t pos = find_word(code, "time");
+       pos != std::string_view::npos; pos = find_word(code, "time", pos + 1)) {
+    std::size_t i = skip_spaces(code, pos + 4);
+    if (i >= code.size() || code[i] != '(') continue;
+    i = skip_spaces(code, i + 1);
+    for (const std::string_view arg :
+         {std::string_view("nullptr"), std::string_view("NULL"),
+          std::string_view("0")}) {
+      if (word_at(code, i, arg) &&
+          skip_spaces(code, i + arg.size()) < code.size() &&
+          code[skip_spaces(code, i + arg.size())] == ')') {
+        add_finding(findings, context, line_no, kRuleWallClock,
+                    "wall-clock call 'time(" + std::string(arg) +
+                        ")' in simulator code");
+        break;
+      }
+    }
+  }
+}
+
+/// unordered-iteration: walking a hash container declared in this file.
+void check_unordered_iteration(std::vector<Finding>& findings,
+                               const FileContext& context,
+                               std::size_t line_no, std::string_view code,
+                               const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    for (std::size_t pos = find_word(code, name);
+         pos != std::string_view::npos;
+         pos = find_word(code, name, pos + 1)) {
+      // Range-for: `for (... : name)` — the name is preceded by a lone
+      // ':' (not '::').
+      const std::size_t before = rskip_spaces(code, pos);
+      const bool range_for = before != std::string_view::npos &&
+                             code[before] == ':' &&
+                             (before == 0 || code[before - 1] != ':');
+      // Iterator walk: `name.begin()` and friends.
+      std::size_t after = skip_spaces(code, pos + name.size());
+      bool begin_call = false;
+      if (after < code.size() && code[after] == '.') {
+        after = skip_spaces(code, after + 1);
+        for (const std::string_view it :
+             {std::string_view("begin"), std::string_view("cbegin"),
+              std::string_view("rbegin"), std::string_view("crbegin")}) {
+          if (word_at(code, after, it)) begin_call = true;
+        }
+      }
+      if (range_for || begin_call)
+        add_finding(findings, context, line_no, kRuleUnorderedIteration,
+                    "iteration over unordered container '" + name +
+                        "': hash order is implementation-defined; use an "
+                        "ordered container or sort first");
+    }
+  }
+}
+
+class DeterminismAnalyzer final : public Analyzer {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "determinism";
+  }
+  [[nodiscard]] std::vector<std::string_view> rules() const override {
+    return {kRuleWallClock, kRuleUnorderedIteration};
+  }
+  void analyze(const FileContext& context,
+               std::vector<Finding>& out) const override {
+    const SourceFile& source = *context.source;
+    std::string all_code;
+    for (std::size_t i = 0; i < source.line_count(); ++i) {
+      all_code += source.code(i);
+      all_code += '\n';
+    }
+    const std::vector<std::string> names = unordered_names(all_code);
+    for (std::size_t i = 0; i < source.line_count(); ++i) {
+      check_wall_clock(out, context, i + 1, source.code(i));
+      check_unordered_iteration(out, context, i + 1, source.code(i), names);
+    }
+  }
+};
+
+}  // namespace
+
+const Analyzer& determinism_analyzer() {
+  static const DeterminismAnalyzer kAnalyzer;
+  return kAnalyzer;
+}
+
+}  // namespace rfidlint

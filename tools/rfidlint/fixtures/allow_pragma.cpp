@@ -5,11 +5,11 @@
 namespace fixture {
 
 inline int suppressed_inline() {
-  return std::rand();  // detlint: allow(banned-rng) — fixture exercises the inline form
+  return std::rand();  // rfidlint: allow(banned-rng) — fixture exercises the inline form
 }
 
 inline int suppressed_standalone() {
-  // detlint: allow(banned-rng) — fixture exercises the standalone form
+  // rfidlint: allow(banned-rng) — fixture exercises the standalone form
   return std::rand();
 }
 

@@ -6,15 +6,15 @@
 namespace fixture {
 
 inline int unknown_rule() {
-  return std::rand();  // detlint: allow(no-such-rule) — unknown rule id
+  return std::rand();  // rfidlint: allow(no-such-rule) — unknown rule id
 }
 
 inline int missing_reason() {
-  return std::rand();  // detlint: allow(banned-rng)
+  return std::rand();  // rfidlint: allow(banned-rng)
 }
 
 inline int broken_shape() {
-  return std::rand();  // detlint: allow banned-rng — no parens
+  return std::rand();  // rfidlint: allow banned-rng — no parens
 }
 
 }  // namespace fixture

@@ -1,0 +1,29 @@
+// hotpath-alloc rule fixture: one allocating construct per category inside
+// an annotated region. Expected hotpath-alloc findings: lines 17, 18, 19,
+// 20 and 21; the justified reserve on line 22 is suppressed by its pragma
+// and the identical call outside the region (line 26) is not flagged.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Engine {
+  std::vector<std::uint64_t> scratch;
+
+  // rfidlint: hotpath(fixture-run)
+  std::uint64_t run(std::uint64_t x) {
+    scratch.push_back(x);
+    const std::uint64_t* owned = new std::uint64_t(x);
+    const std::string label = std::to_string(x);
+    const std::function<std::uint64_t()> thunk = [x] { return x; };
+    scratch.insert(scratch.end(), x);
+    scratch.reserve(64);  // rfidlint: allow(hotpath-alloc) — fixture exercises the justified form
+    return *owned + label.size() + thunk();
+  }
+
+  void setup() { scratch.reserve(64); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// hotpath-alloc clean fixture: an annotated hot region that only reuses
+// preallocated capacity. The identical allocating call outside the region
+// (setup) must not be flagged. Expected: clean.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Engine {
+  std::vector<std::uint64_t> scratch;
+
+  // rfidlint: hotpath(fixture-run)
+  std::uint64_t run(std::uint64_t x) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t& slot : scratch) {
+      slot = x;
+      sum += slot;
+    }
+    return sum;
+  }
+
+  void setup() { scratch.resize(64); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Clean: common depends on nothing; system headers carry no layer edge.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture::common {
+inline constexpr std::uint32_t kAnswer = 42;
+}  // namespace fixture::common

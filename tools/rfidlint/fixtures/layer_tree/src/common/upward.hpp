@@ -1,0 +1,9 @@
+// The artificial upward include: common may not reach into sim.
+// Expected: layer-violation on line 5.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace fixture::common {
+inline int uses_engine() { return fixture::sim::spin(); }
+}  // namespace fixture::common

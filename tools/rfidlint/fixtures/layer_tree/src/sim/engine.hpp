@@ -1,0 +1,8 @@
+// Clean: sim declares common as a dep, so this downward edge is fine.
+#pragma once
+
+#include "common/ok.hpp"
+
+namespace fixture::sim {
+inline int spin() { return static_cast<int>(fixture::common::kAnswer); }
+}  // namespace fixture::sim

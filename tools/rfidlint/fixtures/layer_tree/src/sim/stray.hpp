@@ -1,0 +1,9 @@
+// Include into a layer the spec does not declare.
+// Expected: undeclared-layer on line 5.
+#pragma once
+
+#include "widgets/widget.hpp"
+
+namespace fixture::sim {
+inline int stray() { return fixture::widgets::make(); }
+}  // namespace fixture::sim

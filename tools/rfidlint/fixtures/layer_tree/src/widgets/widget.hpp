@@ -1,0 +1,7 @@
+// A file living in a layer the spec does not declare.
+// Expected: undeclared-layer on line 1.
+#pragma once
+
+namespace fixture::widgets {
+inline int make() { return 7; }
+}  // namespace fixture::widgets

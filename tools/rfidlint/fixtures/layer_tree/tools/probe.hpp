@@ -1,0 +1,9 @@
+// Clean: tools is a top scope and may include from any layer.
+#pragma once
+
+#include "common/ok.hpp"
+#include "sim/engine.hpp"
+
+namespace fixture::tools {
+inline int probe() { return fixture::sim::spin(); }
+}  // namespace fixture::tools

@@ -1,0 +1,13 @@
+// Legacy-prefix fixture: a well-formed pragma spelled with the deprecated
+// `detlint:` prefix still suppresses its rule but earns a legacy-pragma
+// warning. Expected: one legacy-pragma warning on line 10, no banned-rng,
+// and an exit code of 0 (warnings do not fail the run).
+#include <cstdlib>
+
+namespace fixture {
+
+inline int suppressed_with_old_spelling() {
+  return std::rand();  // detlint: allow(banned-rng) — fixture exercises the legacy prefix
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// phase-accounting clean fixture: every airtime charge names its phase
+// within the attribution window (same line, next line, or via the
+// PhaseBreakdown::add spelling). Expected: clean.
+#include <cstdint>
+
+namespace fixture {
+
+struct Breakdown {
+  void add(int phase, std::uint64_t us) { total += us * (phase >= 0); }
+  std::uint64_t total = 0;
+};
+
+struct Metrics {
+  std::uint64_t time_us = 0;
+  Breakdown phases;
+};
+
+struct Loop {
+  Metrics metrics;
+
+  void add_phase(int phase, std::uint64_t us) { metrics.phases.add(phase, us); }
+
+  void charge_same_line(std::uint64_t dt) {
+    metrics.time_us += dt;
+    add_phase(1, dt);
+  }
+
+  void charge_next_line(std::uint64_t dt) {
+    metrics.time_us += dt;
+    // Multi-line call formatting still lands in the window:
+    metrics.phases.add(2, dt);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// phase-accounting rule fixture. Expected findings: unphased-charge on
+// line 21 (no phase attribution within the window) and raw-phase-mutation
+// on line 25 (direct += into the breakdown array outside src/obs).
+#include <cstdint>
+
+namespace fixture {
+
+struct Breakdown {
+  std::uint64_t us[6] = {0, 0, 0, 0, 0, 0};
+};
+
+struct Metrics {
+  std::uint64_t time_us = 0;
+  Breakdown phases;
+};
+
+struct Loop {
+  Metrics metrics;
+
+  void charge_without_phase(std::uint64_t dt) {
+    metrics.time_us += dt;
+  }
+
+  void mutate_breakdown(std::uint64_t dt) {
+    metrics.phases.us[2] += dt;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// rng-purity clean fixture: a position-pure sampler in the sanctioned
+// shapes — same-statement `&&` guards, arm-gate conditionals (`p > 0`,
+// `enabled()`), one draw per armed probability. Expected: clean.
+#include <cstdint>
+
+namespace fixture {
+
+struct Config {
+  double crash_per_tick = 0.0;
+  double stall_per_tick = 0.0;
+  bool on = false;
+  bool enabled() const { return on; }
+};
+
+struct Stream {
+  std::uint64_t state = 1;
+  std::uint64_t operator()() { return state *= 6364136223846793005ull; }
+  bool bernoulli(double p) { return p > 0 && ((*this)() & 1) != 0; }
+  std::uint64_t below(std::uint64_t bound) { return (*this)() % bound; }
+};
+
+// rfidlint: rng-position-pure(fixture-sample)
+inline std::uint64_t sample(const Config& config, Stream& fault_rng) {
+  if (!config.enabled()) return 0;
+  const bool crash = config.crash_per_tick > 0.0 &&
+                     fault_rng.bernoulli(config.crash_per_tick);
+  std::uint64_t stall_ticks = 0;
+  if (config.stall_per_tick > 0.0) {
+    // Drawn whenever stalls are armed, even on no-stall ticks.
+    stall_ticks = fault_rng.below(8);
+  }
+  return crash ? stall_ticks : 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// conditional-draw rule fixture: draws nested under data-dependent
+// conditionals inside a position-pure region shift the stream position of
+// every later draw. Expected conditional-draw findings: lines 19 and 24
+// (the armed draw on line 22 is fine).
+#include <cstdint>
+
+namespace fixture {
+
+struct Stream {
+  std::uint64_t state = 1;
+  std::uint64_t operator()() { return state *= 6364136223846793005ull; }
+  std::uint64_t below(std::uint64_t bound) { return (*this)() % bound; }
+};
+
+// rfidlint: rng-position-pure(fixture-sample)
+inline std::uint64_t sample(Stream& fault_rng, bool lost, double p) {
+  std::uint64_t penalty = 0;
+  if (lost) {
+    penalty = fault_rng.below(8);
+  }
+  if (p > 0.0) {
+    penalty += fault_rng.below(2);
+  } else {
+    penalty += fault_rng.below(4);
+  }
+  return penalty;
+}
+
+}  // namespace fixture

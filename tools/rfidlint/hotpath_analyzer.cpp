@@ -1,0 +1,112 @@
+// hotpath-alloc analyzer: regions marked `// rfidlint: hotpath(<name>)`
+// carry the repo's zero-allocation contract (the alloc-guard ctests pin it
+// dynamically; this catches violations on paths a test never executes).
+// Token-level allocation catalogue:
+//   - operator new, make_unique / make_shared
+//   - growing-container members: .push_back / .emplace_back / .emplace /
+//     .insert / .resize / .reserve / .assign / .append
+//   - std::function construction (type named in the region)
+//   - std::string temporaries and std::to_string
+// A deliberate slow-path allocation (churn handling, first-round scratch
+// growth) stays, with an inline `rfidlint: allow(hotpath-alloc) — reason`.
+#include <string>
+#include <vector>
+
+#include "rfidlint.hpp"
+
+namespace rfidlint {
+
+namespace {
+
+constexpr std::string_view kRuleHotpathAlloc = "hotpath-alloc";
+
+/// True when the word at `pos` is reached through `.` or `->` (a member
+/// call on some object, not a free function or declaration).
+[[nodiscard]] bool member_access_before(std::string_view code,
+                                        std::size_t pos) {
+  const std::size_t before = rskip_spaces(code, pos);
+  if (before == std::string_view::npos) return false;
+  if (code[before] == '.') return true;
+  return code[before] == '>' && before > 0 && code[before - 1] == '-';
+}
+
+void check_line(std::vector<Finding>& findings, const FileContext& context,
+                const AnnotatedRegion& region, std::size_t line_no,
+                std::string_view code) {
+  const auto flag = [&](std::string_view what) {
+    add_finding(findings, context, line_no, kRuleHotpathAlloc,
+                "allocating construct '" + std::string(what) +
+                    "' inside hotpath(" + region.name +
+                    "); the hot path must not allocate — hoist it, reuse "
+                    "capacity, or justify with an allow pragma");
+  };
+
+  for (const std::string_view token :
+       {std::string_view("new"), std::string_view("make_unique"),
+        std::string_view("make_shared"), std::string_view("to_string")}) {
+    if (find_word(code, token) != std::string_view::npos) flag(token);
+  }
+  for (const std::string_view member :
+       {std::string_view("push_back"), std::string_view("emplace_back"),
+        std::string_view("emplace"), std::string_view("insert"),
+        std::string_view("resize"), std::string_view("reserve"),
+        std::string_view("assign"), std::string_view("append")}) {
+    for (std::size_t pos = find_word(code, member);
+         pos != std::string_view::npos;
+         pos = find_word(code, member, pos + 1)) {
+      if (member_access_before(code, pos)) {
+        flag(member);
+        break;
+      }
+    }
+  }
+  // std::function<...> names a type whose construction heap-allocates for
+  // any non-trivial callable; std::string(...) / std::string{...} builds a
+  // heap temporary.
+  for (const std::string_view type :
+       {std::string_view("function"), std::string_view("string")}) {
+    for (std::size_t pos = find_word(code, type);
+         pos != std::string_view::npos;
+         pos = find_word(code, type, pos + 1)) {
+      if (pos < 2 || code.substr(pos - 2, 2) != "::") continue;
+      const std::size_t after = skip_spaces(code, pos + type.size());
+      const bool is_function = type == "function";
+      if (after < code.size() &&
+          (code[after] == (is_function ? '<' : '(') ||
+           (!is_function && code[after] == '{'))) {
+        flag(is_function ? "std::function" : "std::string");
+        break;
+      }
+    }
+  }
+}
+
+class HotpathAnalyzer final : public Analyzer {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "hotpath-alloc";
+  }
+  [[nodiscard]] std::vector<std::string_view> rules() const override {
+    return {kRuleHotpathAlloc};
+  }
+  void analyze(const FileContext& context,
+               std::vector<Finding>& out) const override {
+    const SourceFile& source = *context.source;
+    for (const AnnotatedRegion& region : context.hotpaths) {
+      for (std::size_t line = region.body.begin_line;
+           line <= region.body.end_line && line <= source.line_count();
+           ++line) {
+        check_line(out, context, region, line, source.code(line - 1));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const Analyzer& hotpath_analyzer() {
+  static const HotpathAnalyzer kAnalyzer;
+  return kAnalyzer;
+}
+
+}  // namespace rfidlint

@@ -1,0 +1,98 @@
+// layer-graph analyzer: machine-enforces the CMake layering order. Every
+// quoted #include in src/ is rooted at src/ (the only include dir), so the
+// first path component of the target names its layer; the edge must be in
+// the declared DAG's reflexive-transitive closure. Scopes declared `top`
+// in the spec (tools, tests, bench, examples) sit above all layers and may
+// include anything.
+#include <string>
+#include <vector>
+
+#include "rfidlint.hpp"
+
+namespace rfidlint {
+
+namespace {
+
+constexpr std::string_view kRuleLayerViolation = "layer-violation";
+constexpr std::string_view kRuleUndeclaredLayer = "undeclared-layer";
+
+/// First '/'-separated component of `path`, or empty when there is none
+/// (a same-directory include carries no layer information).
+[[nodiscard]] std::string_view first_component(std::string_view path) {
+  const std::size_t slash = path.find('/');
+  if (slash == std::string_view::npos) return {};
+  return path.substr(0, slash);
+}
+
+/// The `"target"` of an `#include "target"` directive, read off the raw
+/// line (the splitter blanks preprocessor lines in the code view).
+/// Angle-bracket includes are system headers and carry no layer edge.
+[[nodiscard]] std::string_view include_target(std::string_view raw) {
+  std::size_t i = skip_spaces(raw, 0);
+  if (i >= raw.size() || raw[i] != '#') return {};
+  i = skip_spaces(raw, i + 1);
+  if (!word_at(raw, i, "include")) return {};
+  i = skip_spaces(raw, i + 7);
+  if (i >= raw.size() || raw[i] != '"') return {};
+  const std::size_t close = raw.find('"', i + 1);
+  if (close == std::string_view::npos) return {};
+  return raw.substr(i + 1, close - i - 1);
+}
+
+class LayerAnalyzer final : public Analyzer {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "layer-graph";
+  }
+  [[nodiscard]] std::vector<std::string_view> rules() const override {
+    return {kRuleLayerViolation, kRuleUndeclaredLayer, "layer-spec"};
+  }
+  void analyze(const FileContext& context,
+               std::vector<Finding>& out) const override {
+    const LayerSpec* spec = context.options->layers;
+    if (spec == nullptr || !spec->ok()) return;
+
+    const std::string_view rel = context.rel;
+    const std::string_view scope = first_component(rel);
+    if (spec->tops.count(std::string(scope)) != 0) return;  // above all
+    if (scope != "src") return;  // outside the layered tree
+
+    const std::string layer(
+        first_component(rel.substr(std::string_view("src/").size())));
+    if (layer.empty()) return;  // file directly under src/
+    if (!spec->declares(layer)) {
+      add_finding(out, context, 1, kRuleUndeclaredLayer,
+                  "file lives in layer '" + layer +
+                      "' which the layer spec does not declare");
+      return;
+    }
+
+    const SourceFile& source = *context.source;
+    for (std::size_t i = 0; i < source.line_count(); ++i) {
+      const std::string_view target = include_target(source.raw(i));
+      if (target.empty()) continue;
+      const std::string to(first_component(target));
+      if (to.empty() || to == layer) continue;
+      if (!spec->declares(to)) {
+        add_finding(out, context, i + 1, kRuleUndeclaredLayer,
+                    "include of '" + std::string(target) +
+                        "' targets layer '" + to +
+                        "' which the layer spec does not declare");
+      } else if (!spec->allows(layer, to)) {
+        add_finding(out, context, i + 1, kRuleLayerViolation,
+                    "layer '" + layer + "' may not include from layer '" +
+                        to + "' (edge not in the declared DAG); include '" +
+                        std::string(target) + "' breaks the layering");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const Analyzer& layer_analyzer() {
+  static const LayerAnalyzer kAnalyzer;
+  return kAnalyzer;
+}
+
+}  // namespace rfidlint

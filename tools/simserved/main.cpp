@@ -134,6 +134,7 @@ std::optional<double> parse_fraction_arg(std::string_view text) {
 std::uint64_t wall_unix_ms() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
+          // rfidlint: allow(wall-clock) — checkpoint/manifest stamping for operators; never feeds the simulation
           std::chrono::system_clock::now().time_since_epoch())
           .count());
 }
